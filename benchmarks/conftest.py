@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one paper table or figure (DESIGN.md
+section 4). The rendered artifact is printed (visible with ``-s``) and
+saved under ``benchmarks/results/`` so EXPERIMENTS.md can reference the
+exact output of the last run.
+
+The experiments are deterministic given their seeds, so a single
+measured round per benchmark is meaningful; wall-clock time reflects
+simulator throughput, not statistical noise in the results themselves.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_artifact(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / (name + ".txt")).write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture
+def artifact():
+    return save_artifact
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,26 @@
+"""Section 3.3's dynamic-instance census.
+
+Paper claim: "the median number of dynamic instances for all object
+initialization operations is 2 across all unit tests for all
+applications" -- initializations execute too few times per run for
+same-run identification+injection to reach them.
+"""
+
+from repro.harness import experiments, tables
+
+from conftest import run_once
+
+
+def test_dynamic_instances(benchmark, artifact):
+    rows, overall = run_once(benchmark, experiments.dynamic_instances, seed=0)
+    artifact(
+        "section33_dynamic_instances",
+        tables.render_dynamic_instances(rows, overall),
+    )
+
+    assert len(rows) == 11
+    # The headline census: a small single-digit median, near the
+    # paper's 2.
+    assert 1.0 <= overall <= 4.0
+    for row in rows:
+        assert row.init_sites > 0

@@ -1,0 +1,37 @@
+"""Figure 2: the two fundamentally different timing conditions.
+
+A thread-safety violation manifests only when the injected delay falls
+inside a bounded range (the call windows must overlap); a MemOrder bug
+manifests for every delay longer than the whole gap.
+"""
+
+from repro.harness import experiments, tables
+
+from conftest import run_once
+
+DELAYS = tuple(float(d) for d in (0, 2, 4, 6, 8, 9, 10, 11, 12, 13, 14, 16, 20, 30, 50))
+
+
+def test_figure2_timing_conditions(benchmark, artifact):
+    points = run_once(benchmark, experiments.figure2_timing_conditions, delays_ms=DELAYS, seed=0)
+    artifact("figure2_timing_conditions", tables.render_figure2(points))
+
+    tsv_window = [p.delay_ms for p in points if p.tsv_exposed]
+    memorder = [p.delay_ms for p in points if p.memorder_exposed]
+
+    # TSV: exposed in a bounded, contiguous range -- not at zero, not at
+    # the largest delays.
+    assert tsv_window, "TSV never exposed"
+    assert 0.0 not in tsv_window
+    assert max(DELAYS) not in tsv_window
+    by_delay = sorted(tsv_window)
+    lo, hi = by_delay[0], by_delay[-1]
+    assert all(lo <= p.delay_ms <= hi for p in points if p.tsv_exposed)
+
+    # MemOrder: a threshold behavior -- exposed iff delay > gap, and
+    # monotone from the threshold up.
+    assert memorder
+    threshold = min(memorder)
+    assert threshold > 8.0  # must exceed the 10 ms gap minus op costs
+    for p in points:
+        assert p.memorder_exposed == (p.delay_ms >= threshold)

@@ -1,0 +1,26 @@
+"""Figure 5: the interference window, measured.
+
+An equal-length delay at l* on the disposer's thread cancels the
+reordering delay at l1 exactly when the two delay windows still overlap
+as the delayed use lands; an early l* delay is absorbed by the thread's
+slack and interferes with nothing. This is the timing fact the
+interference set I (section 4.4) exists to exploit.
+"""
+
+from repro.harness import experiments, tables
+
+from conftest import run_once
+
+
+def test_figure5_interference_window(benchmark, artifact):
+    points = run_once(benchmark, experiments.figure5_interference_window, seed=0)
+    artifact("figure5_interference_window", tables.render_figure5(points))
+
+    # Every point classified by the window predicate must behave
+    # accordingly: overlap <=> cancellation.
+    for point in points:
+        assert point.bug_exposed == (not point.interferer_delay_overlaps_window), point
+
+    # Both regimes must be represented in the sweep.
+    assert any(p.interferer_delay_overlaps_window for p in points)
+    assert any(not p.interferer_delay_overlaps_window for p in points)

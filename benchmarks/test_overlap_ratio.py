@@ -1,0 +1,25 @@
+"""Section 3.3's delay-overlap measurement.
+
+Paper shape: Tsvd's overlap is small (< ~15% everywhere, < 1% for
+most apps); WaffleBasic overlaps substantially more on the MemOrder
+surface -- the root cause of its delay interference.
+"""
+
+from repro.harness import experiments, metrics, tables
+
+from conftest import run_once
+
+
+def test_overlap_ratio(benchmark, artifact):
+    rows = run_once(benchmark, experiments.overlap_ratios, seed=0)
+    artifact("section33_overlap", tables.render_overlap(rows))
+
+    assert len(rows) == 11
+    tsvd_avg = metrics.mean([r.tsvd_overlap for r in rows])
+    basic_avg = metrics.mean([r.wafflebasic_overlap for r in rows])
+
+    # WaffleBasic overlaps more than Tsvd on average, and meaningfully so.
+    assert basic_avg > tsvd_avg
+    assert basic_avg > 0.02
+    # Tsvd's sparse TSV surface keeps its overlap low.
+    assert tsvd_avg < 0.15

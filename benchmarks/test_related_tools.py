@@ -1,0 +1,48 @@
+"""Extension: quantifying the full Table 1 design space.
+
+The paper's Table 1 compares Waffle qualitatively against RaceFuzzer,
+CTrigger, RaceMob and DataCollider; section 7 adds that validation-
+style tools "naturally require many more runs than Waffle". This
+benchmark runs simplified models of all four next to Waffle on a
+representative slice of the bug suite and checks the claims:
+
+* one-candidate-per-run tools expose the interference bugs (they are
+  immune to delay interference by construction) but sweep the dense
+  apps' candidate lists, needing an order of magnitude more runs;
+* short-delay sampling tools miss the long-gap bugs outright;
+* Waffle matches or beats every tool on every bug in runs-to-expose.
+"""
+
+from repro.harness import experiments, tables
+
+from conftest import run_once
+
+BUGS = ("Bug-1", "Bug-7", "Bug-10", "Bug-11", "Bug-12", "Bug-15", "Bug-16")
+BUDGET = 60
+
+
+def test_related_tools(benchmark, artifact):
+    rows = run_once(
+        benchmark, experiments.related_tools_comparison, bugs=BUGS, budget=BUDGET
+    )
+    artifact("extension_related_tools", tables.render_related_tools(rows))
+
+    by_bug = {row.bug_id: row for row in rows}
+
+    # Waffle exposes everything in this slice and never needs more runs
+    # than any other tool does.
+    for bug_id, row in by_bug.items():
+        assert row.runs["waffle"] is not None, bug_id
+        for tool, runs in row.runs.items():
+            if runs is not None:
+                assert row.runs["waffle"] <= runs, (bug_id, tool)
+
+    # The single-candidate tools are interference-immune: they expose
+    # the Figure 4a bug that WaffleBasic misses...
+    assert by_bug["Bug-10"].runs["racefuzzer"] is not None
+    # ... but sweep the dense candidate list one run at a time.
+    assert by_bug["Bug-16"].runs["racefuzzer"] > 3 * by_bug["Bug-16"].runs["waffle"]
+
+    # Short sampled delays cannot bridge the long gaps.
+    assert by_bug["Bug-15"].runs["racemob"] is None
+    assert by_bug["Bug-15"].runs["datacollider"] is None

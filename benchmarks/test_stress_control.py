@@ -1,0 +1,23 @@
+"""Section 6.2's control: no bug manifests without delay injection.
+
+Every bug-triggering input is re-run 50 times, delay-free, under
+varying scheduling seeds; none of the 18 bugs may ever manifest
+spontaneously -- the property that makes active delay injection
+necessary in the first place.
+"""
+
+from repro.harness import experiments, tables
+
+from conftest import run_once
+
+RUNS = 50
+
+
+def test_stress_control(benchmark, artifact):
+    rows = run_once(benchmark, experiments.stress_control, runs=RUNS, base_seed=0)
+    artifact("stress_control", tables.render_stress(rows))
+
+    assert len(rows) == 18
+    for row in rows:
+        assert row.runs == RUNS
+        assert row.spontaneous_manifestations == 0, row.bug_id

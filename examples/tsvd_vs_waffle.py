@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""TSV vs MemOrder surfaces: why Tsvd's recipe does not transfer.
+
+Runs a preparation-style recording of every benchmark application's
+test suite and contrasts the two instrumentation surfaces (Table 2's
+intuition): thread-unsafe API call sites are scarce; heap-object
+accesses are everywhere. Then shows Figure 2's timing asymmetry on a
+microbenchmark: a TSV manifests only for delays inside a bounded
+window, a MemOrder bug for every delay past the gap.
+
+Run::
+
+    python examples/tsvd_vs_waffle.py
+"""
+
+from repro.apps import all_apps
+from repro.core.config import DEFAULT_CONFIG
+from repro.harness import experiments, tables
+from repro.harness.runner import run_recording
+
+
+def site_census():
+    print("Instrumentation surface per application (averages per test):")
+    print("%-20s %-10s %-10s %-8s" % ("app", "TSV sites", "MO sites", "ratio"))
+    for app in all_apps().values():
+        tsv_total = mo_total = 0
+        for test in app.multithreaded_tests:
+            _, trace = run_recording(test, DEFAULT_CONFIG, seed=0)
+            mo_total += len(trace.static_sites(memorder=True))
+            tsv_total += len(trace.static_sites(memorder=False))
+        count = len(app.multithreaded_tests)
+        ratio = (mo_total / tsv_total) if tsv_total else float("inf")
+        print(
+            "%-20s %-10.1f %-10.1f %-8.1f"
+            % (app.display_name, tsv_total / count, mo_total / count, ratio)
+        )
+
+
+def timing_conditions():
+    print()
+    print("Figure 2's timing asymmetry (microbenchmark):")
+    points = experiments.figure2_timing_conditions(
+        delays_ms=(0, 4, 8, 10, 12, 16, 24, 40), seed=0
+    )
+    print(tables.render_figure2(points))
+
+
+def main():
+    site_census()
+    timing_conditions()
+    print()
+    print(
+        "Takeaway: MemOrder instrumentation sites outnumber TSV sites by\n"
+        "roughly an order of magnitude, and exposing a MemOrder bug needs\n"
+        "a delay longer than the whole gap rather than inside a window --\n"
+        "the two observations that drove Waffle's redesign (sections 3-4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

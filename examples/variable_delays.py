@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Section 4.3: why one fixed delay length cannot win.
+
+Two use-after-free bugs in one program: a short-gap one (use 5 ms
+before its disposal) and a long-gap one (use 108 ms before its
+disposal). Sweep fixed delay lengths and observe that no single value
+exposes both cheaply: short delays miss the long-gap bug, long delays
+waste hundreds of milliseconds at every short-gap site. Waffle's
+per-location proportional delays get both with a fraction of the
+injected time.
+
+Run::
+
+    python examples/variable_delays.py
+"""
+
+from repro import Simulation, Waffle, WaffleConfig, Workload
+from repro.sim.instrument import InstrumentationHook
+
+
+def two_gap_app(sim):
+    """A session with a short-gap race and a queue with a long-gap one."""
+    session = sim.ref("session")
+    queue_a = sim.ref("queue_a")  # benign sibling: sets the observed gap
+    queue_b = sim.ref("queue_b")  # vulnerable: 108 ms gap
+
+    def session_user(sim):
+        yield from sim.sleep(4.0)
+        yield from sim.use(session, member="Send", loc="vd.Session.send:1")
+
+    def queue_worker_a(sim):
+        yield from sim.sleep(14.2)
+        yield from sim.use(queue_a, member="Dequeue", loc="vd.Queue.deq:1")
+
+    def queue_worker_b(sim):
+        yield from sim.sleep(3.0)
+        yield from sim.use(queue_b, member="Dequeue", loc="vd.Queue.deq:1")
+
+    def main(sim):
+        yield from sim.assign(session, sim.new("Session"), loc="vd.Session.open:1")
+        yield from sim.assign(queue_a, sim.new("Queue"), loc="vd.Queue.ctor:1")
+        yield from sim.assign(queue_b, sim.new("Queue"), loc="vd.Queue.ctor:1")
+        su = sim.fork(session_user(sim), name="session-user")
+        qa = sim.fork(queue_worker_a(sim), name="queue-a")
+        qb = sim.fork(queue_worker_b(sim), name="queue-b")
+        yield from sim.sleep(9.0)
+        yield from sim.dispose(session, loc="vd.Session.close:1")  # 5 ms after the use
+        yield from sim.sleep(102.0)
+        yield from sim.dispose(queue_b, loc="vd.Queue.dispose:1")  # 108 ms after B's use
+        yield from sim.join(qa)
+        yield from sim.sleep(0.2)
+        yield from sim.dispose(queue_a, loc="vd.Queue.dispose:1")  # join-protected
+        yield from sim.join(su)
+        yield from sim.join(qb)
+
+    return main(sim)
+
+
+class FixedEverywhere(InstrumentationHook):
+    """Inject one fixed delay length at both use sites."""
+
+    SITES = ("vd.Session.send:1", "vd.Queue.deq:1")
+
+    def __init__(self, delay_ms):
+        self.delay_ms = delay_ms
+        self.injected_ms = 0.0
+
+    def before_access(self, pending):
+        if pending.location.site in self.SITES:
+            self.injected_ms += self.delay_ms
+            return self.delay_ms
+        return 0.0
+
+
+def main():
+    print("Fixed-length sweep (delays at both use sites):")
+    print("%-12s %-12s %-12s %-14s" % ("delay (ms)", "short-gap", "long-gap", "injected (ms)"))
+    for delay in (2.0, 10.0, 50.0, 100.0, 115.0):
+        hook = FixedEverywhere(delay)
+        sim = Simulation(seed=1, hook=hook)
+        result = sim.run(two_gap_app(sim))
+        fault = result.first_failure()
+        short = fault is not None and "Session" in str(fault)
+        long_ = fault is not None and "queue_b" in str(fault)
+        print(
+            "%-12.0f %-12s %-12s %-14.0f"
+            % (delay, "EXPOSED" if short else "-", "EXPOSED" if long_ else "-", hook.injected_ms)
+        )
+
+    print()
+    print("Waffle (proportional per-site delays, one session):")
+    outcome = Waffle(WaffleConfig(seed=1)).detect(
+        Workload("two_gaps", two_gap_app), max_detection_runs=6
+    )
+    print("  measured delay lengths:", {
+        site: round(1.15 * gap, 1) for site, gap in outcome.plan.delay_lengths.items()
+    })
+    print("  exposed: %s after %s runs, %.0f ms of delay injected in total"
+          % (outcome.reports[0].fault_site if outcome.bug_found else "nothing",
+             outcome.runs_to_expose, outcome.total_delay_ms))
+
+
+if __name__ == "__main__":
+    main()

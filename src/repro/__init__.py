@@ -1,0 +1,57 @@
+"""Reproduction of "Waffle: Exposing Memory Ordering Bugs Efficiently
+with Active Delay Injection" (EuroSys '23).
+
+Public API
+----------
+* :class:`repro.Waffle` / :class:`repro.WaffleConfig` -- the detector.
+* :class:`repro.WaffleBasic`, :class:`repro.Tsvd` -- baselines.
+* :class:`repro.Simulation` -- the concurrency-simulator substrate.
+* :mod:`repro.apps` -- the 11 benchmark applications and 18 bugs.
+* :mod:`repro.harness` -- regenerate every paper table/figure.
+
+Quickstart::
+
+    from repro import Waffle, WaffleConfig, Workload
+
+    def my_test(sim):
+        ...  # build a simulated multi-threaded program
+    outcome = Waffle(WaffleConfig(seed=1)).detect(Workload("t", my_test))
+    print(outcome.reports)
+"""
+
+from .core import (
+    BugReport,
+    DetectionOutcome,
+    Waffle,
+    WaffleConfig,
+    Workload,
+)
+from .baselines import StressRunner, Tsvd, WaffleBasic
+from .sim import (
+    AccessEvent,
+    AccessType,
+    Location,
+    NullReferenceError,
+    ObjectDisposedError,
+    Simulation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BugReport",
+    "DetectionOutcome",
+    "Waffle",
+    "WaffleConfig",
+    "Workload",
+    "StressRunner",
+    "Tsvd",
+    "WaffleBasic",
+    "AccessEvent",
+    "AccessType",
+    "Location",
+    "NullReferenceError",
+    "ObjectDisposedError",
+    "Simulation",
+    "__version__",
+]

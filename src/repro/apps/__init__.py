@@ -1,0 +1,21 @@
+"""Benchmark applications (DESIGN.md section 3.4).
+
+Eleven synthetic models of the paper's Table 3 applications, each with
+a multi-threaded test suite and planted MemOrder bugs matching the
+mechanisms of Table 4.
+"""
+
+from .base import Application, AppTestCase, KnownBug, match_bug
+from .registry import all_apps, all_bugs, bug_workload, get_app, get_bug
+
+__all__ = [
+    "Application",
+    "AppTestCase",
+    "KnownBug",
+    "match_bug",
+    "all_apps",
+    "all_bugs",
+    "bug_workload",
+    "get_app",
+    "get_bug",
+]

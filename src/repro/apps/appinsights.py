@@ -1,0 +1,276 @@
+"""ApplicationInsights model: telemetry SDK with background channels.
+
+Models the concurrency structure of Microsoft's ApplicationInsights
+.NET SDK: telemetry items are buffered and flushed by background
+threads; diagnostics listeners subscribe to event sources during
+construction; modules are initialized by a parent configuration thread.
+
+Planted bugs (Table 4):
+
+* **Bug-10** (issue #1106, known) -- the Figure 4a case study: the
+  ``DiagnosticsListener`` constructor races the event-source pump that
+  invokes ``OnEventWritten`` on the half-constructed listener, while a
+  (join-protected) use-after-free candidate on the same object
+  generates the interfering delays that blind WaffleBasic.
+* **Bug-14** (issue #2261, previously unknown) -- the ``TelemetryBuffer``
+  constructor publishes its ``OnFull`` handler before the last field is
+  initialized; a buffer-full event from the pump thread dereferences
+  the missing field.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim.api import Simulation
+from . import patterns as P
+from .base import Application, KnownBug
+
+PREFIX = "appinsights"
+
+
+# ----------------------------------------------------------------------
+# Bug-triggering tests
+# ----------------------------------------------------------------------
+
+
+def test_diagnostics_listener_lifecycle(sim: Simulation) -> Generator:
+    """Bug-10: DiagnosticsListener ctor vs OnEventWritten (Fig. 4a)."""
+    return P.interfering_bugs(
+        sim,
+        PREFIX,
+        ref_name="lstnr",
+        init_site="appinsights.DiagnosticsListener.ctor:2",
+        use_site="appinsights.DiagnosticsEventListener.OnEventWritten:8",
+        dispose_site="appinsights.DiagnosticsListener.Dispose:5",
+        init_at_ms=0.5,
+        first_use_at_ms=1.2,
+        use_spacing_ms=2.0,
+        use_count=110,
+    )
+
+
+def test_buffer_onfull_event(sim: Simulation) -> Generator:
+    """Bug-14: TelemetryBuffer.OnFull fires before construction completes."""
+    return P.plain_ubi(
+        sim,
+        PREFIX,
+        ref_name="onfull_handler",
+        init_site="appinsights.TelemetryBuffer.ctor:31",
+        use_site="appinsights.TelemetryBuffer.OnFull:57",
+        init_at_ms=1.0,
+        first_use_at_ms=3.0,
+        use_count=4,
+        use_spacing_ms=1.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Benign multi-threaded tests
+# ----------------------------------------------------------------------
+
+
+def test_track_event_burst(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".track", items=12, stage_cost_ms=0.3)
+
+
+def test_telemetry_channel_flush(sim: Simulation) -> Generator:
+    return P.locked_counter_workers(sim, PREFIX + ".channel", workers=3, increments=5)
+
+
+def test_metrics_aggregation_cache(sim: Simulation) -> Generator:
+    return P.unsafe_collection_traffic(sim, PREFIX + ".metrics", workers=2, ops_per_worker=5)
+
+
+def test_module_initialization(sim: Simulation) -> Generator:
+    preamble, threads = P.fork_ordered_preamble(sim, PREFIX + ".modules", count=5, worker_uses=2)
+
+    def root() -> Generator:
+        yield from preamble
+        yield from sim.join_all(threads)
+
+    return root()
+
+
+def test_quick_pulse_stream(sim: Simulation) -> Generator:
+    """QuickPulse: a sampler thread reading counters a writer updates,
+    synchronized through an event the tools cannot see."""
+    counters = sim.ref("qp_counters")
+    published = sim.event("qp.published")
+
+    def sampler() -> Generator:
+        yield from published.wait()
+        for i in range(6):
+            yield from sim.read(counters, "request_rate", loc="appinsights.QuickPulse.sample:12")
+            yield from sim.sleep(1.5)
+
+    def root() -> Generator:
+        obj = sim.new("appinsights.QuickPulseCounters", request_rate=0)
+        yield from sim.assign(counters, obj, loc="appinsights.QuickPulse.ctor:4")
+        thread = sim.fork(sampler(), name="qp-sampler")
+        published.set()
+        for i in range(6):
+            yield from sim.write(counters, "request_rate", i, loc="appinsights.QuickPulse.update:9")
+            yield from sim.sleep(1.5)
+        yield from sim.join(thread)
+
+    return root()
+
+
+def test_sampling_processor_chain(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".sampling", items=8, stage_cost_ms=0.5)
+
+
+def test_heartbeat_provider(sim: Simulation) -> Generator:
+    """Heartbeat fields are registered by workers under a lock."""
+    return P.locked_counter_workers(sim, PREFIX + ".heartbeat", workers=2, increments=4)
+
+
+def test_dependency_collector(sim: Simulation) -> Generator:
+    preamble, threads = P.fork_ordered_preamble(
+        sim, PREFIX + ".depcollect", count=4, worker_uses=3, use_spacing_ms=1.5
+    )
+
+    def root() -> Generator:
+        yield from preamble
+        yield from sim.join_all(threads)
+
+    return root()
+
+
+def test_context_tag_cache(sim: Simulation) -> Generator:
+    return P.unsafe_collection_traffic(
+        sim, PREFIX + ".tags", workers=3, ops_per_worker=3, spacing_ms=2.5
+    )
+
+
+def test_telemetry_task_fanout(sim: Simulation) -> Generator:
+    return P.task_fanout(sim, PREFIX + ".tasks", workers=2, tasks=8)
+
+
+def test_flush_burst_large(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".flushburst", items=18, stage_cost_ms=0.25)
+
+
+def test_sampling_ratio_sweep(sim: Simulation) -> Generator:
+    return P.locked_counter_workers(sim, PREFIX + ".ratios", workers=4, increments=4)
+
+
+def test_adaptive_sampling_feedback(sim: Simulation) -> Generator:
+    """The sampler adjusts its rate from feedback a throttler publishes
+    under a condition variable."""
+    lock = sim.lock("appinsights.sampling.lock")
+    changed = sim.condition(lock, "appinsights.sampling.changed")
+    config = sim.ref("sampling_config")
+    rounds = 5
+
+    def throttler(sim_: Simulation) -> Generator:
+        for i in range(rounds):
+            yield from sim.sleep(1.4)
+            yield from lock.acquire()
+            yield from sim.write(config, "rate", 100 - 10 * i,
+                                 loc="appinsights.Throttler.adjust:91")
+            changed.notify_all()
+            lock.release()
+
+    def sampler(sim_: Simulation) -> Generator:
+        seen = 0
+        yield from lock.acquire()
+        while seen < rounds:
+            yield from changed.wait()
+            yield from sim.read(config, "rate", loc="appinsights.Sampler.rate:44")
+            seen += 1
+        lock.release()
+
+    def root() -> Generator:
+        yield from sim.assign(config, sim.new("appinsights.SamplingConfig", rate=100),
+                              loc="appinsights.Sampler.ctor:12")
+        a = sim.fork(sampler(sim), name="ai-sampler")
+        yield from sim.sleep(0.2)
+        b = sim.fork(throttler(sim), name="ai-throttler")
+        yield from sim.join(b)
+        yield from sim.join(a)
+
+    return root()
+
+
+def test_live_metrics_post_batch(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".livemetrics", items=15, stage_cost_ms=0.3)
+
+
+def test_operation_correlation_tasks(sim: Simulation) -> Generator:
+    """W3C operation correlation: child tasks carry the parent's
+    operation id through async-local context."""
+    return P.task_fanout(sim, PREFIX + ".correlation", workers=3, tasks=9, task_cost_ms=0.5)
+
+
+def build_app() -> Application:
+    app = Application(
+        name="appinsights",
+        display_name="ApplicationInsights",
+        paper_loc_kloc=151.2,
+        paper_multithreaded_tests=156,
+        paper_stars_k=0.5,
+    )
+    app.add_test("track_event_burst", test_track_event_burst)
+    app.add_test("telemetry_channel_flush", test_telemetry_channel_flush)
+    app.add_test("metrics_aggregation_cache", test_metrics_aggregation_cache)
+    app.add_test("module_initialization", test_module_initialization)
+    app.add_test("diagnostics_listener_lifecycle", test_diagnostics_listener_lifecycle)
+    app.add_test("buffer_onfull_event", test_buffer_onfull_event)
+    app.add_test("quick_pulse_stream", test_quick_pulse_stream)
+    app.add_test("sampling_processor_chain", test_sampling_processor_chain)
+    app.add_test("heartbeat_provider", test_heartbeat_provider)
+    app.add_test("dependency_collector", test_dependency_collector)
+    app.add_test("context_tag_cache", test_context_tag_cache)
+    app.add_test("telemetry_task_fanout", test_telemetry_task_fanout)
+    app.add_test("flush_burst_large", test_flush_burst_large)
+    app.add_test("sampling_ratio_sweep", test_sampling_ratio_sweep)
+    app.add_test("adaptive_sampling_feedback", test_adaptive_sampling_feedback)
+    app.add_test("live_metrics_post_batch", test_live_metrics_post_batch)
+    app.add_test("operation_correlation_tasks", test_operation_correlation_tasks)
+
+    app.add_bug(
+        KnownBug(
+            bug_id="Bug-10",
+            app="appinsights",
+            issue_id="1106",
+            kind="both",
+            previously_known=True,
+            description=(
+                "DiagnosticsListener constructor races OnEventWritten; the "
+                "interfering use-after-free candidate on the same listener "
+                "cancels WaffleBasic's delays (Figure 4a)."
+            ),
+            fault_sites=frozenset(
+                {
+                    "appinsights.DiagnosticsEventListener.OnEventWritten:8",
+                }
+            ),
+            test_name="diagnostics_listener_lifecycle",
+            paper_runs_basic=None,
+            paper_runs_waffle=2,
+            paper_slowdown_waffle=4.9,
+        )
+    )
+    app.add_bug(
+        KnownBug(
+            bug_id="Bug-14",
+            app="appinsights",
+            issue_id="2261",
+            kind="use_before_init",
+            previously_known=False,
+            description=(
+                "TelemetryBuffer publishes its OnFull handler before the "
+                "last constructor field is initialized; the buffer-full "
+                "event dereferences the missing field."
+            ),
+            fault_sites=frozenset({"appinsights.TelemetryBuffer.OnFull:57"}),
+            test_name="buffer_onfull_event",
+            paper_runs_basic=2,
+            paper_runs_waffle=2,
+            paper_slowdown_basic=1.5,
+            paper_slowdown_waffle=1.3,
+        )
+    )
+    return app

@@ -1,0 +1,135 @@
+"""Benchmark-application framework.
+
+Each module in :mod:`repro.apps` models one of the paper's 11 C#
+applications (Table 3): its concurrency structure, its multi-threaded
+test suite, and its known MemOrder bugs (Table 4). An application is a
+collection of :class:`AppTestCase` workloads plus :class:`KnownBug`
+metadata.
+
+Two invariants matter for experimental integrity:
+
+* Detectors never see :class:`KnownBug` metadata -- it is used by the
+  harness only to *label* bug reports post-hoc (by matching the
+  report's faulting site against the bug's ``fault_sites``).
+* Every planted bug requires rare timing: the delay-free stress control
+  (section 6.2) must never trigger it. ``tests/apps`` enforces this for
+  every bug-triggering test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, List, Optional, Sequence
+
+from ..core.detector import Workload
+from ..core.reports import BugReport
+from ..sim.api import Simulation
+
+
+@dataclass(frozen=True)
+class KnownBug:
+    """Metadata for one Table 4 row."""
+
+    bug_id: str  # "Bug-1" .. "Bug-18"
+    app: str  # registry key of the owning application
+    issue_id: str  # upstream issue number ("80", "n/a", ...)
+    kind: str  # "use_after_free" | "use_before_init" | "both"
+    previously_known: bool
+    description: str
+    #: Static sites at which this bug's manifestation faults.
+    fault_sites: frozenset
+    #: Name of the bug-triggering test in the app's suite.
+    test_name: str
+    #: Paper-reported numbers, for EXPERIMENTS.md side-by-side tables.
+    paper_runs_basic: Optional[int] = None  # None = "-" (missed in 50)
+    paper_runs_waffle: Optional[int] = None
+    paper_slowdown_basic: Optional[float] = None
+    paper_slowdown_waffle: Optional[float] = None
+
+    def matches(self, report: BugReport) -> bool:
+        """Does a tool report correspond to this bug?"""
+        return report.fault_site in self.fault_sites
+
+
+class AppTestCase(Workload):
+    """A multi-threaded test input of a benchmark application."""
+
+    def __init__(
+        self,
+        name: str,
+        build: Callable[[Simulation], Generator],
+        multithreaded: bool = True,
+        tags: Sequence[str] = (),
+    ):
+        super().__init__(name, build)
+        self.multithreaded = multithreaded
+        self.tags = tuple(tags)
+
+    def __repr__(self) -> str:
+        return "AppTestCase(%r)" % self.name
+
+
+@dataclass
+class Application:
+    """One benchmark application and its test suite."""
+
+    name: str  # registry key, e.g. "netmq"
+    display_name: str  # e.g. "NetMQ"
+    #: Table 3 metadata of the real application (reported, not claimed
+    #: as properties of this synthetic model).
+    paper_loc_kloc: float
+    paper_multithreaded_tests: int
+    paper_stars_k: float
+    tests: List[AppTestCase] = field(default_factory=list)
+    known_bugs: List[KnownBug] = field(default_factory=list)
+
+    def add_test(
+        self,
+        name: str,
+        build: Callable[[Simulation], Generator],
+        multithreaded: bool = True,
+        tags: Sequence[str] = (),
+    ) -> AppTestCase:
+        if any(t.name == name for t in self.tests):
+            raise ValueError("duplicate test name %r in app %r" % (name, self.name))
+        test = AppTestCase(name, build, multithreaded=multithreaded, tags=tags)
+        self.tests.append(test)
+        return test
+
+    def add_bug(self, bug: KnownBug) -> KnownBug:
+        if bug.app != self.name:
+            raise ValueError("bug %s declares app %r, expected %r" % (bug.bug_id, bug.app, self.name))
+        if not any(t.name == bug.test_name for t in self.tests):
+            raise ValueError(
+                "bug %s references unknown test %r in app %r"
+                % (bug.bug_id, bug.test_name, self.name)
+            )
+        self.known_bugs.append(bug)
+        return bug
+
+    def test(self, name: str) -> AppTestCase:
+        for candidate in self.tests:
+            if candidate.name == name:
+                return candidate
+        raise KeyError("no test named %r in app %r" % (name, self.name))
+
+    def bug(self, bug_id: str) -> KnownBug:
+        for candidate in self.known_bugs:
+            if candidate.bug_id == bug_id:
+                return candidate
+        raise KeyError("no bug %r in app %r" % (bug_id, self.name))
+
+    @property
+    def multithreaded_tests(self) -> List[AppTestCase]:
+        return [t for t in self.tests if t.multithreaded]
+
+    def bug_test(self, bug_id: str) -> AppTestCase:
+        return self.test(self.bug(bug_id).test_name)
+
+
+def match_bug(report: BugReport, bugs: Sequence[KnownBug]) -> Optional[KnownBug]:
+    """Label a tool report with the known bug it manifests, if any."""
+    for bug in bugs:
+        if bug.matches(report):
+            return bug
+    return None

@@ -1,0 +1,184 @@
+"""FluentAssertions model: an assertion library with ambient scopes.
+
+Models FluentAssertions' ``AssertionScope`` machinery: scopes are
+ambient (thread-local with parent propagation), assertion strategies
+are swapped per scope, and failure collectors aggregate across threads.
+
+Planted bugs (Table 4):
+
+* **Bug-6** (issue #664, known) -- every parallel assertion batch
+  creates a fresh scope whose strategy field is published before being
+  initialized; a checker thread consults the strategy immediately. The
+  per-batch repetition lets an online tool expose it in one run.
+* **Bug-7** (issue #862, known) -- the shared failure collector is
+  constructed in two phases; a worker flushing early dereferences the
+  not-yet-initialized formatter.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim.api import Simulation
+from . import patterns as P
+from .base import Application, KnownBug
+
+PREFIX = "fluentassertions"
+
+
+def test_parallel_assertion_scopes(sim: Simulation) -> Generator:
+    """Bug-6: scope strategy published before initialization, per batch."""
+    return P.multi_instance_ubi(
+        sim,
+        PREFIX,
+        ref_name="strategy",
+        init_site="fluentassertions.AssertionScope.ctor:44",
+        use_site="fluentassertions.AssertionScope.Check:61",
+        iterations=7,
+        gap_ms=1.0,
+        iteration_spacing_ms=5.0,
+    )
+
+
+def test_failure_collector_flush(sim: Simulation) -> Generator:
+    """Bug-7: two-phase collector construction races an early flush."""
+    return P.plain_ubi(
+        sim,
+        PREFIX + ".collector",
+        ref_name="formatter",
+        init_site="fluentassertions.FailureCollector.ctor:18",
+        use_site="fluentassertions.FailureCollector.Flush:73",
+        init_at_ms=1.5,
+        first_use_at_ms=4.0,
+        use_count=3,
+        use_spacing_ms=1.5,
+    )
+
+
+# -- Benign traffic -----------------------------------------------------
+
+
+def test_equivalency_tree_walk(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".equivalency", items=9, stage_cost_ms=0.4)
+
+
+def test_formatter_registry(sim: Simulation) -> Generator:
+    return P.unsafe_collection_traffic(sim, PREFIX + ".formatters", workers=2, ops_per_worker=4)
+
+
+def test_scope_context_data(sim: Simulation) -> Generator:
+    return P.locked_counter_workers(sim, PREFIX + ".context", workers=3, increments=4)
+
+
+def test_subject_identification(sim: Simulation) -> Generator:
+    preamble, threads = P.fork_ordered_preamble(
+        sim, PREFIX + ".subjects", count=4, worker_uses=2, use_spacing_ms=1.2
+    )
+
+    def root() -> Generator:
+        yield from preamble
+        yield from sim.join_all(threads)
+
+    return root()
+
+
+def test_async_assertion_batches(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".asyncbatch", items=7, stage_cost_ms=0.6)
+
+
+def test_async_scope_tasks(sim: Simulation) -> Generator:
+    return P.task_fanout(sim, PREFIX + ".tasks", workers=2, tasks=6)
+
+
+def test_collection_equivalency_deep(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".deepeq", items=14, stage_cost_ms=0.3)
+
+
+def test_caller_identification_lock(sim: Simulation) -> Generator:
+    """Caller-name extraction caches stack info under a lock."""
+    return P.locked_counter_workers(sim, PREFIX + ".callers", workers=3, increments=6)
+
+
+def test_execution_time_assertions(sim: Simulation) -> Generator:
+    """ExecuteTime assertions time worker actions against budgets
+    announced through events."""
+    started = sim.event("fluentassertions.exec.started")
+    measurement = sim.ref("exec_measurement")
+
+    def measured_action(sim_: Simulation) -> Generator:
+        yield from started.wait()
+        yield from sim.compute(2.0)
+        yield from sim.write(measurement, "elapsed", 2.0,
+                             loc="fluentassertions.ExecTime.record:37")
+
+    def root() -> Generator:
+        yield from sim.assign(measurement, sim.new("fluentassertions.Measurement", elapsed=0.0),
+                              loc="fluentassertions.ExecTime.ctor:15")
+        worker = sim.fork(measured_action(sim), name="fa-measured")
+        started.set()
+        yield from sim.join(worker)
+        yield from sim.read(measurement, "elapsed", loc="fluentassertions.ExecTime.assert:52")
+
+    return root()
+
+
+def build_app() -> Application:
+    app = Application(
+        name="fluentassertions",
+        display_name="FluentAssertions",
+        paper_loc_kloc=47.7,
+        paper_multithreaded_tests=41,
+        paper_stars_k=2.5,
+    )
+    app.add_test("parallel_assertion_scopes", test_parallel_assertion_scopes)
+    app.add_test("failure_collector_flush", test_failure_collector_flush)
+    app.add_test("equivalency_tree_walk", test_equivalency_tree_walk)
+    app.add_test("formatter_registry", test_formatter_registry)
+    app.add_test("scope_context_data", test_scope_context_data)
+    app.add_test("subject_identification", test_subject_identification)
+    app.add_test("async_assertion_batches", test_async_assertion_batches)
+    app.add_test("async_scope_tasks", test_async_scope_tasks)
+    app.add_test("collection_equivalency_deep", test_collection_equivalency_deep)
+    app.add_test("caller_identification_lock", test_caller_identification_lock)
+    app.add_test("execution_time_assertions", test_execution_time_assertions)
+
+    app.add_bug(
+        KnownBug(
+            bug_id="Bug-6",
+            app="fluentassertions",
+            issue_id="664",
+            kind="use_before_init",
+            previously_known=True,
+            description=(
+                "AssertionScope publishes its strategy field before "
+                "initializing it; a parallel checker dereferences null. "
+                "Repeats per assertion batch."
+            ),
+            fault_sites=frozenset({"fluentassertions.AssertionScope.Check:61"}),
+            test_name="parallel_assertion_scopes",
+            paper_runs_basic=1,
+            paper_runs_waffle=2,
+            paper_slowdown_basic=1.4,
+            paper_slowdown_waffle=2.7,
+        )
+    )
+    app.add_bug(
+        KnownBug(
+            bug_id="Bug-7",
+            app="fluentassertions",
+            issue_id="862",
+            kind="use_before_init",
+            previously_known=True,
+            description=(
+                "Two-phase FailureCollector construction races a worker's "
+                "early flush, which dereferences the missing formatter."
+            ),
+            fault_sites=frozenset({"fluentassertions.FailureCollector.Flush:73"}),
+            test_name="failure_collector_flush",
+            paper_runs_basic=2,
+            paper_runs_waffle=2,
+            paper_slowdown_basic=1.2,
+            paper_slowdown_waffle=2.5,
+        )
+    )
+    return app

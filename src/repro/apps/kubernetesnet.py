@@ -1,0 +1,208 @@
+"""Kubernetes.Net model: the official C# Kubernetes client.
+
+Models the client's watch machinery: watch streams that reconnect in a
+loop, informer caches rebuilt on resync, and API connection pooling.
+
+Planted bugs (Table 4):
+
+* **Bug-9** (issue #360, known) -- every watch reconnection closes the
+  previous stream while the event reader may still be draining it; the
+  race repeats per reconnect, so online identification exposes it in a
+  single run (WaffleBasic's Table 4 "1").
+* **Bug-18** (previously unknown) -- tearing down an informer disposes
+  its backing cache while the resync worker performs one last lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim.api import Simulation
+from . import patterns as P
+from .base import Application, KnownBug
+
+PREFIX = "kubernetesnet"
+
+
+def test_watch_reconnect_loop(sim: Simulation) -> Generator:
+    """Bug-9: watch streams closed while the reader drains them."""
+    return P.multi_instance_uaf(
+        sim,
+        PREFIX,
+        ref_name="watch_stream",
+        init_site="kubernetesnet.Watcher.Connect:71",
+        use_site="kubernetesnet.Watcher.ReadEvent:95",
+        dispose_site="kubernetesnet.Watcher.CloseStream:83",
+        iterations=7,
+        use_gap_ms=1.5,
+        dispose_gap_ms=3.5,
+        iteration_spacing_ms=5.0,
+    )
+
+
+def test_informer_cache_teardown(sim: Simulation) -> Generator:
+    """Bug-18: informer cache disposed under the resync worker."""
+    return P.plain_uaf(
+        sim,
+        PREFIX + ".informer",
+        ref_name="informer_cache",
+        use_site="kubernetesnet.Informer.Lookup:133",
+        dispose_site="kubernetesnet.Informer.Dispose:162",
+        init_site="kubernetesnet.Informer.Start:41",
+        use_at_ms=4.5,
+        dispose_at_ms=10.0,
+    )
+
+
+# -- Benign traffic -----------------------------------------------------
+
+
+def test_list_pods_parallel(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".listpods", items=10, stage_cost_ms=0.4)
+
+
+def test_api_client_pool(sim: Simulation) -> Generator:
+    return P.dense_connection_churn(
+        sim, PREFIX + ".pool", workers=2, conns_per_worker=7, uses_per_conn=2
+    )
+
+
+def test_token_refresh_lock(sim: Simulation) -> Generator:
+    return P.locked_counter_workers(sim, PREFIX + ".tokens", workers=2, increments=4)
+
+
+def test_resource_version_cache(sim: Simulation) -> Generator:
+    return P.unsafe_collection_traffic(sim, PREFIX + ".resversions", workers=2, ops_per_worker=4)
+
+
+def test_controller_startup(sim: Simulation) -> Generator:
+    preamble, threads = P.fork_ordered_preamble(sim, PREFIX + ".controllers", count=6, worker_uses=2)
+
+    def root() -> Generator:
+        yield from preamble
+        yield from sim.join_all(threads)
+
+    return root()
+
+
+def test_exec_stream_demux(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".exec", items=8, stage_cost_ms=0.5)
+
+
+def test_informer_task_resync(sim: Simulation) -> Generator:
+    return P.task_fanout(sim, PREFIX + ".resync", workers=2, tasks=8)
+
+
+def test_namespace_sweep(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".namespaces", items=16, stage_cost_ms=0.3)
+
+
+def test_leader_election_lock(sim: Simulation) -> Generator:
+    return P.locked_counter_workers(sim, PREFIX + ".leader", workers=3, increments=5)
+
+
+def test_port_forward_duplex(sim: Simulation) -> Generator:
+    """Bidirectional port-forward frames over two channels."""
+    upstream = sim.channel("kubernetesnet.pf.up")
+    downstream = sim.channel("kubernetesnet.pf.down")
+    frames = 7
+
+    def local_end(sim_: Simulation) -> Generator:
+        for i in range(frames):
+            frame = sim.ref("up_%d" % i, sim.new("kubernetesnet.Frame", seq=i))
+            yield from sim.use(frame, member="Encode", loc="kubernetesnet.PortForward.send:61")
+            upstream.put(frame)
+            echo = yield from downstream.get()
+            yield from sim.use(echo, member="Decode", loc="kubernetesnet.PortForward.recv:66")
+        upstream.close()
+
+    def remote_end(sim_: Simulation) -> Generator:
+        while True:
+            frame = yield from upstream.get()
+            if frame is None:
+                return
+            yield from sim.use(frame, member="Decode", loc="kubernetesnet.PortForward.remote:81")
+            yield from sim.compute(0.3)
+            reply = sim.ref("down", sim.new("kubernetesnet.Frame"))
+            yield from sim.use(reply, member="Encode", loc="kubernetesnet.PortForward.reply:85")
+            downstream.put(reply)
+
+    def root() -> Generator:
+        a = sim.fork(local_end(sim), name="k8s-pf-local")
+        b = sim.fork(remote_end(sim), name="k8s-pf-remote")
+        yield from sim.join(a)
+        yield from sim.join(b)
+
+    return root()
+
+
+def test_patch_conflict_retries(sim: Simulation) -> Generator:
+    return P.locked_counter_workers(sim, PREFIX + ".patches", workers=4, increments=5)
+
+
+def test_crd_discovery_sweep(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".crds", items=14, stage_cost_ms=0.35)
+
+
+def build_app() -> Application:
+    app = Application(
+        name="kubernetesnet",
+        display_name="Kubernetes.Net",
+        paper_loc_kloc=173.2,
+        paper_multithreaded_tests=21,
+        paper_stars_k=0.7,
+    )
+    app.add_test("watch_reconnect_loop", test_watch_reconnect_loop)
+    app.add_test("informer_cache_teardown", test_informer_cache_teardown)
+    app.add_test("list_pods_parallel", test_list_pods_parallel)
+    app.add_test("api_client_pool", test_api_client_pool)
+    app.add_test("token_refresh_lock", test_token_refresh_lock)
+    app.add_test("resource_version_cache", test_resource_version_cache)
+    app.add_test("controller_startup", test_controller_startup)
+    app.add_test("exec_stream_demux", test_exec_stream_demux)
+    app.add_test("informer_task_resync", test_informer_task_resync)
+    app.add_test("namespace_sweep", test_namespace_sweep)
+    app.add_test("leader_election_lock", test_leader_election_lock)
+    app.add_test("port_forward_duplex", test_port_forward_duplex)
+    app.add_test("patch_conflict_retries", test_patch_conflict_retries)
+    app.add_test("crd_discovery_sweep", test_crd_discovery_sweep)
+
+    app.add_bug(
+        KnownBug(
+            bug_id="Bug-9",
+            app="kubernetesnet",
+            issue_id="360",
+            kind="use_after_free",
+            previously_known=True,
+            description=(
+                "Watch reconnection closes the previous stream while the "
+                "event reader drains it; repeats per reconnect."
+            ),
+            fault_sites=frozenset({"kubernetesnet.Watcher.ReadEvent:95"}),
+            test_name="watch_reconnect_loop",
+            paper_runs_basic=1,
+            paper_runs_waffle=2,
+            paper_slowdown_basic=1.3,
+            paper_slowdown_waffle=2.0,
+        )
+    )
+    app.add_bug(
+        KnownBug(
+            bug_id="Bug-18",
+            app="kubernetesnet",
+            issue_id="n/a",
+            kind="use_after_free",
+            previously_known=False,
+            description=(
+                "Informer teardown disposes the backing cache while the "
+                "resync worker performs one last lookup."
+            ),
+            fault_sites=frozenset({"kubernetesnet.Informer.Lookup:133"}),
+            test_name="informer_cache_teardown",
+            paper_runs_basic=2,
+            paper_runs_waffle=2,
+            paper_slowdown_basic=2.5,
+            paper_slowdown_waffle=2.0,
+        )
+    )
+    return app

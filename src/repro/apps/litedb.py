@@ -1,0 +1,150 @@
+"""LiteDB model: an embedded NoSQL database engine.
+
+Models LiteDB's engine lifecycle: a single engine object shared by
+query threads, checkpoint/rebuild operations that swap the engine
+state, and page-cache traffic.
+
+Planted bug (Table 4):
+
+* **Bug-8** (issue #1028, known) -- an engine rebuild swaps the shared
+  engine reference while query threads are mid-flight. The query path
+  is also exercised by the rebuild's own flush, and the rebuild is
+  join-protected against the teardown -- the Figure 4a interference
+  structure that blinds WaffleBasic (the "-" row in Table 4).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim.api import Simulation
+from . import patterns as P
+from .base import Application, KnownBug
+
+PREFIX = "litedb"
+
+
+def test_engine_rebuild_under_queries(sim: Simulation) -> Generator:
+    """Bug-8: engine swapped while queries run (interfering candidates)."""
+    return P.interfering_bugs(
+        sim,
+        PREFIX,
+        ref_name="engine",
+        init_site="litedb.LiteEngine.Rebuild:204",
+        use_site="litedb.LiteEngine.Query:88",
+        dispose_site="litedb.LiteEngine.Dispose:317",
+        init_at_ms=0.6,
+        first_use_at_ms=1.4,
+        use_spacing_ms=2.0,
+        use_count=120,
+    )
+
+
+# -- Benign traffic -----------------------------------------------------
+
+
+def test_page_cache_eviction(sim: Simulation) -> Generator:
+    return P.unsafe_collection_traffic(sim, PREFIX + ".pagecache", workers=2, ops_per_worker=5)
+
+
+def test_concurrent_inserts(sim: Simulation) -> Generator:
+    return P.locked_counter_workers(sim, PREFIX + ".inserts", workers=3, increments=5)
+
+
+def test_checkpoint_pipeline(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".checkpoint", items=9, stage_cost_ms=0.5)
+
+
+def test_collection_bootstrap(sim: Simulation) -> Generator:
+    preamble, threads = P.fork_ordered_preamble(sim, PREFIX + ".collections", count=4, worker_uses=2)
+
+    def root() -> Generator:
+        yield from preamble
+        yield from sim.join_all(threads)
+
+    return root()
+
+
+def test_transaction_log_append(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".txlog", items=7, stage_cost_ms=0.6)
+
+
+def test_query_task_pool(sim: Simulation) -> Generator:
+    return P.task_fanout(sim, PREFIX + ".querytasks", workers=2, tasks=6)
+
+
+def test_index_rebuild_pipeline(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".indexes", items=12, stage_cost_ms=0.4)
+
+
+def test_snapshot_isolation_readers(sim: Simulation) -> Generator:
+    """Readers take snapshots under a reader-count semaphore while a
+    writer waits for exclusivity via an event handshake."""
+    read_gate = sim.semaphore(initial=4, name="litedb.readgate")
+    snapshot = sim.ref("db_snapshot")
+
+    def reader(sim_: Simulation, reader_id: int) -> Generator:
+        for i in range(3):
+            yield from read_gate.acquire()
+            try:
+                yield from sim.read(snapshot, "version", loc="litedb.Snapshot.read:%d" % (reader_id % 3))
+                yield from sim.compute(0.5)
+            finally:
+                read_gate.release()
+            yield from sim.sleep(0.7)
+
+    def root() -> Generator:
+        yield from sim.assign(snapshot, sim.new("litedb.Snapshot", version=1),
+                              loc="litedb.Snapshot.ctor:21")
+        readers = [sim.fork(reader(sim, r), name="litedb-reader-%d" % r) for r in range(4)]
+        yield from sim.join_all(readers)
+        # Writer phase: all readers joined, exclusive access is safe.
+        yield from sim.write(snapshot, "version", 2, loc="litedb.Writer.commit:74")
+
+    return root()
+
+
+def test_bson_mapper_tasks(sim: Simulation) -> Generator:
+    return P.task_fanout(sim, PREFIX + ".bson", workers=2, tasks=7, task_cost_ms=0.6)
+
+
+def build_app() -> Application:
+    app = Application(
+        name="litedb",
+        display_name="LiteDB",
+        paper_loc_kloc=18.3,
+        paper_multithreaded_tests=7,
+        paper_stars_k=6.2,
+    )
+    app.add_test("engine_rebuild_under_queries", test_engine_rebuild_under_queries)
+    app.add_test("page_cache_eviction", test_page_cache_eviction)
+    app.add_test("concurrent_inserts", test_concurrent_inserts)
+    app.add_test("checkpoint_pipeline", test_checkpoint_pipeline)
+    app.add_test("collection_bootstrap", test_collection_bootstrap)
+    app.add_test("transaction_log_append", test_transaction_log_append)
+    app.add_test("query_task_pool", test_query_task_pool)
+    app.add_test("index_rebuild_pipeline", test_index_rebuild_pipeline)
+    app.add_test("snapshot_isolation_readers", test_snapshot_isolation_readers)
+    app.add_test("bson_mapper_tasks", test_bson_mapper_tasks)
+
+    app.add_bug(
+        KnownBug(
+            bug_id="Bug-8",
+            app="litedb",
+            issue_id="1028",
+            kind="both",
+            previously_known=True,
+            description=(
+                "Engine rebuild swaps the shared engine reference while "
+                "query threads are mid-flight; the interfering "
+                "use-after-free candidate on the query path cancels "
+                "WaffleBasic's delays."
+            ),
+            fault_sites=frozenset({"litedb.LiteEngine.Query:88"}),
+            test_name="engine_rebuild_under_queries",
+            paper_runs_basic=None,
+            paper_runs_waffle=2,
+            paper_slowdown_waffle=4.9,
+        )
+    )
+    return app

@@ -1,0 +1,300 @@
+"""MQTT.Net model: an MQTT broker and client library.
+
+A protocol-communication application with very dense heap-object
+traffic: per-packet session objects, subscription tables and keep-alive
+monitors. Under WaffleBasic's fixed 100 ms delays, most of its tests
+accumulate enough injected delay to exceed their harness timeout --
+the "TimeOut" rows of Tables 5 and 6.
+
+Planted bugs (Table 4):
+
+* **Bug-16** (issue #1187, previously unknown) -- the client publishes
+  its packet dispatcher before initializing the acknowledgement table;
+  the broker's first PUBACK dereferences it. Interfering candidates on
+  the inbound path blind WaffleBasic (Figure 4a structure).
+* **Bug-17** (issue #1188, previously unknown) -- a disconnecting
+  session's pending-message store is disposed while a retained-message
+  worker holds a read 100+ ms upstream: only variable-length delays
+  bridge the gap.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim.api import Simulation
+from . import patterns as P
+from .base import Application, KnownBug
+
+PREFIX = "mqttnet"
+
+
+def test_client_connect_ack_race(sim: Simulation) -> Generator:
+    """Bug-16: ack table initialized after the dispatcher goes live.
+
+    The inbound dispatcher pump interleaves subscription-cache lookups
+    with dispatches on the shared ack table (the
+    ``interfering_bugs_with_partner`` structure), under background
+    connection churn.
+    """
+
+    def composed() -> Generator:
+        background = sim.fork(
+            P.dense_connection_churn(
+                sim, PREFIX + ".inbound", workers=2, conns_per_worker=10, uses_per_conn=3
+            ),
+            name="mqttnet-inbound",
+        )
+        yield from P.interfering_bugs_with_partner(
+            sim,
+            PREFIX,
+            ref_name="ack_table",
+            init_site="mqttnet.MqttClient.ConnectAsync:204",
+            use_site="mqttnet.MqttPacketDispatcher.Dispatch:77",
+            dispose_site="mqttnet.MqttClient.Disconnect:233",
+            init_at_ms=0.5,
+            use_offset_ms=1.2,
+            cycle_rest_ms=0.8,
+            cycles=60,
+        )
+        yield from sim.join(background)
+
+    return composed()
+
+
+def test_session_takeover_teardown(sim: Simulation) -> Generator:
+    """Bug-17: pending-message store disposed under a slow reader."""
+
+    def composed() -> Generator:
+        background = sim.fork(
+            P.dense_connection_churn(
+                sim, PREFIX + ".takeover", workers=2, conns_per_worker=8, uses_per_conn=3
+            ),
+            name="mqttnet-background",
+        )
+        yield from P.long_gap_uaf(
+            sim,
+            PREFIX,
+            ref_name="pending_store",
+            init_site="mqttnet.MqttSession.ctor:58",
+            use_site="mqttnet.RetainedMessages.Read:119",
+            dispose_site="mqttnet.MqttSession.Dispose:164",
+            vulnerable_gap_ms=108.0,
+            observed_gap_ms=97.0,
+            vulnerable_use_at_ms=3.0,
+        )
+        yield from sim.join(background)
+
+    return composed()
+
+
+# -- Benign traffic (dense) ----------------------------------------------
+
+
+def test_publish_qos1_storm(sim: Simulation) -> Generator:
+    return P.dense_connection_churn(
+        sim,
+        PREFIX + ".qos1",
+        workers=3,
+        conns_per_worker=40,
+        uses_per_conn=5,
+        use_spacing_ms=0.3,
+    )
+
+
+def test_subscription_table(sim: Simulation) -> Generator:
+    """Subscription lookups over the unsafe table while sessions churn."""
+
+    def composed() -> Generator:
+        churn = sim.fork(
+            P.dense_connection_churn(
+                sim, PREFIX + ".subs", workers=2, conns_per_worker=15,
+                uses_per_conn=4, use_spacing_ms=0.3,
+            ),
+            name="mqttnet-subs-churn",
+        )
+        yield from P.unsafe_collection_traffic(
+            sim, PREFIX + ".subs", workers=3, ops_per_worker=6, spacing_ms=1.0
+        )
+        yield from sim.join(churn)
+
+    return composed()
+
+
+def test_broker_fanout_pipeline(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".fanout", items=30, stage_cost_ms=0.15)
+
+
+def test_keepalive_monitor(sim: Simulation) -> Generator:
+    """Keep-alive bookkeeping while monitored sessions come and go."""
+
+    def composed() -> Generator:
+        churn = sim.fork(
+            P.dense_connection_churn(
+                sim, PREFIX + ".keepalive", workers=2, conns_per_worker=12,
+                uses_per_conn=4, use_spacing_ms=0.3,
+            ),
+            name="mqttnet-keepalive-churn",
+        )
+        yield from P.locked_counter_workers(
+            sim, PREFIX + ".keepalive", workers=4, increments=6
+        )
+        yield from sim.join(churn)
+
+    return composed()
+
+
+def test_retained_message_store(sim: Simulation) -> Generator:
+    return P.dense_connection_churn(
+        sim,
+        PREFIX + ".retained",
+        workers=2,
+        conns_per_worker=35,
+        uses_per_conn=5,
+        use_spacing_ms=0.3,
+    )
+
+
+def test_packet_serializer_pool(sim: Simulation) -> Generator:
+    preamble, threads = P.fork_ordered_preamble(
+        sim, PREFIX + ".serializers", count=18, worker_uses=4, use_spacing_ms=0.5
+    )
+
+    def root() -> Generator:
+        yield from preamble
+        yield from sim.join_all(threads)
+
+    return root()
+
+
+def test_websocket_channel_adapter(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".ws", items=45, stage_cost_ms=0.25)
+
+
+def test_inflight_task_dispatch(sim: Simulation) -> Generator:
+    return P.task_fanout(sim, PREFIX + ".inflight", workers=3, tasks=14, task_cost_ms=0.4)
+
+
+def test_qos2_handshake_storm(sim: Simulation) -> Generator:
+    return (lambda: P.dense_connection_churn(
+        sim, PREFIX + ".qos2", workers=3, conns_per_worker=35, uses_per_conn=5,
+        use_spacing_ms=0.3,
+    ))()
+
+
+def test_topic_filter_matching(sim: Simulation) -> Generator:
+    """Topic-filter evaluation over the unsafe subscription table while
+    matching workers run against a stable snapshot."""
+
+    def composed() -> Generator:
+        churn = sim.fork(
+            P.dense_connection_churn(
+                sim, PREFIX + ".topicchurn", workers=2, conns_per_worker=12,
+                uses_per_conn=4, use_spacing_ms=0.3,
+            ),
+            name="mqttnet-topic-churn",
+        )
+        yield from P.unsafe_collection_traffic(
+            sim, PREFIX + ".topics", workers=2, ops_per_worker=5, spacing_ms=1.2
+        )
+        yield from sim.join(churn)
+
+    return composed()
+
+
+def test_will_message_delivery(sim: Simulation) -> Generator:
+    """Last-will messages delivered through a channel when sessions
+    drop; the will payload is created at connect time."""
+    wills = sim.channel("mqttnet.wills")
+
+    def session(sim_: Simulation, session_id: int) -> Generator:
+        will = sim.ref("will_%d" % session_id,
+                       sim.new("mqttnet.WillMessage", topic="state/%d" % session_id))
+        yield from sim.use(will, member="Validate", loc="mqttnet.Connect.will:%d" % (session_id % 4))
+        yield from sim.compute(1.0 + 0.3 * session_id)
+        wills.put(will)  # connection dropped: enqueue the will
+
+    def broker(sim_: Simulation) -> Generator:
+        while True:
+            will = yield from wills.get()
+            if will is None:
+                return
+            yield from sim.use(will, member="Publish", loc="mqttnet.Broker.publishWill:88")
+
+    def root() -> Generator:
+        b = sim.fork(broker(sim), name="mqttnet-will-broker")
+        sessions = [sim.fork(session(sim, i), name="mqttnet-session-%d" % i) for i in range(6)]
+        yield from sim.join_all(sessions)
+        wills.close()
+        yield from sim.join(b)
+
+    return root()
+
+
+def test_packet_id_rollover(sim: Simulation) -> Generator:
+    return P.locked_counter_workers(sim, PREFIX + ".packetids", workers=4, increments=8)
+
+
+def build_app() -> Application:
+    app = Application(
+        name="mqttnet",
+        display_name="MQTT.Net",
+        paper_loc_kloc=27.1,
+        paper_multithreaded_tests=126,
+        paper_stars_k=2.2,
+    )
+    app.add_test("client_connect_ack_race", test_client_connect_ack_race)
+    app.add_test("session_takeover_teardown", test_session_takeover_teardown)
+    app.add_test("publish_qos1_storm", test_publish_qos1_storm)
+    app.add_test("subscription_table", test_subscription_table)
+    app.add_test("broker_fanout_pipeline", test_broker_fanout_pipeline)
+    app.add_test("keepalive_monitor", test_keepalive_monitor)
+    app.add_test("retained_message_store", test_retained_message_store)
+    app.add_test("packet_serializer_pool", test_packet_serializer_pool)
+    app.add_test("websocket_channel_adapter", test_websocket_channel_adapter)
+    app.add_test("inflight_task_dispatch", test_inflight_task_dispatch)
+    app.add_test("qos2_handshake_storm", test_qos2_handshake_storm)
+    app.add_test("topic_filter_matching", test_topic_filter_matching)
+    app.add_test("will_message_delivery", test_will_message_delivery)
+    app.add_test("packet_id_rollover", test_packet_id_rollover)
+
+    app.add_bug(
+        KnownBug(
+            bug_id="Bug-16",
+            app="mqttnet",
+            issue_id="1187",
+            kind="use_before_init",
+            previously_known=False,
+            description=(
+                "The client publishes its packet dispatcher before the "
+                "acknowledgement table is initialized; the first PUBACK "
+                "dereferences it. Interfering inbound candidates blind "
+                "WaffleBasic."
+            ),
+            fault_sites=frozenset({"mqttnet.MqttPacketDispatcher.Dispatch:77"}),
+            test_name="client_connect_ack_race",
+            paper_runs_basic=None,
+            paper_runs_waffle=4,
+            paper_slowdown_waffle=5.4,
+        )
+    )
+    app.add_bug(
+        KnownBug(
+            bug_id="Bug-17",
+            app="mqttnet",
+            issue_id="1188",
+            kind="use_after_free",
+            previously_known=False,
+            description=(
+                "A disconnecting session's pending-message store is "
+                "disposed while a retained-message worker holds a read "
+                "100+ ms upstream; only variable-length delays expose it."
+            ),
+            fault_sites=frozenset({"mqttnet.RetainedMessages.Read:119"}),
+            test_name="session_takeover_teardown",
+            paper_runs_basic=None,
+            paper_runs_waffle=3,
+            paper_slowdown_waffle=6.2,
+        )
+    )
+    return app

@@ -1,0 +1,293 @@
+"""NetMQ model: a message-queue library with socket pollers.
+
+Models NetMQ's runtime: sockets owned by a poller thread, message
+queues drained by worker threads, and the abrupt-teardown paths that
+produced the real issues.
+
+Planted bugs (Table 4):
+
+* **Bug-11** (issue #814, known) -- the Figure 4b case study: abrupt
+  connection termination disposes ``m_poller`` while a worker still
+  checks it; the cleanup thread exercises the *same* ``ChkDisposed``
+  site right before the dispose, so WaffleBasic's delays at both
+  dynamic instances shift both threads equally.
+* **Bug-15** (issue #975, previously unknown) -- the message queue of a
+  terminated connection is disposed while a slow worker still holds a
+  dequeue in flight, 108 ms upstream: only a variable-length delay can
+  bridge the gap.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim.api import Simulation
+from . import patterns as P
+from .base import Application, KnownBug
+
+PREFIX = "netmq"
+
+
+def test_runtime_abrupt_termination(sim: Simulation) -> Generator:
+    """Bug-11: NetMQRuntime.Cleanup vs TryExecuteTaskInline (Fig. 4b)."""
+    return P.interfering_instances(
+        sim,
+        PREFIX,
+        ref_name="m_poller",
+        init_site="netmq.NetMQRuntime.ctor:2",
+        check_site="netmq.NetMQRuntime.ChkDisposed:11",
+        dispose_site="netmq.NetMQRuntime.Cleanup:8",
+        worker_check_at_ms=7.0,
+        cleanup_at_ms=10.0,
+    )
+
+
+def test_queue_disposed_during_processing(sim: Simulation) -> Generator:
+    """Bug-15: message queue torn down while a dequeue is in flight."""
+    return P.long_gap_uaf(
+        sim,
+        PREFIX,
+        ref_name="msg_queue",
+        init_site="netmq.NetMQQueue.ctor:3",
+        use_site="netmq.NetMQQueue.TryDequeue:41",
+        dispose_site="netmq.NetMQQueue.Dispose:77",
+        vulnerable_gap_ms=108.0,
+        observed_gap_ms=97.0,
+        vulnerable_use_at_ms=3.0,
+    )
+
+
+# -- Benign traffic -----------------------------------------------------
+
+
+def test_pub_sub_fanout(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".pubsub", items=15, stage_cost_ms=0.2)
+
+
+def test_router_dealer_exchange(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".routerdealer", items=10, stage_cost_ms=0.4)
+
+
+def test_poller_socket_registry(sim: Simulation) -> Generator:
+    return P.unsafe_collection_traffic(sim, PREFIX + ".registry", workers=3, ops_per_worker=4)
+
+
+def test_socket_option_updates(sim: Simulation) -> Generator:
+    return P.locked_counter_workers(sim, PREFIX + ".options", workers=3, increments=4)
+
+
+def test_proactor_startup(sim: Simulation) -> Generator:
+    preamble, threads = P.fork_ordered_preamble(sim, PREFIX + ".proactor", count=6, worker_uses=2)
+
+    def root() -> Generator:
+        yield from preamble
+        yield from sim.join_all(threads)
+
+    return root()
+
+
+def test_mailbox_churn(sim: Simulation) -> Generator:
+    return P.dense_connection_churn(
+        sim, PREFIX + ".mailbox", workers=2, conns_per_worker=8, uses_per_conn=2
+    )
+
+
+def test_monitor_events(sim: Simulation) -> Generator:
+    """Socket monitor: an event thread reads states the poller writes,
+    paced so the windows never overlap without injection."""
+    state = sim.ref("monitor_state")
+    attached = sim.event("netmq.monitor-attached")
+
+    def monitor() -> Generator:
+        yield from attached.wait()
+        for i in range(5):
+            yield from sim.read(state, "last_event", loc="netmq.Monitor.poll:23")
+            yield from sim.sleep(2.0)
+
+    def root() -> Generator:
+        obj = sim.new("netmq.MonitorState", last_event="none")
+        yield from sim.assign(state, obj, loc="netmq.Monitor.attach:7")
+        thread = sim.fork(monitor(), name="netmq-monitor")
+        attached.set()
+        for i in range(5):
+            yield from sim.write(state, "last_event", "evt-%d" % i, loc="netmq.Socket.emit:19")
+            yield from sim.sleep(2.0)
+        yield from sim.join(thread)
+
+    return root()
+
+
+def test_beacon_broadcast(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".beacon", items=6, stage_cost_ms=0.8)
+
+
+def test_task_based_sockets(sim: Simulation) -> Generator:
+    return P.task_fanout(sim, PREFIX + ".socktasks", workers=2, tasks=8)
+
+
+def test_xpub_xsub_bridge(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".bridge", items=14, stage_cost_ms=0.3)
+
+
+def test_poller_add_remove_cycle(sim: Simulation) -> Generator:
+    """Sockets registered and unregistered from a poller under a lock
+    while the poll loop reads the registry snapshot."""
+    lock = sim.lock("netmq.poller.lock")
+    registry = sim.ref("poller_registry")
+    stop = sim.event("netmq.poller.stop")
+
+    def registrar(sim_: Simulation) -> Generator:
+        for i in range(5):
+            yield from lock.acquire()
+            yield from sim.write(registry, "count", i + 1, loc="netmq.Poller.add:52")
+            lock.release()
+            yield from sim.sleep(1.5)
+        stop.set()
+
+    def poll_loop(sim_: Simulation) -> Generator:
+        while not stop.is_set:
+            yield from lock.acquire()
+            yield from sim.read(registry, "count", loc="netmq.Poller.snapshot:67")
+            lock.release()
+            yield from sim.sleep(1.0)
+
+    def root() -> Generator:
+        yield from sim.assign(registry, sim.new("netmq.Registry", count=0),
+                              loc="netmq.Poller.ctor:18")
+        a = sim.fork(registrar(sim), name="netmq-registrar")
+        b = sim.fork(poll_loop(sim), name="netmq-poll-loop")
+        yield from sim.join(a)
+        yield from sim.join(b)
+
+    return root()
+
+
+def test_req_rep_lockstep(sim: Simulation) -> Generator:
+    """REQ/REP strict alternation through a pair of channels."""
+    requests = sim.channel("netmq.req")
+    replies = sim.channel("netmq.rep")
+
+    def requester(sim_: Simulation) -> Generator:
+        for i in range(8):
+            payload = sim.ref("req_%d" % i, sim.new("netmq.Msg", seq=i))
+            yield from sim.use(payload, member="Frame", loc="netmq.Req.send:31")
+            requests.put(payload)
+            reply = yield from replies.get()
+            yield from sim.use(reply, member="Unframe", loc="netmq.Req.recv:39")
+        requests.close()
+
+    def replier(sim_: Simulation) -> Generator:
+        while True:
+            msg = yield from requests.get()
+            if msg is None:
+                return
+            yield from sim.use(msg, member="Unframe", loc="netmq.Rep.recv:55")
+            yield from sim.compute(0.3)
+            out = sim.ref("rep", sim.new("netmq.Msg"))
+            yield from sim.use(out, member="Frame", loc="netmq.Rep.send:61")
+            replies.put(out)
+
+    def root() -> Generator:
+        a = sim.fork(requester(sim), name="netmq-req")
+        b = sim.fork(replier(sim), name="netmq-rep")
+        yield from sim.join(a)
+        yield from sim.join(b)
+
+    return root()
+
+
+def test_inproc_pair_burst(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".inproc", items=20, stage_cost_ms=0.2)
+
+
+def test_curve_handshake_pool(sim: Simulation) -> Generator:
+    return P.task_fanout(sim, PREFIX + ".curve", workers=3, tasks=9, task_cost_ms=0.8)
+
+
+def test_proactor_start_barrier(sim: Simulation) -> Generator:
+    """IO-thread proactors rendezvous at a barrier before serving, then
+    each touches its own completion port."""
+    barrier = sim.barrier(3, "netmq.proactor.barrier")
+
+    def io_thread(sim_: Simulation, index: int) -> Generator:
+        port = sim.ref("port_%d" % index, sim.new("netmq.CompletionPort", index=index))
+        yield from sim.sleep(0.5 * (index + 1))  # staggered startup
+        yield from sim.use(port, member="Bind", loc="netmq.Proactor.bind:%d" % index)
+        yield from barrier.wait()
+        for _ in range(3):
+            yield from sim.use(port, member="Poll", loc="netmq.Proactor.poll:%d" % index)
+            yield from sim.sleep(0.8)
+
+    def root() -> Generator:
+        threads = [sim.fork(io_thread(sim, i), name="netmq-io-%d" % i) for i in range(3)]
+        yield from sim.join_all(threads)
+
+    return root()
+
+
+def build_app() -> Application:
+    app = Application(
+        name="netmq",
+        display_name="NetMQ",
+        paper_loc_kloc=20.7,
+        paper_multithreaded_tests=101,
+        paper_stars_k=2.3,
+    )
+    app.add_test("runtime_abrupt_termination", test_runtime_abrupt_termination)
+    app.add_test("queue_disposed_during_processing", test_queue_disposed_during_processing)
+    app.add_test("pub_sub_fanout", test_pub_sub_fanout)
+    app.add_test("router_dealer_exchange", test_router_dealer_exchange)
+    app.add_test("poller_socket_registry", test_poller_socket_registry)
+    app.add_test("socket_option_updates", test_socket_option_updates)
+    app.add_test("proactor_startup", test_proactor_startup)
+    app.add_test("mailbox_churn", test_mailbox_churn)
+    app.add_test("monitor_events", test_monitor_events)
+    app.add_test("beacon_broadcast", test_beacon_broadcast)
+    app.add_test("task_based_sockets", test_task_based_sockets)
+    app.add_test("xpub_xsub_bridge", test_xpub_xsub_bridge)
+    app.add_test("poller_add_remove_cycle", test_poller_add_remove_cycle)
+    app.add_test("req_rep_lockstep", test_req_rep_lockstep)
+    app.add_test("inproc_pair_burst", test_inproc_pair_burst)
+    app.add_test("curve_handshake_pool", test_curve_handshake_pool)
+    app.add_test("proactor_start_barrier", test_proactor_start_barrier)
+
+    app.add_bug(
+        KnownBug(
+            bug_id="Bug-11",
+            app="netmq",
+            issue_id="814",
+            kind="use_after_free",
+            previously_known=True,
+            description=(
+                "Abrupt termination disposes m_poller while a worker checks "
+                "it; the cleanup thread executes the same ChkDisposed site "
+                "right before Dispose (Figure 4b interfering instances)."
+            ),
+            fault_sites=frozenset({"netmq.NetMQRuntime.ChkDisposed:11"}),
+            test_name="runtime_abrupt_termination",
+            paper_runs_basic=5,
+            paper_runs_waffle=2,
+            paper_slowdown_basic=5.1,
+            paper_slowdown_waffle=2.2,
+        )
+    )
+    app.add_bug(
+        KnownBug(
+            bug_id="Bug-15",
+            app="netmq",
+            issue_id="975",
+            kind="use_after_free",
+            previously_known=False,
+            description=(
+                "Message queue disposed while messages are still being "
+                "processed; the use-dispose gap exceeds the fixed delay "
+                "length, so only variable-length delays expose it."
+            ),
+            fault_sites=frozenset({"netmq.NetMQQueue.TryDequeue:41"}),
+            test_name="queue_disposed_during_processing",
+            paper_runs_basic=None,
+            paper_runs_waffle=3,
+            paper_slowdown_waffle=12.2,
+        )
+    )
+    return app

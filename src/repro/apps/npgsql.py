@@ -1,0 +1,227 @@
+"""NpgSQL model: the PostgreSQL ADO.NET driver.
+
+The paper's most heap-access-dense benchmark: connection pooling,
+prepared-statement caches and command pipelines generate the largest
+candidate sets (Tables 2, 5, 6) and the biggest parent-child-analysis
+ablation impact (1.73x, Table 7).
+
+Planted bug (Table 4):
+
+* **Bug-12** (issue #3247, known) -- the pool pruner swaps the shared
+  pool-slot object while the command pump is mid-dispatch. The pump
+  interleaves its pool accesses with prepared-statement cache traffic
+  whose sites are themselves delay candidates, so (a) WaffleBasic's
+  fixed delays on the pump thread always shift the racing use past the
+  delayed initialization (a deterministic miss), and (b) Waffle's own
+  interference set forces it to wait out the hot cache sites before the
+  critical initialization delay can fire -- the "more candidate
+  locations to sift through" effect behind the 4-run Table 4 entry.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim.api import Simulation
+from . import patterns as P
+from .base import Application, KnownBug
+
+PREFIX = "npgsql"
+
+BUG12_INIT = "npgsql.ConnectorPool.Prune:266"
+BUG12_USE = "npgsql.CommandPump.Dispatch:148"
+BUG12_DISPOSE = "npgsql.ConnectorPool.Clear:301"
+
+
+def test_pool_prune_during_dispatch(sim: Simulation) -> Generator:
+    """Bug-12: pool slot swapped mid-dispatch, inside hot cache traffic.
+
+    The command pump interleaves statement-cache lookups (rotating,
+    channel-ordered, crash-proof partner traffic) with pool-slot
+    accesses; the pool slot is initialized by the pruner just before
+    the pump's first access. See
+    :func:`repro.apps.patterns.interfering_bugs_with_partner` for why
+    this blinds WaffleBasic and costs Waffle extra detection runs.
+    """
+    return P.interfering_bugs_with_partner(
+        sim,
+        PREFIX,
+        ref_name="pool_slot",
+        init_site=BUG12_INIT,
+        use_site=BUG12_USE,
+        dispose_site=BUG12_DISPOSE,
+        init_at_ms=0.5,
+        use_offset_ms=1.2,
+        cycle_rest_ms=0.8,
+        cycles=60,
+    )
+
+
+# -- Benign traffic (dense) ----------------------------------------------
+
+
+def test_connection_pool_churn(sim: Simulation) -> Generator:
+    return P.dense_connection_churn(
+        sim, PREFIX + ".pool", workers=3, conns_per_worker=25, uses_per_conn=4
+    )
+
+
+def test_batched_command_pipeline(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".batch", items=25, stage_cost_ms=0.2)
+
+
+def test_type_mapper_cache(sim: Simulation) -> Generator:
+    return P.unsafe_collection_traffic(
+        sim, PREFIX + ".typemapper", workers=3, ops_per_worker=6, spacing_ms=1.2
+    )
+
+
+def test_multiplexing_writes(sim: Simulation) -> Generator:
+    return P.dense_connection_churn(
+        sim, PREFIX + ".mux", workers=2, conns_per_worker=20, uses_per_conn=5
+    )
+
+
+def test_transaction_scope_counters(sim: Simulation) -> Generator:
+    return P.locked_counter_workers(sim, PREFIX + ".txn", workers=4, increments=6)
+
+
+def test_reader_column_stream(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".reader", items=30, stage_cost_ms=0.15)
+
+
+def test_pool_warmup(sim: Simulation) -> Generator:
+    preamble, threads = P.fork_ordered_preamble(
+        sim, PREFIX + ".warmup", count=10, worker_uses=3, use_spacing_ms=0.8
+    )
+
+    def root() -> Generator:
+        yield from preamble
+        yield from sim.join_all(threads)
+
+    return root()
+
+
+def test_copy_bulk_import(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".copy", items=20, stage_cost_ms=0.25)
+
+
+def test_async_command_tasks(sim: Simulation) -> Generator:
+    return P.task_fanout(sim, PREFIX + ".cmdtasks", workers=3, tasks=12, task_cost_ms=0.5)
+
+
+def test_prepared_statement_sweep(sim: Simulation) -> Generator:
+    return P.dense_connection_churn(sim, PREFIX + ".prepared", workers=2, conns_per_worker=18, uses_per_conn=4)
+
+
+def test_notification_listener(sim: Simulation) -> Generator:
+    """LISTEN/NOTIFY: a listener drains notifications that writers
+    publish through a channel, touching per-notification payloads."""
+    notifications = sim.channel("npgsql.notify")
+
+    def writer(sim_: Simulation, writer_id: int) -> Generator:
+        for i in range(6):
+            yield from sim.sleep(0.9)
+            payload = sim.ref("notif_%d_%d" % (writer_id, i),
+                              sim.new("npgsql.Notification", channel="jobs"))
+            yield from sim.use(payload, member="Serialize",
+                               loc="npgsql.Notify.publish:%d" % writer_id)
+            notifications.put(payload)
+
+    def listener(sim_: Simulation) -> Generator:
+        while True:
+            payload = yield from notifications.get()
+            if payload is None:
+                return
+            yield from sim.use(payload, member="Deliver", loc="npgsql.Notify.deliver:203")
+            yield from sim.compute(0.25)
+
+    def root() -> Generator:
+        lst = sim.fork(listener(sim), name="npgsql-listener")
+        writers = [sim.fork(writer(sim, w), name="npgsql-writer-%d" % w) for w in range(3)]
+        yield from sim.join_all(writers)
+        notifications.close()
+        yield from sim.join(lst)
+
+    return root()
+
+
+def test_connection_semaphore_gate(sim: Simulation) -> Generator:
+    """Max-pool-size semaphore gating concurrent opens."""
+    gate = sim.semaphore(initial=3, name="npgsql.poolgate")
+    stats = sim.ref("pool_stats")
+
+    def opener(sim_: Simulation, opener_id: int) -> Generator:
+        for i in range(4):
+            yield from gate.acquire()
+            try:
+                yield from sim.write(stats, "opens", opener_id * 10 + i,
+                                     loc="npgsql.Pool.open:%d" % (opener_id % 3))
+                yield from sim.compute(0.7)
+            finally:
+                gate.release()
+            yield from sim.sleep(0.5)
+
+    def root() -> Generator:
+        yield from sim.assign(stats, sim.new("npgsql.PoolStats", opens=0),
+                              loc="npgsql.Pool.ctor:9")
+        threads = [sim.fork(opener(sim, o), name="npgsql-open-%d" % o) for o in range(5)]
+        yield from sim.join_all(threads)
+
+    return root()
+
+
+def test_binary_import_stream(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".binimport", items=35, stage_cost_ms=0.15)
+
+
+def test_replication_slot_feed(sim: Simulation) -> Generator:
+    return P.dense_connection_churn(
+        sim, PREFIX + ".replication", workers=2, conns_per_worker=15, uses_per_conn=5
+    )
+
+
+def build_app() -> Application:
+    app = Application(
+        name="npgsql",
+        display_name="NpgSQL",
+        paper_loc_kloc=51.9,
+        paper_multithreaded_tests=283,
+        paper_stars_k=2.4,
+    )
+    app.add_test("pool_prune_during_dispatch", test_pool_prune_during_dispatch)
+    app.add_test("connection_pool_churn", test_connection_pool_churn)
+    app.add_test("batched_command_pipeline", test_batched_command_pipeline)
+    app.add_test("type_mapper_cache", test_type_mapper_cache)
+    app.add_test("multiplexing_writes", test_multiplexing_writes)
+    app.add_test("transaction_scope_counters", test_transaction_scope_counters)
+    app.add_test("reader_column_stream", test_reader_column_stream)
+    app.add_test("pool_warmup", test_pool_warmup)
+    app.add_test("copy_bulk_import", test_copy_bulk_import)
+    app.add_test("async_command_tasks", test_async_command_tasks)
+    app.add_test("prepared_statement_sweep", test_prepared_statement_sweep)
+    app.add_test("notification_listener", test_notification_listener)
+    app.add_test("connection_semaphore_gate", test_connection_semaphore_gate)
+    app.add_test("binary_import_stream", test_binary_import_stream)
+    app.add_test("replication_slot_feed", test_replication_slot_feed)
+
+    app.add_bug(
+        KnownBug(
+            bug_id="Bug-12",
+            app="npgsql",
+            issue_id="3247",
+            kind="use_before_init",
+            previously_known=True,
+            description=(
+                "The pool pruner swaps the shared pool slot while the "
+                "command pump is mid-dispatch; hot statement-cache sites "
+                "on the pump thread interfere with the critical delay."
+            ),
+            fault_sites=frozenset({BUG12_USE}),
+            test_name="pool_prune_during_dispatch",
+            paper_runs_basic=None,
+            paper_runs_waffle=4,
+            paper_slowdown_waffle=6.9,
+        )
+    )
+    return app

@@ -1,0 +1,184 @@
+"""NSubstitute model: a mocking library building proxies at run time.
+
+Models NSubstitute's substitute factory: proxies are built per call,
+call routers are swapped under configuration, and received-call
+records are aggregated across threads.
+
+Planted bugs (Table 4):
+
+* **Bug-3** (issue #205, known) -- the proxy factory publishes each new
+  substitute before its call router is initialized; a consuming thread
+  routes a call through the half-built proxy. The race repeats on every
+  substitute built, so an online tool can identify and expose it in a
+  single run (the Table 4 row where WaffleBasic needs one run).
+* **Bug-4** (issue #573, known) -- clearing received calls disposes the
+  call stack while a checker thread still enumerates it.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim.api import Simulation
+from . import patterns as P
+from .base import Application, KnownBug
+
+PREFIX = "nsubstitute"
+
+
+def test_substitute_factory_routing(sim: Simulation) -> Generator:
+    """Bug-3: proxies published before their call router exists."""
+    return P.multi_instance_ubi(
+        sim,
+        PREFIX,
+        ref_name="call_router",
+        init_site="nsubstitute.SubstituteFactory.Create:88",
+        use_site="nsubstitute.CallRouter.Route:35",
+        iterations=8,
+        gap_ms=1.2,
+        iteration_spacing_ms=4.0,
+    )
+
+
+def test_clear_received_calls_race(sim: Simulation) -> Generator:
+    """Bug-4: ClearReceivedCalls disposes the stack mid-enumeration."""
+    return P.plain_uaf(
+        sim,
+        PREFIX + ".calls",
+        ref_name="received_stack",
+        use_site="nsubstitute.ReceivedCalls.Enumerate:51",
+        dispose_site="nsubstitute.CallRouter.Clear:19",
+        init_site="nsubstitute.CallRouter.ctor:9",
+        use_at_ms=3.0,
+        dispose_at_ms=7.0,
+    )
+
+
+# -- Benign traffic -----------------------------------------------------
+
+
+def test_argument_matcher_scope(sim: Simulation) -> Generator:
+    return P.locked_counter_workers(sim, PREFIX + ".matchers", workers=2, increments=4)
+
+
+def test_call_spec_cache(sim: Simulation) -> Generator:
+    return P.unsafe_collection_traffic(sim, PREFIX + ".specs", workers=2, ops_per_worker=4)
+
+
+def test_parallel_verification(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".verify", items=8, stage_cost_ms=0.4)
+
+
+def test_auto_value_providers(sim: Simulation) -> Generator:
+    preamble, threads = P.fork_ordered_preamble(sim, PREFIX + ".autovalues", count=4, worker_uses=2)
+
+    def root() -> Generator:
+        yield from preamble
+        yield from sim.join_all(threads)
+
+    return root()
+
+
+def test_raise_event_handlers(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".events", items=6, stage_cost_ms=0.5)
+
+
+def test_async_received_checks(sim: Simulation) -> Generator:
+    return P.task_fanout(sim, PREFIX + ".asyncchecks", workers=2, tasks=6)
+
+
+def test_when_do_callbacks(sim: Simulation) -> Generator:
+    """When..Do callback registration and invocation through a channel
+    (the callback list object is created before the invokers start)."""
+    invocations = sim.channel("nsubstitute.invocations")
+
+    def invoker(sim_: Simulation, invoker_id: int) -> Generator:
+        for i in range(4):
+            yield from sim.sleep(0.8)
+            call = sim.ref("call_%d_%d" % (invoker_id, i),
+                           sim.new("nsubstitute.Call", method="Do"))
+            yield from sim.use(call, member="Capture",
+                               loc="nsubstitute.WhenDo.capture:%d" % (invoker_id % 2))
+            invocations.put(call)
+
+    def callback_runner(sim_: Simulation) -> Generator:
+        while True:
+            call = yield from invocations.get()
+            if call is None:
+                return
+            yield from sim.use(call, member="RunCallback", loc="nsubstitute.WhenDo.run:66")
+
+    def root() -> Generator:
+        runner = sim.fork(callback_runner(sim), name="nsub-callbacks")
+        invokers = [sim.fork(invoker(sim, i), name="nsub-invoker-%d" % i) for i in range(2)]
+        yield from sim.join_all(invokers)
+        invocations.close()
+        yield from sim.join(runner)
+
+    return root()
+
+
+def test_partial_substitute_pool(sim: Simulation) -> Generator:
+    return P.task_fanout(sim, PREFIX + ".partials", workers=2, tasks=6, task_cost_ms=0.7)
+
+
+def build_app() -> Application:
+    app = Application(
+        name="nsubstitute",
+        display_name="NSubstitute",
+        paper_loc_kloc=17.9,
+        paper_multithreaded_tests=13,
+        paper_stars_k=1.7,
+    )
+    app.add_test("substitute_factory_routing", test_substitute_factory_routing)
+    app.add_test("clear_received_calls_race", test_clear_received_calls_race)
+    app.add_test("argument_matcher_scope", test_argument_matcher_scope)
+    app.add_test("call_spec_cache", test_call_spec_cache)
+    app.add_test("parallel_verification", test_parallel_verification)
+    app.add_test("auto_value_providers", test_auto_value_providers)
+    app.add_test("raise_event_handlers", test_raise_event_handlers)
+    app.add_test("async_received_checks", test_async_received_checks)
+    app.add_test("when_do_callbacks", test_when_do_callbacks)
+    app.add_test("partial_substitute_pool", test_partial_substitute_pool)
+
+    app.add_bug(
+        KnownBug(
+            bug_id="Bug-3",
+            app="nsubstitute",
+            issue_id="205",
+            kind="use_before_init",
+            previously_known=True,
+            description=(
+                "Substitute proxies are published before their call router "
+                "is initialized; routing a call through a half-built proxy "
+                "dereferences null. Repeats per substitute, so single-run "
+                "online identification suffices."
+            ),
+            fault_sites=frozenset({"nsubstitute.CallRouter.Route:35"}),
+            test_name="substitute_factory_routing",
+            paper_runs_basic=1,
+            paper_runs_waffle=2,
+            paper_slowdown_basic=3.3,
+            paper_slowdown_waffle=5.1,
+        )
+    )
+    app.add_bug(
+        KnownBug(
+            bug_id="Bug-4",
+            app="nsubstitute",
+            issue_id="573",
+            kind="use_after_free",
+            previously_known=True,
+            description=(
+                "ClearReceivedCalls disposes the received-call stack while "
+                "another thread enumerates it."
+            ),
+            fault_sites=frozenset({"nsubstitute.ReceivedCalls.Enumerate:51"}),
+            test_name="clear_received_calls_race",
+            paper_runs_basic=2,
+            paper_runs_waffle=2,
+            paper_slowdown_basic=9.0,
+            paper_slowdown_waffle=4.4,
+        )
+    )
+    return app

@@ -1,0 +1,146 @@
+"""NSwag model: an OpenAPI toolchain generating documents and clients.
+
+Models NSwag's document generator: schema resolvers shared across
+generator workers, a document registry, and the disposal of generator
+state when a CLI invocation finishes.
+
+Planted bug (Table 4):
+
+* **Bug-5** (issue #3015, known) -- the CLI tears down the shared
+  ``JsonSchemaResolver`` while a generator worker is still appending
+  one last operation schema.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim.api import Simulation
+from . import patterns as P
+from .base import Application, KnownBug
+
+PREFIX = "nswag"
+
+
+def test_generator_teardown_race(sim: Simulation) -> Generator:
+    """Bug-5: schema resolver disposed under a straggling worker."""
+    return P.plain_uaf(
+        sim,
+        PREFIX,
+        ref_name="schema_resolver",
+        use_site="nswag.OperationProcessor.Append:142",
+        dispose_site="nswag.DocumentGenerator.Dispose:88",
+        init_site="nswag.DocumentGenerator.ctor:23",
+        use_at_ms=5.0,
+        dispose_at_ms=11.0,
+        extra_uses=1,
+        extra_use_spacing_ms=1.5,
+    )
+
+
+# -- Benign traffic -----------------------------------------------------
+
+
+def test_parallel_document_generation(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".docs", items=10, stage_cost_ms=0.5)
+
+
+def test_schema_reference_cache(sim: Simulation) -> Generator:
+    return P.unsafe_collection_traffic(sim, PREFIX + ".schemacache", workers=2, ops_per_worker=5)
+
+
+def test_client_template_rendering(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".templates", items=8, stage_cost_ms=0.7)
+
+
+def test_settings_snapshot(sim: Simulation) -> Generator:
+    return P.locked_counter_workers(sim, PREFIX + ".settings", workers=2, increments=5)
+
+
+def test_controller_discovery(sim: Simulation) -> Generator:
+    preamble, threads = P.fork_ordered_preamble(sim, PREFIX + ".discovery", count=5, worker_uses=2)
+
+    def root() -> Generator:
+        yield from preamble
+        yield from sim.join_all(threads)
+
+    return root()
+
+
+def test_swagger_route_probe(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".routes", items=6, stage_cost_ms=0.4)
+
+
+def test_operation_task_fanout(sim: Simulation) -> Generator:
+    return P.task_fanout(sim, PREFIX + ".ops", workers=2, tasks=8)
+
+
+def test_typescript_client_emit(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".tsclient", items=12, stage_cost_ms=0.5)
+
+
+def test_document_cache_semaphore(sim: Simulation) -> Generator:
+    """Concurrent document requests deduplicated behind a semaphore."""
+    gate = sim.semaphore(initial=2, name="nswag.docgate")
+    document = sim.ref("openapi_document")
+
+    def requester(sim_: Simulation, requester_id: int) -> Generator:
+        yield from sim.sleep(0.3 * requester_id)
+        yield from gate.acquire()
+        try:
+            yield from sim.read(document, "version",
+                                loc="nswag.DocCache.get:%d" % (requester_id % 3))
+            yield from sim.compute(0.6)
+        finally:
+            gate.release()
+
+    def root() -> Generator:
+        yield from sim.assign(document, sim.new("nswag.Document", version="v1"),
+                              loc="nswag.DocCache.ctor:8")
+        threads = [sim.fork(requester(sim, r), name="nswag-req-%d" % r) for r in range(5)]
+        yield from sim.join_all(threads)
+
+    return root()
+
+
+def build_app() -> Application:
+    app = Application(
+        name="nswag",
+        display_name="NSwag",
+        paper_loc_kloc=101.5,
+        paper_multithreaded_tests=18,
+        paper_stars_k=4.9,
+    )
+    app.add_test("generator_teardown_race", test_generator_teardown_race)
+    app.add_test("parallel_document_generation", test_parallel_document_generation)
+    app.add_test("schema_reference_cache", test_schema_reference_cache)
+    app.add_test("client_template_rendering", test_client_template_rendering)
+    app.add_test("settings_snapshot", test_settings_snapshot)
+    app.add_test("controller_discovery", test_controller_discovery)
+    app.add_test("swagger_route_probe", test_swagger_route_probe)
+    app.add_test("operation_task_fanout", test_operation_task_fanout)
+    app.add_test("typescript_client_emit", test_typescript_client_emit)
+    app.add_test("document_cache_semaphore", test_document_cache_semaphore)
+
+    app.add_bug(
+        KnownBug(
+            bug_id="Bug-5",
+            app="nswag",
+            issue_id="3015",
+            kind="use_after_free",
+            previously_known=True,
+            description=(
+                "The CLI disposes the shared JsonSchemaResolver while a "
+                "generator worker appends a final operation schema."
+            ),
+            fault_sites=frozenset(
+                {"nswag.OperationProcessor.Append:142", "nswag.early:0"}
+            ),
+            test_name="generator_teardown_race",
+            paper_runs_basic=2,
+            paper_runs_waffle=2,
+            paper_slowdown_basic=2.1,
+            paper_slowdown_waffle=1.8,
+        )
+    )
+    return app

@@ -1,0 +1,795 @@
+"""Reusable concurrency patterns for the benchmark applications.
+
+The eleven application models compose a small vocabulary of timing
+motifs. The *bug* motifs were validated one by one against the real
+detectors before the suite was built (see DESIGN.md section 3.4):
+
+* :func:`plain_uaf` -- a use on one thread closely followed by a
+  disposal on another; exposable by any delay >= the gap at the use.
+* :func:`plain_ubi` -- a two-step construction racing an event handler;
+  exposable by delaying the initialization.
+* :func:`multi_instance_ubi` -- an init/use race repeated every loop
+  iteration, so an online tool can identify the pair at iteration k and
+  expose the bug at iteration k+1 *in the same run* (the pattern that
+  lets WaffleBasic beat Waffle to Bug-3/6/9 in Table 4).
+* :func:`interfering_bugs` -- Figure 4a: a use-before-init and a (false,
+  join-protected) use-after-free candidate on the same object, whose
+  fixed-length delays cancel deterministically.
+* :func:`interfering_instances` -- Figure 4b: the disposal is preceded,
+  on its own thread, by a dynamic instance of the *same static site*
+  the tool delays, so fixed-probability delays at both instances shift
+  both threads equally.
+* :func:`long_gap_uaf` -- the use-dispose gap exceeds the fixed delay
+  length, so only variable-length delays (section 4.3) can expose it.
+
+The *benign* motifs generate realistic instrumentation-site density:
+fork-ordered allocation preambles (pruned by Waffle's parent-child
+analysis), synchronized worker pools, producer/consumer channels, and
+thread-unsafe collection traffic (Tsvd's TSV surface).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..sim.api import Simulation
+from ..sim.refs import Ref
+
+
+# ----------------------------------------------------------------------
+# Benign structural motifs
+# ----------------------------------------------------------------------
+
+
+def fork_ordered_preamble(
+    sim: Simulation,
+    prefix: str,
+    count: int,
+    worker_uses: int = 2,
+    use_spacing_ms: float = 1.0,
+):
+    """Parent allocates ``count`` objects, then forks workers that use
+    them shortly after -- all ordered by the fork, hence prunable by
+    vector clocks but *near-miss positive* (the gaps are small).
+
+    Returns ``(generator, threads)`` -- the caller yields from the
+    generator in the parent and joins the returned threads eventually.
+    This is the pattern that makes the no-parent-child ablation slower
+    (Table 7): without pruning, every (init, first-use) pair becomes a
+    pointless injection site.
+    """
+    refs = [sim.ref("%s_obj%d" % (prefix, i)) for i in range(count)]
+    threads: List = []
+
+    def parent() -> Generator:
+        for i, ref in enumerate(refs):
+            obj = sim.new("%s.Resource" % prefix)
+            yield from sim.assign(ref, obj, loc="%s.Setup.alloc:%d" % (prefix, i))
+        for i, ref in enumerate(refs):
+            threads.append(sim.fork(worker(ref, i), name="%s-worker-%d" % (prefix, i)))
+
+    def worker(ref: Ref, index: int) -> Generator:
+        for use in range(worker_uses):
+            yield from sim.sleep(use_spacing_ms)
+            yield from sim.use(ref, member="Process", loc="%s.Worker.run:%d" % (prefix, index))
+
+    return parent(), threads
+
+
+def synchronized_pipeline(
+    sim: Simulation,
+    prefix: str,
+    items: int,
+    stage_cost_ms: float = 0.3,
+):
+    """A two-stage producer/consumer pipeline over a channel.
+
+    Properly synchronized: the consumer only touches objects it received
+    through the channel, so no MemOrder candidate it generates is real.
+    Returns the root generator.
+    """
+    channel = sim.channel("%s.queue" % prefix)
+    slot = sim.ref("%s_slot" % prefix)
+
+    def producer() -> Generator:
+        for i in range(items):
+            obj = sim.new("%s.Item" % prefix, seq=i)
+            # Distinct message kinds flow through distinct code paths:
+            # fan the static sites out over a small modulus so the
+            # instrumentation-site census reflects a realistic surface.
+            kind = i % 6
+            yield from sim.assign(slot, obj, loc="%s.Producer.make:%d" % (prefix, kind))
+            yield from sim.compute(stage_cost_ms)
+            yield from sim.use(slot, member="Seal", loc="%s.Producer.seal:%d" % (prefix, kind))
+            channel.put((kind, obj))
+        channel.close()
+
+    def consumer() -> Generator:
+        while True:
+            entry = yield from channel.get()
+            if entry is None:
+                return
+            kind, item = entry
+            local = sim.ref("%s_local" % prefix, item)
+            yield from sim.use(local, member="Read", loc="%s.Consumer.read:%d" % (prefix, kind))
+            yield from sim.compute(stage_cost_ms)
+
+    def root() -> Generator:
+        cons = sim.fork(consumer(), name="%s-consumer" % prefix)
+        prod = sim.fork(producer(), name="%s-producer" % prefix)
+        yield from sim.join(prod)
+        yield from sim.join(cons)
+
+    return root()
+
+
+def unsafe_collection_traffic(
+    sim: Simulation,
+    prefix: str,
+    workers: int = 2,
+    ops_per_worker: int = 4,
+    op_duration_ms: float = 0.2,
+    spacing_ms: float = 2.0,
+):
+    """Concurrent traffic on a shared thread-unsafe dictionary.
+
+    The accesses are spaced out, so call windows do not overlap in a
+    delay-free run -- Tsvd must inject delays to expose the TSV, and the
+    sites count toward the TSV columns of Table 2. Returns the root
+    generator.
+    """
+    table = sim.unsafe_dict("%s.Cache" % prefix)
+
+    def worker(worker_id: int) -> Generator:
+        for op in range(ops_per_worker):
+            yield from sim.sleep(spacing_ms)
+            yield from sim.unsafe_call(
+                table,
+                "add",
+                (worker_id, op),
+                "value-%d-%d" % (worker_id, op),
+                loc="%s.Cache.add:%d" % (prefix, worker_id),
+                duration=op_duration_ms,
+            )
+            yield from sim.unsafe_call(
+                table,
+                "get",
+                (worker_id, op),
+                loc="%s.Cache.get:%d" % (prefix, worker_id),
+                duration=op_duration_ms,
+            )
+
+    def root() -> Generator:
+        threads = [sim.fork(worker(w), name="%s-cache-%d" % (prefix, w)) for w in range(workers)]
+        yield from sim.join_all(threads)
+
+    return root()
+
+
+def locked_counter_workers(
+    sim: Simulation,
+    prefix: str,
+    workers: int = 3,
+    increments: int = 5,
+):
+    """Workers bumping a shared counter object under a lock -- correctly
+    synchronized shared-state traffic that near-miss tracking still sees
+    (lock ordering is invisible to the tools). Returns the root
+    generator."""
+    lock = sim.lock("%s.lock" % prefix)
+    counter = sim.ref("%s_counter" % prefix)
+
+    def worker(worker_id: int) -> Generator:
+        for i in range(increments):
+            yield from lock.acquire()
+            try:
+                yield from sim.write(
+                    counter,
+                    "value",
+                    worker_id,
+                    loc="%s.Counter.bump:%d:%d" % (prefix, worker_id, i % 3),
+                )
+            finally:
+                lock.release()
+            yield from sim.sleep(0.7)
+
+    def root() -> Generator:
+        obj = sim.new("%s.Counter" % prefix, value=0)
+        yield from sim.assign(counter, obj, loc="%s.Counter.ctor:1" % prefix)
+        threads = [sim.fork(worker(w), name="%s-bump-%d" % (prefix, w)) for w in range(workers)]
+        yield from sim.join_all(threads)
+
+    return root()
+
+
+# ----------------------------------------------------------------------
+# Bug motifs
+# ----------------------------------------------------------------------
+
+
+def plain_uaf(
+    sim: Simulation,
+    prefix: str,
+    ref_name: str,
+    use_site: str,
+    dispose_site: str,
+    init_site: str,
+    use_at_ms: float,
+    dispose_at_ms: float,
+    extra_uses: int = 0,
+    extra_use_spacing_ms: float = 2.0,
+):
+    """A single use closely followed by a cross-thread disposal.
+
+    Delay-free order: init (t=0) -> use (t=use_at) -> dispose
+    (t=dispose_at). A delay at the use longer than
+    ``dispose_at - use_at`` exposes the use-after-free. Returns the root
+    generator.
+    """
+    if not use_at_ms < dispose_at_ms:
+        raise ValueError("the use must naturally precede the disposal")
+    ref = sim.ref(ref_name)
+
+    def user() -> Generator:
+        for i in range(extra_uses):
+            yield from sim.sleep(extra_use_spacing_ms)
+            yield from sim.use(ref, member="Touch", loc="%s.early:%d" % (prefix, i))
+        target = use_at_ms - extra_uses * extra_use_spacing_ms
+        yield from sim.sleep(max(0.0, target))
+        yield from sim.use(ref, member="Send", loc=use_site)
+
+    def root() -> Generator:
+        obj = sim.new("%s.Session" % prefix)
+        yield from sim.assign(ref, obj, loc=init_site)
+        worker = sim.fork(user(), name="%s-user" % prefix)
+        yield from sim.sleep(dispose_at_ms)
+        yield from sim.dispose(ref, loc=dispose_site)
+        yield from sim.join(worker)
+
+    return root()
+
+
+def plain_ubi(
+    sim: Simulation,
+    prefix: str,
+    ref_name: str,
+    init_site: str,
+    use_site: str,
+    init_at_ms: float,
+    first_use_at_ms: float,
+    use_count: int = 3,
+    use_spacing_ms: float = 1.0,
+):
+    """Two-phase construction racing an already-running event handler.
+
+    Delay-free order: handler thread starts, the initialization lands at
+    ``init_at_ms``, uses begin *after* it at ``first_use_at_ms``.
+    Delaying the initialization past the first use exposes the
+    use-before-init. Several uses follow the first so the measured
+    near-miss gap (and hence Waffle's delay) comfortably covers the
+    window. Returns the root generator.
+    """
+    if not init_at_ms < first_use_at_ms:
+        raise ValueError("the initialization must naturally precede the first use")
+    ref = sim.ref(ref_name)
+    started = sim.event("%s.pump-started" % prefix)
+
+    def handler() -> Generator:
+        started.set()
+        yield from sim.sleep(first_use_at_ms)
+        for i in range(use_count):
+            yield from sim.use(ref, member="OnEvent", loc=use_site)
+            yield from sim.sleep(use_spacing_ms)
+
+    def root() -> Generator:
+        pump = sim.fork(handler(), name="%s-pump" % prefix)
+        yield from started.wait()
+        yield from sim.sleep(init_at_ms)
+        obj = sim.new("%s.Handler" % prefix)
+        yield from sim.assign(ref, obj, loc=init_site)
+        yield from sim.join(pump)
+
+    return root()
+
+
+def multi_instance_ubi(
+    sim: Simulation,
+    prefix: str,
+    ref_name: str,
+    init_site: str,
+    use_site: str,
+    iterations: int = 6,
+    gap_ms: float = 1.2,
+    iteration_spacing_ms: float = 4.0,
+):
+    """The init/use race repeats every iteration, on a *fresh* object
+    (request/response style), so the same static pair has many dynamic
+    instances per run.
+
+    The producer publishes each request through a channel *before*
+    finishing the payload initialization -- the bug. The consumer picks
+    the request up and touches the payload ``gap_ms`` later, which is
+    (just) enough in delay-free runs. An online tool discovers the pair
+    at iteration 1 and can delay the iteration-2 initialization in the
+    *same run* -- the structure behind the Table 4 rows where
+    WaffleBasic needs only one run. Returns the root generator.
+    """
+    requests = sim.channel("%s.requests" % prefix)
+
+    def consumer() -> Generator:
+        while True:
+            payload_ref = yield from requests.get()
+            if payload_ref is None:
+                return
+            yield from sim.sleep(gap_ms)
+            yield from sim.use(payload_ref, member="Route", loc=use_site)
+
+    def root() -> Generator:
+        worker = sim.fork(consumer(), name="%s-consumer" % prefix)
+        for i in range(iterations):
+            yield from sim.sleep(iteration_spacing_ms)
+            payload_ref = sim.ref("%s_payload_%d" % (ref_name, i))
+            requests.put(payload_ref)  # published before initialization!
+            obj = sim.new("%s.Payload" % prefix, seq=i)
+            yield from sim.assign(payload_ref, obj, loc=init_site)
+        requests.close()
+        yield from sim.join(worker)
+
+    return root()
+
+
+def interfering_bugs(
+    sim: Simulation,
+    prefix: str,
+    ref_name: str,
+    init_site: str,
+    use_site: str,
+    dispose_site: str,
+    init_at_ms: float = 0.5,
+    first_use_at_ms: float = 1.2,
+    use_spacing_ms: float = 2.0,
+    use_count: int = 80,
+    extra_inits: int = 30,
+):
+    """Figure 4a: interfering use-before-init and use-after-free candidates.
+
+    The event-source thread hammers ``use_site`` at a high rate; the
+    constructor initializes the listener just before the first event;
+    the disposer *joins* the event source before disposing (so the
+    use-after-free candidate is false, protected by a join the tools
+    cannot see) and exercises ``use_site`` itself on the flush path.
+
+    Under fixed-length delays, the delayed first use always lands just
+    after the delayed initialization (same length, later start) -- the
+    delays cancel; the high event rate drains the use site's injection
+    probability to zero each run, and rediscovery resets it, making the
+    cancellation quasi-deterministic run after run. Waffle's
+    interference set contains (init_site, use_site), so it skips the
+    use-side delay and exposes the use-before-init in its first
+    detection run. Returns the root generator.
+    """
+    ref = sim.ref(ref_name)
+
+    def event_source() -> Generator:
+        yield from sim.sleep(first_use_at_ms)
+        yield from sim.use(ref, member="EventWrite", loc=use_site)
+        for _ in range(use_count - 1):
+            yield from sim.sleep(use_spacing_ms)
+            yield from sim.use(ref, member="EventWrite", loc=use_site)
+
+    def root() -> Generator:
+        source = sim.fork(event_source(), name="%s-events" % prefix)
+        yield from sim.sleep(init_at_ms)
+        obj = sim.new("%s.EventListener" % prefix)
+        yield from sim.assign(ref, obj, loc=init_site)
+        yield from sim.join(source)
+        # Dispose path flushes pending events through the same code
+        # path before tearing the listener down. The dispose must land
+        # right after the final uses: its near-miss rediscovery resets
+        # the use site's injection probability for the next run.
+        yield from sim.use(ref, member="EventWrite", loc=use_site)
+        yield from sim.dispose(ref, loc=dispose_site)
+        # After teardown, the SDK re-registers a batch of listeners
+        # through the same constructor site. These benign instances are
+        # never raced, but they drain the constructor site's injection
+        # probability to zero within any run whose critical delay was
+        # cancelled -- which is what makes interference control a
+        # *coverage* feature, not merely a performance one (Table 7): a
+        # Waffle without it cancels in run 1, burns the site out here,
+        # and (with no online rediscovery in planned mode) never delays
+        # the constructor again.
+        for i in range(extra_inits):
+            extra = sim.ref("%s_extra_%d" % (ref_name, i))
+            yield from sim.assign(extra, sim.new("%s.EventListener" % prefix), loc=init_site)
+
+    return root()
+
+
+def interfering_instances(
+    sim: Simulation,
+    prefix: str,
+    ref_name: str,
+    init_site: str,
+    check_site: str,
+    dispose_site: str,
+    worker_check_at_ms: float = 7.0,
+    cleanup_at_ms: float = 10.0,
+):
+    """Figure 4b: the cleanup thread executes the *same static site* the
+    tool wants to delay, right before the disposal.
+
+    Fixed-probability injection fires at both dynamic instances of
+    ``check_site`` (worker's and cleanup's), shifting both threads by
+    the same amount -- order preserved, bug hidden -- until the decayed
+    probabilities happen to diverge. Waffle's interference set contains
+    the self-pair (check_site, check_site), so only the first instance
+    is delayed and the bug manifests immediately. Returns the root
+    generator.
+    """
+    if not worker_check_at_ms < cleanup_at_ms:
+        raise ValueError("the worker's check must naturally precede cleanup")
+    ref = sim.ref(ref_name)
+
+    def worker() -> Generator:
+        yield from sim.sleep(worker_check_at_ms)
+        yield from sim.use(ref, member="IsDisposed", loc=check_site)
+
+    def root() -> Generator:
+        obj = sim.new("%s.Poller" % prefix)
+        yield from sim.assign(ref, obj, loc=init_site)
+        processing = sim.fork(worker(), name="%s-worker" % prefix)
+        yield from sim.sleep(cleanup_at_ms)
+        yield from sim.use(ref, member="IsDisposed", loc=check_site)
+        yield from sim.dispose(ref, loc=dispose_site)
+        yield from sim.join(processing)
+
+    return root()
+
+
+def long_gap_uaf(
+    sim: Simulation,
+    prefix: str,
+    ref_name: str,
+    init_site: str,
+    use_site: str,
+    dispose_site: str,
+    vulnerable_gap_ms: float = 108.0,
+    observed_gap_ms: float = 97.0,
+    vulnerable_use_at_ms: float = 3.0,
+):
+    """A use-after-free exposable only by variable-length delays.
+
+    Two queue objects share the same static code. Queue *B* is the
+    vulnerable one: its single use happens ``vulnerable_gap_ms`` before
+    its (abrupt, unsynchronized) disposal -- a gap *longer* than the
+    fixed delay length and longer than the near-miss window, so the
+    racing pair is never directly observed. Queue *A* is the benign
+    sibling: its use sits ``observed_gap_ms`` before its disposal
+    (inside the window, so the pair *is* identified and sets the
+    per-site delay length) but that disposal is join-protected, so no
+    delay at A's use can expose anything.
+
+    WaffleBasic's 100 ms delay moves B's use to ``use_at + 100``, still
+    before B's disposal: a deterministic miss, run after run. Waffle
+    injects ``alpha * observed_gap`` (~112 ms with the defaults),
+    pushing B's use past B's disposal. This is the Bug-15 mechanism
+    (section 4.3's motivating trade-off). Returns the root generator.
+    """
+    if vulnerable_gap_ms <= 100.0:
+        raise ValueError("the vulnerable gap must exceed the fixed delay length")
+    if not observed_gap_ms < 100.0:
+        raise ValueError("the observed gap must sit inside the near-miss window")
+    if 1.15 * observed_gap_ms <= vulnerable_gap_ms:
+        raise ValueError("alpha * observed gap must cover the vulnerable gap")
+    ref_a = sim.ref("%s_a" % ref_name)
+    ref_b = sim.ref("%s_b" % ref_name)
+    dispose_b_at = vulnerable_use_at_ms + vulnerable_gap_ms
+    use_a_at = dispose_b_at + 0.2 - observed_gap_ms
+
+    def worker_a() -> Generator:
+        yield from sim.sleep(use_a_at)
+        yield from sim.use(ref_a, member="Dequeue", loc=use_site)
+
+    def worker_b() -> Generator:
+        yield from sim.sleep(vulnerable_use_at_ms)
+        yield from sim.use(ref_b, member="Dequeue", loc=use_site)
+
+    def root() -> Generator:
+        yield from sim.assign(ref_a, sim.new("%s.Queue" % prefix), loc=init_site)
+        yield from sim.assign(ref_b, sim.new("%s.Queue" % prefix), loc=init_site)
+        thread_a = sim.fork(worker_a(), name="%s-worker-a" % prefix)
+        thread_b = sim.fork(worker_b(), name="%s-worker-b" % prefix)
+        # B is torn down abruptly at a fixed time (connection dropped).
+        yield from sim.sleep(dispose_b_at)
+        yield from sim.dispose(ref_b, loc=dispose_site)
+        # A is torn down properly: join its worker first, then dispose.
+        yield from sim.join(thread_a)
+        yield from sim.sleep(0.2)
+        yield from sim.dispose(ref_a, loc=dispose_site)
+        yield from sim.join(thread_b)
+
+    return root()
+
+
+def dense_connection_churn(
+    sim: Simulation,
+    prefix: str,
+    workers: int = 3,
+    conns_per_worker: int = 20,
+    uses_per_conn: int = 3,
+    use_spacing_ms: float = 0.8,
+):
+    """High-rate connection open/use/close traffic (the dense apps).
+
+    Each worker repeatedly opens a connection object, issues a few
+    commands on it, then hands it to a shared reaper thread which
+    inspects and disposes it. The hand-off channel orders every use
+    before its disposal, so no reordering can crash -- but near-miss
+    tracking (which cannot see the channel) floods the candidate set
+    with (use, dispose) and (init, use) pairs at every worker's sites.
+
+    Under WaffleBasic this is the overhead story of Tables 5/6: fixed
+    100 ms delays at hundreds of rediscovered candidate instances
+    accumulate until dense tests time out (MQTT.Net). Under Waffle the
+    same sites receive millisecond-scale proportional delays. Returns
+    the root generator.
+    """
+    reap_queue = sim.channel("%s.reaper" % prefix)
+
+    def worker(worker_id: int) -> Generator:
+        for conn_index in range(conns_per_worker):
+            conn = sim.ref("%s_conn_w%d_c%d" % (prefix, worker_id, conn_index))
+            obj = sim.new("%s.Connection" % prefix, worker=worker_id)
+            # Different statement kinds exercise different code paths:
+            # fan the open/exec sites over a small modulus per worker so
+            # the site census matches a realistic dense application.
+            kind = conn_index % 5
+            yield from sim.assign(
+                conn, obj, loc="%s.Conn.open:%d:%d" % (prefix, worker_id, kind)
+            )
+            for use_index in range(uses_per_conn):
+                yield from sim.sleep(use_spacing_ms)
+                yield from sim.use(
+                    conn,
+                    member="Execute",
+                    loc="%s.Conn.exec:%d:%d" % (prefix, worker_id, (kind + use_index) % 5),
+                )
+            reap_queue.put((kind, conn))
+
+    def reaper() -> Generator:
+        while True:
+            entry = yield from reap_queue.get()
+            if entry is None:
+                return
+            kind, conn = entry
+            yield from sim.use(
+                conn, member="Validate", loc="%s.Reaper.check:%d" % (prefix, kind)
+            )
+            yield from sim.dispose(conn, loc="%s.Reaper.close:%d" % (prefix, kind))
+
+    def root() -> Generator:
+        reap = sim.fork(reaper(), name="%s-reaper" % prefix)
+        pool = [sim.fork(worker(w), name="%s-conn-%d" % (prefix, w)) for w in range(workers)]
+        yield from sim.join_all(pool)
+        reap_queue.close()
+        yield from sim.join(reap)
+
+    return root()
+
+
+def multi_instance_uaf(
+    sim: Simulation,
+    prefix: str,
+    ref_name: str,
+    init_site: str,
+    use_site: str,
+    dispose_site: str,
+    iterations: int = 6,
+    use_gap_ms: float = 1.5,
+    dispose_gap_ms: float = 3.5,
+    iteration_spacing_ms: float = 5.0,
+):
+    """A use/dispose race repeated on a fresh object every iteration
+    (reconnecting watch streams, recycled handles).
+
+    Each iteration: the owner initializes a stream, a long-lived worker
+    touches it ``use_gap_ms`` later, and the owner closes it at
+    ``dispose_gap_ms`` -- a near-miss every time. Online tools identify
+    the pair at iteration 1 and can push iteration 2's use past its
+    disposal in the same run. Returns the root generator.
+    """
+    if not use_gap_ms < dispose_gap_ms:
+        raise ValueError("the use must naturally precede the disposal")
+    streams = sim.channel("%s.streams" % prefix)
+
+    def watcher() -> Generator:
+        while True:
+            stream_ref = yield from streams.get()
+            if stream_ref is None:
+                return
+            yield from sim.sleep(use_gap_ms)
+            yield from sim.use(stream_ref, member="ReadEvent", loc=use_site)
+
+    def root() -> Generator:
+        worker = sim.fork(watcher(), name="%s-watcher" % prefix)
+        for i in range(iterations):
+            yield from sim.sleep(iteration_spacing_ms)
+            stream_ref = sim.ref("%s_stream_%d" % (ref_name, i))
+            obj = sim.new("%s.WatchStream" % prefix, seq=i)
+            yield from sim.assign(stream_ref, obj, loc=init_site)
+            streams.put(stream_ref)
+            yield from sim.sleep(dispose_gap_ms)
+            yield from sim.dispose(stream_ref, loc=dispose_site)
+        streams.close()
+        yield from sim.join(worker)
+
+    return root()
+
+
+class RotatingCache:
+    """Channel-ordered lookup/evict/refill traffic whose lookup site is a
+    near-miss delay candidate.
+
+    The host thread calls :meth:`lookup` inline; a separate evictor
+    thread rotates the cache object after each acknowledged lookup.
+    The acknowledgement channel orders every lookup before the eviction
+    that follows it, so no delay can crash this traffic -- but the
+    (lookup, evict) and (refill, lookup) near-misses make the lookup
+    site a delay location whose injections (a) shift the host thread
+    under fixed-length delays and (b) populate Waffle's interference
+    set against any critical site the host thread races with. This is
+    the "many more delay candidate locations to sift through" effect
+    that makes the dense apps need 3-4 detection runs (section 6.3).
+    """
+
+    def __init__(self, sim: Simulation, prefix: str):
+        self.sim = sim
+        self.prefix = prefix
+        self.lookup_site = "%s.Cache.Lookup:74" % prefix
+        self.evict_site = "%s.Cache.Evict:91" % prefix
+        self.refill_site = "%s.Cache.Refill:88" % prefix
+        self.cache = sim.ref("%s_cache" % prefix)
+        self._acks = sim.channel("%s.cache-acks" % prefix)
+        self._evictor = None
+
+    def start(self) -> Generator:
+        """Initialize the cache and fork the evictor (call via yield from)."""
+        yield from self.sim.assign(
+            self.cache, self.sim.new("%s.Cache" % self.prefix), loc=self.refill_site
+        )
+        self._evictor = self.sim.fork(self._evict_loop(), name="%s-evictor" % self.prefix)
+
+    def lookup(self, seq: int) -> Generator:
+        yield from self.sim.use(self.cache, member="Lookup", loc=self.lookup_site)
+        self._acks.put(seq)
+
+    def _evict_loop(self) -> Generator:
+        while True:
+            ack = yield from self._acks.get()
+            if ack is None:
+                return
+            yield from self.sim.sleep(0.6)
+            # Rotation order matters for crash-proofness under delays:
+            # install the fresh cache *first*, then retire the old
+            # object through a scratch reference. A delayed refill
+            # leaves lookups on the still-valid old object, and the
+            # retire (a DISPOSE, never a delay location) follows the
+            # refill on this thread -- so no interleaving exposes a
+            # real race, while the (lookup, retire) near-miss still
+            # makes the lookup site a delay location.
+            old = self.cache.value
+            yield from self.sim.assign(
+                self.cache, self.sim.new("%s.Cache" % self.prefix), loc=self.refill_site
+            )
+            retired = self.sim.ref("%s_retired" % self.prefix, old)
+            yield from self.sim.dispose(retired, loc=self.evict_site)
+
+    def stop(self) -> Generator:
+        self._acks.close()
+        if self._evictor is not None:
+            yield from self.sim.join(self._evictor)
+
+
+def interfering_bugs_with_partner(
+    sim: Simulation,
+    prefix: str,
+    ref_name: str,
+    init_site: str,
+    use_site: str,
+    dispose_site: str,
+    init_at_ms: float = 0.5,
+    use_offset_ms: float = 1.2,
+    cycle_rest_ms: float = 0.8,
+    cycles: int = 60,
+    extra_inits: int = 0,
+):
+    """The Figure 4a structure embedded in hot partner traffic.
+
+    The pump thread interleaves rotating-cache lookups with accesses to
+    the critical object, starting *before* the critical initialization.
+    Consequences, validated against the detectors:
+
+    * WaffleBasic: the pump's fixed-length lookup delays shift every
+      critical use past the (equally delayed) initialization, on top of
+      the plain Figure 4a cancellation -- a doubly-protected miss.
+    * Waffle: the lookup site enters the interference set against the
+      critical initialization, so in early detection runs the
+      initialization delay is *skipped* while lookup delays are ongoing;
+      only once the lookup site's probability has decayed (one to two
+      runs) can the critical delay fire -- the extra detection runs the
+      paper reports for its densest applications.
+
+    Returns the root generator.
+    """
+    ref = sim.ref(ref_name)
+    partner = RotatingCache(sim, prefix + ".partner")
+
+    def pump() -> Generator:
+        yield from sim.sleep(0.05)
+        for i in range(cycles):
+            yield from partner.lookup(i)
+            yield from sim.sleep(use_offset_ms)
+            yield from sim.use(ref, member="Dispatch", loc=use_site)
+            yield from sim.sleep(cycle_rest_ms)
+
+    def root() -> Generator:
+        yield from partner.start()
+        pump_thread = sim.fork(pump(), name="%s-pump" % prefix)
+        yield from sim.sleep(init_at_ms)
+        obj = sim.new("%s.Shared" % prefix)
+        yield from sim.assign(ref, obj, loc=init_site)
+        yield from sim.join(pump_thread)
+        # Teardown flush exercises the use site once more, then
+        # disposes -- the false use-after-free candidate of Figure 4a.
+        # The dispose must land promptly after the pump's last use (the
+        # partner evictor may still be draining a delayed backlog, so
+        # it is stopped only afterwards): the near-miss rediscovery at
+        # this dispose is what resets the use site's injection
+        # probability for the next run, keeping the cancellation cycle
+        # closed.
+        yield from sim.use(ref, member="Dispatch", loc=use_site)
+        yield from sim.dispose(ref, loc=dispose_site)
+        yield from partner.stop()
+        # Optional benign re-initializations (see interfering_bugs);
+        # disabled by default here because full Waffle exposes the
+        # partner variant only in its *second* detection run -- burning
+        # the initialization site out in run 1 would blind it.
+        for i in range(extra_inits):
+            extra = sim.ref("%s_extra_%d" % (ref_name, i))
+            yield from sim.assign(extra, sim.new("%s.Shared" % prefix), loc=init_site)
+
+    return root()
+
+
+def task_fanout(
+    sim: Simulation,
+    prefix: str,
+    workers: int = 2,
+    tasks: int = 8,
+    task_cost_ms: float = 1.0,
+):
+    """Task-parallel fan-out over a pool with async-local request ids.
+
+    Each submitted task touches a request object created *before* its
+    submission, so every (init, use) near-miss it generates is ordered
+    by the task-submission edge -- prunable through the async-local
+    vector clocks (the section 4.1 task extension), and pure injection
+    waste for tools without that analysis. Returns the root generator.
+    """
+    def handler(pool, ref, index):
+        yield from sim.sleep(0.3)
+        yield from sim.use(ref, member="Handle", loc="%s.TaskHandler.run:%d" % (prefix, index % 4))
+        yield from sim.compute(task_cost_ms)
+
+    def root() -> Generator:
+        pool = sim.task_pool(workers=workers, name="%s.pool" % prefix)
+        handles = []
+        for index in range(tasks):
+            ref = sim.ref("%s_request_%d" % (prefix, index))
+            obj = sim.new("%s.Request" % prefix, seq=index)
+            yield from sim.assign(ref, obj, loc="%s.Dispatcher.accept:%d" % (prefix, index % 4))
+            handles.append(pool.submit(handler(pool, ref, index), name="req-%d" % index))
+        yield from pool.wait_all(handles)
+        yield from pool.close()
+
+    return root()

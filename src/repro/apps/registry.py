@@ -1,0 +1,81 @@
+"""Global registry of the 11 benchmark applications and 18 bugs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .base import Application, AppTestCase, KnownBug
+from . import (
+    appinsights,
+    fluentassertions,
+    kubernetesnet,
+    litedb,
+    mqttnet,
+    netmq,
+    npgsql,
+    nsubstitute,
+    nswag,
+    signalr,
+    sshnet,
+)
+
+_BUILDERS = (
+    appinsights.build_app,
+    fluentassertions.build_app,
+    kubernetesnet.build_app,
+    litedb.build_app,
+    mqttnet.build_app,
+    netmq.build_app,
+    npgsql.build_app,
+    nsubstitute.build_app,
+    nswag.build_app,
+    signalr.build_app,
+    sshnet.build_app,
+)
+
+_REGISTRY: Optional[Dict[str, Application]] = None
+
+
+def all_apps() -> Dict[str, Application]:
+    """Build (once) and return the full application registry."""
+    global _REGISTRY
+    if _REGISTRY is None:
+        registry: Dict[str, Application] = {}
+        for builder in _BUILDERS:
+            app = builder()
+            if app.name in registry:
+                raise RuntimeError("duplicate application name %r" % app.name)
+            registry[app.name] = app
+        _REGISTRY = registry
+    return _REGISTRY
+
+
+def get_app(name: str) -> Application:
+    apps = all_apps()
+    if name not in apps:
+        raise KeyError(
+            "unknown application %r (known: %s)" % (name, ", ".join(sorted(apps)))
+        )
+    return apps[name]
+
+
+def all_bugs() -> List[KnownBug]:
+    """All 18 Table 4 bugs, ordered Bug-1 .. Bug-18."""
+    bugs: List[KnownBug] = []
+    for app in all_apps().values():
+        bugs.extend(app.known_bugs)
+    bugs.sort(key=lambda bug: int(bug.bug_id.split("-")[1]))
+    return bugs
+
+
+def get_bug(bug_id: str) -> KnownBug:
+    for bug in all_bugs():
+        if bug.bug_id == bug_id:
+            return bug
+    raise KeyError("unknown bug %r" % bug_id)
+
+
+def bug_workload(bug_id: str) -> AppTestCase:
+    """The bug-triggering test input for a Table 4 bug."""
+    bug = get_bug(bug_id)
+    return get_app(bug.app).test(bug.test_name)

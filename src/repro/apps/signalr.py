@@ -1,0 +1,172 @@
+"""SignalR model: a real-time web messaging framework.
+
+Models SignalR's hub-connection lifecycle: connection handlers
+registered during negotiation, message pumps feeding hub method
+invocations, and transport teardown.
+
+Planted bug (Table 4):
+
+* **Bug-13** (previously unknown) -- the hub connection publishes
+  itself to the transport before its ``handshakeProtocol`` field is
+  initialized; the receive pump dereferences it on the first inbound
+  frame. The pump path is also a (join-protected) use-after-free
+  candidate, so WaffleBasic's delays cancel (the Figure 4a structure).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim.api import Simulation
+from . import patterns as P
+from .base import Application, KnownBug
+
+PREFIX = "signalr"
+
+
+def test_hub_connection_negotiation(sim: Simulation) -> Generator:
+    """Bug-13: handshake protocol initialized after the pump starts."""
+    return P.interfering_bugs(
+        sim,
+        PREFIX,
+        ref_name="handshake_protocol",
+        init_site="signalr.HubConnection.StartAsync:112",
+        use_site="signalr.HubConnection.ProcessMessages:167",
+        dispose_site="signalr.HubConnection.DisposeAsync:201",
+        init_at_ms=0.5,
+        first_use_at_ms=1.3,
+        use_spacing_ms=2.0,
+        use_count=110,
+    )
+
+
+# -- Benign traffic -----------------------------------------------------
+
+
+def test_broadcast_fanout(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".broadcast", items=12, stage_cost_ms=0.3)
+
+
+def test_group_membership_cache(sim: Simulation) -> Generator:
+    return P.unsafe_collection_traffic(sim, PREFIX + ".groups", workers=3, ops_per_worker=4)
+
+
+def test_connection_heartbeats(sim: Simulation) -> Generator:
+    return P.locked_counter_workers(sim, PREFIX + ".heartbeats", workers=3, increments=4)
+
+
+def test_transport_fallback_chain(sim: Simulation) -> Generator:
+    preamble, threads = P.fork_ordered_preamble(sim, PREFIX + ".transports", count=4, worker_uses=2)
+
+    def root() -> Generator:
+        yield from preamble
+        yield from sim.join_all(threads)
+
+    return root()
+
+
+def test_streaming_invocations(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".streams", items=9, stage_cost_ms=0.5)
+
+
+def test_reconnect_policy(sim: Simulation) -> Generator:
+    return P.dense_connection_churn(
+        sim, PREFIX + ".reconnect", workers=2, conns_per_worker=6, uses_per_conn=2
+    )
+
+
+def test_hub_method_tasks(sim: Simulation) -> Generator:
+    return P.task_fanout(sim, PREFIX + ".hubtasks", workers=2, tasks=8)
+
+
+def test_presence_tracker_lock(sim: Simulation) -> Generator:
+    return P.locked_counter_workers(sim, PREFIX + ".presence", workers=3, increments=5)
+
+
+def test_backplane_fanout(sim: Simulation) -> Generator:
+    """A scale-out backplane relays messages to several node channels."""
+    node_channels = [sim.channel("signalr.node%d" % n) for n in range(3)]
+    inbox = sim.channel("signalr.backplane")
+    messages = 8
+
+    def publisher(sim_: Simulation) -> Generator:
+        for i in range(messages):
+            yield from sim.sleep(0.8)
+            msg = sim.ref("bp_%d" % i, sim.new("signalr.Envelope", seq=i))
+            yield from sim.use(msg, member="Seal", loc="signalr.Backplane.publish:33")
+            inbox.put(msg)
+        inbox.close()
+
+    def relay(sim_: Simulation) -> Generator:
+        while True:
+            msg = yield from inbox.get()
+            if msg is None:
+                for channel in node_channels:
+                    channel.close()
+                return
+            for channel in node_channels:
+                channel.put(msg)
+
+    def node(sim_: Simulation, index: int) -> Generator:
+        while True:
+            msg = yield from node_channels[index].get()
+            if msg is None:
+                return
+            yield from sim.use(msg, member="Deliver", loc="signalr.Node.deliver:%d" % index)
+            yield from sim.compute(0.2)
+
+    def root() -> Generator:
+        nodes = [sim.fork(node(sim, n), name="signalr-node-%d" % n) for n in range(3)]
+        r = sim.fork(relay(sim), name="signalr-relay")
+        p = sim.fork(publisher(sim), name="signalr-publisher")
+        yield from sim.join(p)
+        yield from sim.join(r)
+        yield from sim.join_all(nodes)
+
+    return root()
+
+
+def test_typed_hub_proxies(sim: Simulation) -> Generator:
+    return P.task_fanout(sim, PREFIX + ".typedhubs", workers=2, tasks=8, task_cost_ms=0.4)
+
+
+def build_app() -> Application:
+    app = Application(
+        name="signalr",
+        display_name="SignalR",
+        paper_loc_kloc=51.8,
+        paper_multithreaded_tests=52,
+        paper_stars_k=8.5,
+    )
+    app.add_test("hub_connection_negotiation", test_hub_connection_negotiation)
+    app.add_test("broadcast_fanout", test_broadcast_fanout)
+    app.add_test("group_membership_cache", test_group_membership_cache)
+    app.add_test("connection_heartbeats", test_connection_heartbeats)
+    app.add_test("transport_fallback_chain", test_transport_fallback_chain)
+    app.add_test("streaming_invocations", test_streaming_invocations)
+    app.add_test("reconnect_policy", test_reconnect_policy)
+    app.add_test("hub_method_tasks", test_hub_method_tasks)
+    app.add_test("presence_tracker_lock", test_presence_tracker_lock)
+    app.add_test("backplane_fanout", test_backplane_fanout)
+    app.add_test("typed_hub_proxies", test_typed_hub_proxies)
+
+    app.add_bug(
+        KnownBug(
+            bug_id="Bug-13",
+            app="signalr",
+            issue_id="n/a",
+            kind="use_before_init",
+            previously_known=False,
+            description=(
+                "HubConnection publishes itself to the transport before "
+                "handshakeProtocol is initialized; the receive pump "
+                "dereferences it on the first inbound frame."
+            ),
+            fault_sites=frozenset({"signalr.HubConnection.ProcessMessages:167"}),
+            test_name="hub_connection_negotiation",
+            paper_runs_basic=None,
+            paper_runs_waffle=2,
+            paper_slowdown_waffle=1.3,
+        )
+    )
+    return app

@@ -1,0 +1,285 @@
+"""SSH.Net model: an SSH client library.
+
+Models SSH.Net's session/channel architecture: a session owns a socket
+reader thread and per-channel state; disconnects race in-flight channel
+operations.
+
+Planted bugs (Table 4):
+
+* **Bug-1** (issue #80, known) -- a disconnect disposes the session's
+  message listener while the keep-alive thread is about to touch it.
+* **Bug-2** (issue #453, known) -- closing a channel nulls its data
+  stream while the reader thread still forwards one last packet.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim.api import Simulation
+from . import patterns as P
+from .base import Application, KnownBug
+
+PREFIX = "sshnet"
+
+
+def test_disconnect_during_keepalive(sim: Simulation) -> Generator:
+    """Bug-1: session disposed between keep-alive probes."""
+    return P.plain_uaf(
+        sim,
+        PREFIX,
+        ref_name="message_listener",
+        use_site="sshnet.Session.SendKeepAlive:114",
+        dispose_site="sshnet.Session.Disconnect:89",
+        init_site="sshnet.Session.Connect:52",
+        use_at_ms=4.0,
+        dispose_at_ms=9.0,
+        extra_uses=2,
+        extra_use_spacing_ms=1.0,
+    )
+
+
+def test_channel_close_race(sim: Simulation) -> Generator:
+    """Bug-2: channel stream nulled while the reader forwards a packet."""
+    return P.plain_uaf(
+        sim,
+        PREFIX + ".chan",
+        ref_name="channel_stream",
+        use_site="sshnet.ChannelSession.OnData:203",
+        dispose_site="sshnet.ChannelSession.Close:171",
+        init_site="sshnet.ChannelSession.Open:64",
+        use_at_ms=6.0,
+        dispose_at_ms=14.0,
+    )
+
+
+# -- Benign traffic -----------------------------------------------------
+
+
+def test_sftp_parallel_uploads(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".sftp", items=10, stage_cost_ms=0.6)
+
+
+def test_forwarded_port_accept_loop(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".portfwd", items=8, stage_cost_ms=0.4)
+
+
+def test_session_semaphore_contention(sim: Simulation) -> Generator:
+    """Channel windows guarded by a semaphore."""
+    sem = sim.semaphore(initial=2, name="sshnet.window")
+    window = sim.ref("window_state")
+
+    def sender(sender_id: int) -> Generator:
+        for i in range(4):
+            yield from sem.acquire()
+            try:
+                yield from sim.write(
+                    window, "bytes", sender_id * 10 + i, loc="sshnet.Channel.send:%d" % sender_id
+                )
+                yield from sim.compute(0.5)
+            finally:
+                sem.release()
+            yield from sim.sleep(1.0)
+
+    def root() -> Generator:
+        obj = sim.new("sshnet.WindowState", bytes=0)
+        yield from sim.assign(window, obj, loc="sshnet.Channel.ctor:12")
+        threads = [sim.fork(sender(s), name="sshnet-sender-%d" % s) for s in range(3)]
+        yield from sim.join_all(threads)
+
+    return root()
+
+
+def test_key_exchange_handshake(sim: Simulation) -> Generator:
+    preamble, threads = P.fork_ordered_preamble(sim, PREFIX + ".kex", count=4, worker_uses=2)
+
+    def root() -> Generator:
+        yield from preamble
+        yield from sim.join_all(threads)
+
+    return root()
+
+
+def test_host_key_cache(sim: Simulation) -> Generator:
+    return P.unsafe_collection_traffic(sim, PREFIX + ".hostkeys", workers=2, ops_per_worker=4)
+
+
+def test_packet_counter_lock(sim: Simulation) -> Generator:
+    return P.locked_counter_workers(sim, PREFIX + ".packets", workers=3, increments=5)
+
+
+def test_shell_stream_echo(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".shell", items=12, stage_cost_ms=0.3)
+
+
+def test_reconnect_storm(sim: Simulation) -> Generator:
+    return P.dense_connection_churn(
+        sim, PREFIX + ".reconnect", workers=2, conns_per_worker=6, uses_per_conn=2
+    )
+
+
+def test_async_command_execution(sim: Simulation) -> Generator:
+    return P.task_fanout(sim, PREFIX + ".asyncexec", workers=2, tasks=8)
+
+
+def test_keepalive_sweep(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".kasweep", items=12, stage_cost_ms=0.4)
+
+
+def test_banner_exchange_timeout(sim: Simulation) -> Generator:
+    """Client and server exchange protocol banners with a deadline
+    watchdog that is cancelled through an event."""
+    banner = sim.ref("banner")
+    received = sim.event("sshnet.banner-received")
+
+    def server(sim_: Simulation) -> Generator:
+        yield from sim.sleep(3.0)
+        obj = sim.new("sshnet.Banner", text="SSH-2.0-Repro")
+        yield from sim.assign(banner, obj, loc="sshnet.Server.sendBanner:31")
+        received.set()
+
+    def watchdog(sim_: Simulation) -> Generator:
+        # Poll the deadline; exit quietly once the banner arrived.
+        for _ in range(10):
+            if received.is_set:
+                return
+            yield from sim.sleep(1.0)
+
+    def root() -> Generator:
+        srv = sim.fork(server(sim), name="sshnet-server")
+        dog = sim.fork(watchdog(sim), name="sshnet-watchdog")
+        yield from received.wait()
+        yield from sim.read(banner, "text", loc="sshnet.Client.readBanner:44")
+        yield from sim.join(srv)
+        yield from sim.join(dog)
+
+    return root()
+
+
+def test_channel_window_flowcontrol(sim: Simulation) -> Generator:
+    """Sender blocks on a condition variable until the receiver
+    acknowledges window space."""
+    lock = sim.lock("sshnet.window.lock")
+    space = sim.condition(lock, "sshnet.window.space")
+    state = sim.ref("flow_state")
+
+    def sender(sim_: Simulation) -> Generator:
+        for i in range(6):
+            yield from lock.acquire()
+            obj = state.value
+            while obj.fields["window"] <= 0:
+                yield from space.wait()
+                obj = state.value
+            yield from sim.write(state, "window", obj.fields["window"] - 1,
+                                 loc="sshnet.Flow.consume:71")
+            lock.release()
+            yield from sim.compute(0.4)
+
+    def receiver(sim_: Simulation) -> Generator:
+        for i in range(6):
+            yield from sim.sleep(1.1)
+            yield from lock.acquire()
+            obj = state.value
+            yield from sim.write(state, "window", obj.fields["window"] + 1,
+                                 loc="sshnet.Flow.replenish:85")
+            space.notify()
+            lock.release()
+
+    def root() -> Generator:
+        yield from sim.assign(state, sim.new("sshnet.FlowState", window=2),
+                              loc="sshnet.Flow.ctor:12")
+        a = sim.fork(sender(sim), name="sshnet-flow-sender")
+        b = sim.fork(receiver(sim), name="sshnet-flow-receiver")
+        yield from sim.join(a)
+        yield from sim.join(b)
+
+    return root()
+
+
+def test_agent_forwarding_requests(sim: Simulation) -> Generator:
+    """Agent-forwarding requests fan out over a task pool and each
+    signs with a key object created before submission."""
+    return P.task_fanout(sim, PREFIX + ".agentfwd", workers=2, tasks=10, task_cost_ms=0.6)
+
+
+def test_scp_transfer_chunks(sim: Simulation) -> Generator:
+    return P.synchronized_pipeline(sim, PREFIX + ".scp", items=16, stage_cost_ms=0.35)
+
+
+def test_known_hosts_update(sim: Simulation) -> Generator:
+    return P.unsafe_collection_traffic(
+        sim, PREFIX + ".knownhosts", workers=3, ops_per_worker=4, spacing_ms=1.8
+    )
+
+
+def build_app() -> Application:
+    app = Application(
+        name="sshnet",
+        display_name="SSH.Net",
+        paper_loc_kloc=84.4,
+        paper_multithreaded_tests=117,
+        paper_stars_k=2.8,
+    )
+    app.add_test("disconnect_during_keepalive", test_disconnect_during_keepalive)
+    app.add_test("channel_close_race", test_channel_close_race)
+    app.add_test("sftp_parallel_uploads", test_sftp_parallel_uploads)
+    app.add_test("forwarded_port_accept_loop", test_forwarded_port_accept_loop)
+    app.add_test("session_semaphore_contention", test_session_semaphore_contention)
+    app.add_test("key_exchange_handshake", test_key_exchange_handshake)
+    app.add_test("host_key_cache", test_host_key_cache)
+    app.add_test("packet_counter_lock", test_packet_counter_lock)
+    app.add_test("shell_stream_echo", test_shell_stream_echo)
+    app.add_test("reconnect_storm", test_reconnect_storm)
+    app.add_test("async_command_execution", test_async_command_execution)
+    app.add_test("keepalive_sweep", test_keepalive_sweep)
+    app.add_test("banner_exchange_timeout", test_banner_exchange_timeout)
+    app.add_test("channel_window_flowcontrol", test_channel_window_flowcontrol)
+    app.add_test("agent_forwarding_requests", test_agent_forwarding_requests)
+    app.add_test("scp_transfer_chunks", test_scp_transfer_chunks)
+    app.add_test("known_hosts_update", test_known_hosts_update)
+
+    app.add_bug(
+        KnownBug(
+            bug_id="Bug-1",
+            app="sshnet",
+            issue_id="80",
+            kind="use_after_free",
+            previously_known=True,
+            description=(
+                "Disconnect disposes the session message listener while "
+                "the keep-alive thread is about to send a probe."
+            ),
+            fault_sites=frozenset(
+                {
+                    "sshnet.Session.SendKeepAlive:114",
+                    "sshnet.early:0",
+                    "sshnet.early:1",
+                }
+            ),
+            test_name="disconnect_during_keepalive",
+            paper_runs_basic=2,
+            paper_runs_waffle=2,
+            paper_slowdown_basic=1.4,
+            paper_slowdown_waffle=1.2,
+        )
+    )
+    app.add_bug(
+        KnownBug(
+            bug_id="Bug-2",
+            app="sshnet",
+            issue_id="453",
+            kind="use_after_free",
+            previously_known=True,
+            description=(
+                "Channel close nulls the data stream while the socket "
+                "reader forwards one last packet to it."
+            ),
+            fault_sites=frozenset({"sshnet.ChannelSession.OnData:203"}),
+            test_name="channel_close_race",
+            paper_runs_basic=2,
+            paper_runs_waffle=2,
+            paper_slowdown_basic=1.7,
+            paper_slowdown_waffle=1.6,
+        )
+    )
+    return app

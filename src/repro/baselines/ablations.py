@@ -1,0 +1,67 @@
+"""Waffle ablations for the Table 7 design-point study.
+
+Each factory returns a :class:`~repro.core.detector.Waffle` driver with
+exactly one design point disabled:
+
+* ``no_parent_child``        -- section 4.1's fork-ordering pruning off;
+* ``no_preparation_run``     -- section 4.2's dedicated delay-free run
+  off (single-phase online identification);
+* ``no_custom_delay_length`` -- section 4.3's variable-length delays off
+  (fixed 100 ms instead);
+* ``no_interference_control``-- section 4.4's interference set off.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..core.config import DEFAULT_CONFIG, WaffleConfig
+from ..core.detector import Waffle
+
+#: Design-point slug -> the config flag it disables, in paper order.
+DESIGN_POINTS = (
+    "parent_child_analysis",
+    "preparation_run",
+    "custom_delay_length",
+    "interference_control",
+)
+
+#: Human-readable labels matching the rows of Table 7.
+DESIGN_POINT_LABELS: Dict[str, str] = {
+    "parent_child_analysis": "no parent-child analysis (4.1)",
+    "preparation_run": "no preparation run (4.2)",
+    "custom_delay_length": "no custom delay length (4.3)",
+    "interference_control": "no interference control (4.4)",
+}
+
+
+def make_ablation(design_point: str, config: Optional[WaffleConfig] = None) -> Waffle:
+    """A Waffle driver with one design point disabled."""
+    base = config if config is not None else DEFAULT_CONFIG
+    driver = Waffle(base.without(design_point))
+    driver.name = "waffle-" + design_point.replace("_", "-") + "-off"
+    return driver
+
+
+def no_parent_child(config: Optional[WaffleConfig] = None) -> Waffle:
+    return make_ablation("parent_child_analysis", config)
+
+
+def no_preparation_run(config: Optional[WaffleConfig] = None) -> Waffle:
+    return make_ablation("preparation_run", config)
+
+
+def no_custom_delay_length(config: Optional[WaffleConfig] = None) -> Waffle:
+    return make_ablation("custom_delay_length", config)
+
+
+def no_interference_control(config: Optional[WaffleConfig] = None) -> Waffle:
+    return make_ablation("interference_control", config)
+
+
+ALL_ABLATIONS: Dict[str, Callable[[Optional[WaffleConfig]], Waffle]] = {
+    "parent_child_analysis": no_parent_child,
+    "preparation_run": no_preparation_run,
+    "custom_delay_length": no_custom_delay_length,
+    "interference_control": no_interference_control,
+}

@@ -1,0 +1,341 @@
+"""Simplified models of the other Table 1 delay-injection tools.
+
+Table 1 positions Waffle against four earlier systems. To quantify the
+design-space differences the table only states qualitatively, this
+module implements a faithful *sketch* of each tool's injection policy
+on the MemOrder surface (documented simplifications below -- these are
+models of each tool's delay-injection strategy, not ports):
+
+* **RaceFuzzer** (Sen, PLDI'08) -- candidate pairs from an up-front
+  analysis run; each detection run targets **one** pair, delaying its
+  first location deterministically with a long pause. High precision,
+  run count linear in |S|.
+* **CTrigger** (Park et al., ASPLOS'09) -- like RaceFuzzer, but ranks
+  candidates by how small their execution window is ("hidden in small
+  windows" first), typically reaching the exposable pair sooner.
+* **RaceMob** (Kasikci et al., SOSP'13) -- crowdsourced: every run is
+  cheap, sampling a single candidate pair with a *short* probabilistic
+  delay; coverage accrues over many runs.
+* **DataCollider** (Erickson et al., OSDI'10) -- no analysis at all:
+  each run samples a handful of static sites at random and pauses
+  there briefly, hoping a conflicting access lands in the window.
+
+All four share Waffle's oracle (a delay-induced null dereference) and
+run budget accounting, so `related_tools_comparison` can report
+runs-to-expose across the whole Table 1 space.
+
+Simplifications: RaceFuzzer/CTrigger's predictive analyses are stood in
+for by the same near-miss pass Waffle uses on a delay-free recording
+(both papers' analyses are strictly richer); schedule *control* is
+modeled as a long delay at the target location, which is what their
+controllers reduce to on this substrate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Optional
+
+from ..core.analyzer import analyze_trace
+from ..core.candidates import CandidatePair
+from ..core.detector import DetectionOutcome, RunRecord, ToolDriver, as_workload
+from ..core.interference import ActiveDelayLedger
+from ..core.trace import RecordingHook
+from ..sim.instrument import InstrumentationHook, PendingAccess
+
+
+class _SingleTargetHook(InstrumentationHook):
+    """Delay the first dynamic occurrence of one target site per run."""
+
+    def __init__(self, target_site: str, delay_ms: float, once: bool = True):
+        self.target_site = target_site
+        self.delay_ms = delay_ms
+        self.once = once
+        self._fired = False
+        self.ledger = ActiveDelayLedger()
+        self.failure = None
+
+    # -- stats interface expected by ToolDriver._record ----------------
+
+    @property
+    def delays_injected(self) -> int:
+        return self.ledger.count
+
+    @property
+    def total_delay_ms(self) -> float:
+        return self.ledger.total_delay_ms
+
+    def overlap_ratio(self) -> float:
+        return self.ledger.overlap_ratio()
+
+    @property
+    def engine(self):
+        return None
+
+    def matched_pairs_for(self, error) -> List[CandidatePair]:
+        return []
+
+    def on_failure(self, thread, error) -> None:
+        self.failure = None
+
+    def before_access(self, pending: PendingAccess) -> float:
+        if not pending.access_type.is_memorder:
+            return 0.0
+        if self.once and self._fired:
+            return 0.0
+        if pending.location.site != self.target_site:
+            return 0.0
+        self._fired = True
+        self.ledger.register(self.target_site, pending.thread_id, pending.timestamp, self.delay_ms)
+        return self.delay_ms
+
+
+class _SampledSitesHook(InstrumentationHook):
+    """DataCollider: pause briefly at a random sample of sites."""
+
+    def __init__(self, sample_probability: float, delay_ms: float, seed: int):
+        self.sample_probability = sample_probability
+        self.delay_ms = delay_ms
+        self.rng = random.Random(seed)
+        self._decisions = {}
+        self.ledger = ActiveDelayLedger()
+        self.failure = None
+
+    @property
+    def delays_injected(self) -> int:
+        return self.ledger.count
+
+    @property
+    def total_delay_ms(self) -> float:
+        return self.ledger.total_delay_ms
+
+    def overlap_ratio(self) -> float:
+        return self.ledger.overlap_ratio()
+
+    @property
+    def engine(self):
+        return None
+
+    def matched_pairs_for(self, error) -> List[CandidatePair]:
+        return []
+
+    def on_failure(self, thread, error) -> None:
+        self.failure = None
+
+    def before_access(self, pending: PendingAccess) -> float:
+        if not pending.access_type.is_memorder:
+            return 0.0
+        site = pending.location.site
+        if site not in self._decisions:
+            # Sample each *static* site once per run (the breakpoint set).
+            self._decisions[site] = self.rng.random() < self.sample_probability
+        if not self._decisions[site]:
+            return 0.0
+        self.ledger.register(site, pending.thread_id, pending.timestamp, self.delay_ms)
+        return self.delay_ms
+
+
+class _AnalysisThenTargetDriver(ToolDriver):
+    """Shared RaceFuzzer/CTrigger scaffolding: one analysis run builds
+    the candidate list; each detection run validates one candidate."""
+
+    #: Delay used to force the reordering; generous, like a controlled
+    #: scheduler blocking the thread until the partner passes.
+    target_delay_ms = 150.0
+
+    def _rank(self, plan) -> List[CandidatePair]:
+        raise NotImplementedError
+
+    def detect(self, workload: Any, max_detection_runs: Optional[int] = None) -> DetectionOutcome:
+        workload = as_workload(workload)
+        config = self.config
+        budget = max_detection_runs if max_detection_runs is not None else config.max_detection_runs
+        outcome = DetectionOutcome(tool=self.name, workload=workload.name)
+
+        recorder = RecordingHook(record_overhead_ms=config.record_overhead_ms)
+        result = self._simulate(workload, recorder, seed=config.seed)
+        outcome.trace = recorder.trace
+        plan = analyze_trace(recorder.trace, config)
+        outcome.plan = plan
+        outcome.runs.append(
+            RunRecord(
+                kind="prep",
+                index=1,
+                virtual_time_ms=result.virtual_time,
+                op_count=result.op_count,
+                crashed=result.crashed,
+                timed_out=result.timed_out,
+            )
+        )
+
+        targets = self._rank(plan)
+        run_index = 1
+        for attempt in range(1, budget + 1):
+            if not targets:
+                break
+            pair = targets[(attempt - 1) % len(targets)]
+            run_index += 1
+            hook = _SingleTargetHook(pair.delay_location.site, self.target_delay_ms)
+            result = self._simulate(workload, hook, seed=config.seed + attempt)
+            report = self._harvest_simple(workload, hook, result, run_index, pair)
+            outcome.runs.append(
+                self._record("detect", run_index, result, hook, bug_found=report is not None)
+            )
+            if report is not None:
+                outcome.reports.append(report)
+                if config.stop_at_first_bug:
+                    break
+            elif attempt % len(targets) == 0:
+                # A full sweep over the candidate list without a
+                # manifestation: these tools would stop and report the
+                # remaining candidates unconfirmed.
+                break
+        return outcome
+
+    def _harvest_simple(self, workload, hook, result, run_index, pair):
+        from ..core.reports import build_report
+
+        error = self._memorder_failure(result)
+        if error is None or hook.delays_injected == 0:
+            return None
+        return build_report(
+            tool=self.name,
+            workload=workload.name,
+            error=error,
+            run_index=run_index,
+            fault_time_ms=result.virtual_time,
+            matched_pairs=[pair],
+            active_delays=[],
+            delays_injected=hook.delays_injected,
+        )
+
+
+class RaceFuzzer(_AnalysisThenTargetDriver):
+    """One candidate per run, in discovery order."""
+
+    name = "racefuzzer"
+
+    def _rank(self, plan) -> List[CandidatePair]:
+        return sorted(plan.candidates, key=lambda p: p.key())
+
+
+class CTrigger(_AnalysisThenTargetDriver):
+    """One candidate per run, smallest execution window first."""
+
+    name = "ctrigger"
+
+    def _rank(self, plan) -> List[CandidatePair]:
+        return sorted(plan.candidates, key=lambda p: plan.candidates.max_gap(p))
+
+
+class RaceMob(ToolDriver):
+    """Crowdsourced validation: cheap probabilistic runs, one sampled
+    candidate each, short delays."""
+
+    name = "racemob"
+    sample_delay_ms = 40.0
+
+    def detect(self, workload: Any, max_detection_runs: Optional[int] = None) -> DetectionOutcome:
+        workload = as_workload(workload)
+        config = self.config
+        budget = max_detection_runs if max_detection_runs is not None else config.max_detection_runs
+        outcome = DetectionOutcome(tool=self.name, workload=workload.name)
+
+        recorder = RecordingHook(record_overhead_ms=config.record_overhead_ms)
+        result = self._simulate(workload, recorder, seed=config.seed)
+        plan = analyze_trace(recorder.trace, config)
+        outcome.plan = plan
+        outcome.runs.append(
+            RunRecord(
+                kind="prep",
+                index=1,
+                virtual_time_ms=result.virtual_time,
+                op_count=result.op_count,
+                crashed=result.crashed,
+            )
+        )
+        candidates = sorted(plan.candidates, key=lambda p: p.key())
+        rng = random.Random(config.seed * 104729 + 7)
+        run_index = 1
+        for attempt in range(1, budget + 1):
+            if not candidates:
+                break
+            pair = rng.choice(candidates)
+            run_index += 1
+            hook = _SingleTargetHook(pair.delay_location.site, self.sample_delay_ms, once=False)
+            result = self._simulate(workload, hook, seed=config.seed + attempt)
+            report = None
+            error = self._memorder_failure(result)
+            if error is not None and hook.delays_injected > 0:
+                from ..core.reports import build_report
+
+                report = build_report(
+                    tool=self.name,
+                    workload=workload.name,
+                    error=error,
+                    run_index=run_index,
+                    fault_time_ms=result.virtual_time,
+                    matched_pairs=[pair],
+                    active_delays=[],
+                    delays_injected=hook.delays_injected,
+                )
+            outcome.runs.append(
+                self._record("detect", run_index, result, hook, bug_found=report is not None)
+            )
+            if report is not None:
+                outcome.reports.append(report)
+                if config.stop_at_first_bug:
+                    break
+        return outcome
+
+
+class DataCollider(ToolDriver):
+    """Analysis-free random site sampling with short pauses."""
+
+    name = "datacollider"
+    sample_probability = 0.1
+    sample_delay_ms = 40.0
+
+    def detect(self, workload: Any, max_detection_runs: Optional[int] = None) -> DetectionOutcome:
+        workload = as_workload(workload)
+        config = self.config
+        budget = max_detection_runs if max_detection_runs is not None else config.max_detection_runs
+        outcome = DetectionOutcome(tool=self.name, workload=workload.name)
+        for attempt in range(1, budget + 1):
+            hook = _SampledSitesHook(
+                self.sample_probability,
+                self.sample_delay_ms,
+                seed=config.seed * 7919 + attempt,
+            )
+            result = self._simulate(workload, hook, seed=config.seed + attempt)
+            report = None
+            error = self._memorder_failure(result)
+            if error is not None and hook.delays_injected > 0:
+                from ..core.reports import build_report
+
+                report = build_report(
+                    tool=self.name,
+                    workload=workload.name,
+                    error=error,
+                    run_index=attempt,
+                    fault_time_ms=result.virtual_time,
+                    matched_pairs=[],
+                    active_delays=[],
+                    delays_injected=hook.delays_injected,
+                )
+            outcome.runs.append(
+                self._record("detect", attempt, result, hook, bug_found=report is not None)
+            )
+            if report is not None:
+                outcome.reports.append(report)
+                if config.stop_at_first_bug:
+                    break
+        return outcome
+
+
+RELATED_TOOLS = {
+    "racefuzzer": RaceFuzzer,
+    "ctrigger": CTrigger,
+    "racemob": RaceMob,
+    "datacollider": DataCollider,
+}

@@ -1,0 +1,64 @@
+"""WaffleBasic: the straight Tsvd adaptation (paper section 3).
+
+WaffleBasic operates on MemOrder instrumentation sites but keeps every
+other Tsvd design decision:
+
+* candidate identification and delay injection happen *in the same run*
+  (online near-miss tracking plus happens-before inference);
+* delays have a fixed length (100 ms by default);
+* probability decay, multiple threads may be blocked in parallel, and
+  there is **no** interference control and **no** parent-child pruning.
+
+Candidate set and decay probabilities persist across runs (the tool is
+bootstrapped from the previous run's state, like Tsvd's iterative
+mode), which is what lets single-dynamic-instance locations -- object
+initializations, typically -- receive delays in later runs at all.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core.candidates import CandidateSet
+from ..core.delay_policy import DecayState
+from ..core.detector import DetectionOutcome, ToolDriver, as_workload
+from ..core.runtime import OnlineInjectionHook
+
+
+class WaffleBasic(ToolDriver):
+    """Single-phase MemOrder detector with Tsvd's design decisions."""
+
+    name = "wafflebasic"
+
+    def detect(self, workload: Any, max_detection_runs: Optional[int] = None) -> DetectionOutcome:
+        workload = as_workload(workload)
+        config = self.config
+        budget = max_detection_runs if max_detection_runs is not None else config.max_detection_runs
+        outcome = DetectionOutcome(tool=self.name, workload=workload.name)
+
+        # State persisted across runs (saved/bootstrapped, section 5).
+        candidates = CandidateSet()
+        decay = DecayState(config.decay_lambda)
+
+        for attempt in range(1, budget + 1):
+            hook = OnlineInjectionHook(
+                config,
+                decay,
+                candidates=candidates,
+                seed=config.seed * 7919 + attempt,
+                tsv_mode=False,
+                variable_delays=False,
+                hb_inference=True,
+                parent_child=False,
+                online_interference=False,
+            )
+            result = self._simulate(workload, hook, seed=config.seed + attempt)
+            report = self._harvest(workload, hook, result, attempt)
+            outcome.runs.append(
+                self._record("detect", attempt, result, hook, bug_found=report is not None)
+            )
+            if report is not None:
+                outcome.reports.append(report)
+                if config.stop_at_first_bug:
+                    break
+        return outcome

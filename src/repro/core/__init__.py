@@ -1,0 +1,65 @@
+"""Waffle core: trace analysis and delay-injection runtimes.
+
+See DESIGN.md section 3.2. Public entry point: :class:`Waffle`.
+"""
+
+from .analyzer import AnalysisStats, InjectionPlan, analyze_trace
+from .candidates import CandidateKind, CandidatePair, CandidateSet, GapObservation
+from .config import DEFAULT_CONFIG, WaffleConfig
+from .delay_policy import (
+    DecayState,
+    DelayLengthPolicy,
+    FixedDelayPolicy,
+    ProportionalDelayPolicy,
+)
+from .detector import DetectionOutcome, RunRecord, ToolDriver, Waffle, Workload, as_workload
+from .interference import (
+    ActiveDelayLedger,
+    DelayInterval,
+    InterferenceIndex,
+    build_interference_set,
+)
+from .nearmiss import NearMissTracker, TsvNearMissTracker
+from .reports import BugReport, build_report
+from .runtime import InjectionEngine, OnlineInjectionHook, PlannedInjectionHook
+from .trace import RecordingHook, Trace
+from .vector_clock import ThreadVectorClock, concurrent, leq, ordered
+
+__all__ = [
+    "AnalysisStats",
+    "InjectionPlan",
+    "analyze_trace",
+    "CandidateKind",
+    "CandidatePair",
+    "CandidateSet",
+    "GapObservation",
+    "DEFAULT_CONFIG",
+    "WaffleConfig",
+    "DecayState",
+    "DelayLengthPolicy",
+    "FixedDelayPolicy",
+    "ProportionalDelayPolicy",
+    "DetectionOutcome",
+    "RunRecord",
+    "ToolDriver",
+    "Waffle",
+    "Workload",
+    "as_workload",
+    "ActiveDelayLedger",
+    "DelayInterval",
+    "InterferenceIndex",
+    "build_interference_set",
+    "NearMissTracker",
+    "TsvNearMissTracker",
+    "BugReport",
+    "build_report",
+    "InjectionEngine",
+    "OnlineInjectionHook",
+    "PlannedInjectionHook",
+    "RecordingHook",
+    "Trace",
+    "ThreadVectorClock",
+    "concurrent",
+    "leq",
+    "ordered",
+]

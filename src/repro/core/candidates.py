@@ -1,0 +1,212 @@
+"""MemOrder bug candidates and the candidate set S.
+
+A candidate is an (ordered) pair of static locations {l1, l2} such that
+delaying the operation at l1 may reverse its order with the operation at
+l2 and expose a MemOrder bug (section 3.1):
+
+* **use-before-initialization** -- l1 is an *initialization*, l2 is a
+  *use* that followed it closely; delaying the initialization may push
+  it after the use.
+* **use-after-free** -- l1 is a *use*, l2 is a *disposal* that followed
+  it closely; delaying the use may push it after the disposal.
+
+In both cases l1 is the **delay location**.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..sim.instrument import AccessType, Location
+
+
+class CandidateKind(enum.Enum):
+    USE_BEFORE_INIT = "use_before_init"
+    USE_AFTER_FREE = "use_after_free"
+    #: Thread-safety violation candidates (the Tsvd baseline): two
+    #: thread-unsafe API calls on the same object from different
+    #: threads. Kept in the same container so Table 2's site counts are
+    #: computed uniformly.
+    THREAD_SAFETY = "thread_safety"
+
+    @staticmethod
+    def from_access_pair(first: AccessType, second: AccessType) -> Optional["CandidateKind"]:
+        """Classify an (earlier, later) access pair, or None if it is not
+        a MemOrder near-miss pattern."""
+        if first is AccessType.INIT and second is AccessType.USE:
+            return CandidateKind.USE_BEFORE_INIT
+        if first is AccessType.USE and second is AccessType.DISPOSE:
+            return CandidateKind.USE_AFTER_FREE
+        return None
+
+
+@dataclass(frozen=True)
+class CandidatePair:
+    """One entry of the candidate set S.
+
+    ``delay_location`` is l1 (where delays are injected) and
+    ``other_location`` is l2 (whose operation the delay tries to get
+    reordered against). Pairs are deduplicated at static-location
+    granularity; dynamic gap observations are aggregated separately.
+    """
+
+    kind: CandidateKind
+    delay_location: Location
+    other_location: Location
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.kind.value, self.delay_location.site, self.other_location.site)
+
+    def __str__(self) -> str:
+        return "%s{delay@%s, vs %s}" % (
+            self.kind.value,
+            self.delay_location.site,
+            self.other_location.site,
+        )
+
+
+@dataclass
+class GapObservation:
+    """One dynamic near-miss occurrence backing a candidate pair."""
+
+    gap_ms: float
+    timestamp_first: float
+    timestamp_second: float
+    object_id: int
+    thread_first: int
+    thread_second: int
+
+
+class CandidateSet:
+    """The mutable candidate set S with per-pair gap observations.
+
+    Waffle builds it offline from the preparation trace; WaffleBasic and
+    Tsvd mutate it online while the program runs. Both use the same
+    container so the harness can report candidate/injection-site counts
+    uniformly (Table 2).
+    """
+
+    def __init__(self) -> None:
+        self._pairs: Dict[Tuple[str, str, str], CandidatePair] = {}
+        self._gaps: Dict[Tuple[str, str, str], List[GapObservation]] = {}
+        #: Pairs removed by pruning/inference, kept for statistics.
+        self.pruned_parent_child: int = 0
+        self.pruned_hb_inference: int = 0
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[CandidatePair]:
+        return iter(list(self._pairs.values()))
+
+    def __contains__(self, pair: CandidatePair) -> bool:
+        return pair.key() in self._pairs
+
+    def add(self, pair: CandidatePair, observation: Optional[GapObservation] = None) -> bool:
+        """Insert (or refresh) a pair; returns True if it was new."""
+        key = pair.key()
+        is_new = key not in self._pairs
+        self._pairs[key] = pair
+        if observation is not None:
+            self._gaps.setdefault(key, []).append(observation)
+        return is_new
+
+    def remove(self, pair: CandidatePair) -> None:
+        self._pairs.pop(pair.key(), None)
+        self._gaps.pop(pair.key(), None)
+
+    def remove_with_delay_location(self, location: Location) -> List[CandidatePair]:
+        """Drop every pair whose delay location is ``location`` (the
+        Tsvd rule when a location's injection probability reaches 0)."""
+        doomed = [p for p in self._pairs.values() if p.delay_location == location]
+        for pair in doomed:
+            self.remove(pair)
+        return doomed
+
+    def pairs_for_delay_location(self, location: Location) -> List[CandidatePair]:
+        return [p for p in self._pairs.values() if p.delay_location == location]
+
+    def pairs_watching(self, location: Location) -> List[CandidatePair]:
+        """Pairs whose *other* location is ``location``."""
+        return [p for p in self._pairs.values() if p.other_location == location]
+
+    def observations(self, pair: CandidatePair) -> List[GapObservation]:
+        return list(self._gaps.get(pair.key(), ()))
+
+    def max_gap(self, pair: CandidatePair) -> float:
+        """Largest observed |tau1 - tau2| for the pair (section 4.3)."""
+        gaps = self._gaps.get(pair.key())
+        return max(obs.gap_ms for obs in gaps) if gaps else 0.0
+
+    @property
+    def delay_locations(self) -> Set[Location]:
+        """The injection sites: every pair's l1 (Table 2, "Injection Sites")."""
+        return {p.delay_location for p in self._pairs.values()}
+
+    @property
+    def locations(self) -> Set[Location]:
+        out: Set[Location] = set()
+        for pair in self._pairs.values():
+            out.add(pair.delay_location)
+            out.add(pair.other_location)
+        return out
+
+    def merge(self, other: "CandidateSet") -> None:
+        for pair in other:
+            self._pairs[pair.key()] = pair
+            for obs in other.observations(pair):
+                self._gaps.setdefault(pair.key(), []).append(obs)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (section 5: the analysis results are
+        saved on disk and bootstrap future detection runs)."""
+        return {
+            "pairs": [
+                {
+                    "kind": pair.kind.value,
+                    "delay_location": pair.delay_location.site,
+                    "other_location": pair.other_location.site,
+                    "gaps": [
+                        {
+                            "gap_ms": obs.gap_ms,
+                            "t1": obs.timestamp_first,
+                            "t2": obs.timestamp_second,
+                            "object_id": obs.object_id,
+                            "thread_first": obs.thread_first,
+                            "thread_second": obs.thread_second,
+                        }
+                        for obs in self._gaps.get(pair.key(), ())
+                    ],
+                }
+                for pair in self._pairs.values()
+            ],
+            "pruned_parent_child": self.pruned_parent_child,
+            "pruned_hb_inference": self.pruned_hb_inference,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CandidateSet":
+        out = cls()
+        for entry in payload.get("pairs", ()):
+            pair = CandidatePair(
+                kind=CandidateKind(entry["kind"]),
+                delay_location=Location(entry["delay_location"]),
+                other_location=Location(entry["other_location"]),
+            )
+            out.add(pair)
+            for gap in entry.get("gaps", ()):
+                out._gaps.setdefault(pair.key(), []).append(
+                    GapObservation(
+                        gap_ms=gap["gap_ms"],
+                        timestamp_first=gap["t1"],
+                        timestamp_second=gap["t2"],
+                        object_id=gap["object_id"],
+                        thread_first=gap["thread_first"],
+                        thread_second=gap["thread_second"],
+                    )
+                )
+        out.pruned_parent_child = payload.get("pruned_parent_child", 0)
+        out.pruned_hb_inference = payload.get("pruned_hb_inference", 0)
+        return out

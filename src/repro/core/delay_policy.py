@@ -1,0 +1,124 @@
+"""Injection-probability decay and delay-length policies.
+
+*Probability decay* (section 2, inherited from Tsvd by every tool in
+the family): each delay location starts with injection probability 1.0;
+every injection that fails to expose a bug lowers it by a constant
+lambda; at 0 the location is retired and all candidate pairs delayed at
+it are removed from S.
+
+*Delay length* (section 4.3): WaffleBasic/Tsvd inject a fixed-length
+delay; Waffle injects ``alpha * len(l)`` where ``len(l)`` is the largest
+init-use / use-dispose gap observed at ``l`` during the delay-free
+preparation run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class DecayState:
+    """Per-location injection probabilities, persisted across runs.
+
+    Section 5: "After each detection run, the new delay probabilities
+    are saved on disk and used to bootstrap the next detection run."
+    The same object is threaded through a tool's successive runs (and
+    can be serialized via :meth:`to_dict`).
+    """
+
+    def __init__(self, decay_lambda: float = 0.1):
+        if not 0 < decay_lambda <= 1:
+            raise ValueError("decay lambda must be in (0, 1]")
+        self.decay_lambda = decay_lambda
+        self._probabilities: Dict[str, float] = {}
+
+    def register(self, site: str, reset: bool = False) -> float:
+        """Ensure ``site`` has a probability; optionally reset it to 1.
+
+        Online tools reset to 1.0 when a pair is (re)added to S after a
+        removal -- there are no tombstones, matching Tsvd's behavior of
+        treating a rediscovered candidate as fresh.
+        """
+        if reset or site not in self._probabilities:
+            self._probabilities[site] = 1.0
+        return self._probabilities[site]
+
+    def probability(self, site: str) -> float:
+        return self._probabilities.get(site, 0.0)
+
+    #: Probabilities below this threshold are clamped to exactly zero,
+    #: so repeated float subtraction cannot leave a location limping
+    #: along at p = 1e-16 instead of being retired.
+    EPSILON = 1e-9
+
+    def decay(self, site: str) -> float:
+        """Apply one failed-injection decay; returns the new probability."""
+        current = self._probabilities.get(site, 0.0)
+        updated = current - self.decay_lambda
+        if updated < self.EPSILON:
+            updated = 0.0
+        self._probabilities[site] = updated
+        return updated
+
+    def retired(self, site: str) -> bool:
+        return self._probabilities.get(site, 1.0) <= 0.0
+
+    def known_sites(self):
+        return list(self._probabilities)
+
+    def to_dict(self) -> dict:
+        return {
+            "decay_lambda": self.decay_lambda,
+            "probabilities": dict(self._probabilities),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DecayState":
+        state = cls(decay_lambda=payload.get("decay_lambda", 0.1))
+        state._probabilities = dict(payload.get("probabilities", {}))
+        return state
+
+
+class DelayLengthPolicy:
+    """Chooses how long a delay at a given location should be."""
+
+    def length_for(self, site: str) -> float:
+        raise NotImplementedError
+
+
+class FixedDelayPolicy(DelayLengthPolicy):
+    """WaffleBasic/Tsvd: one fixed length for every location."""
+
+    def __init__(self, fixed_delay_ms: float):
+        if fixed_delay_ms <= 0:
+            raise ValueError("fixed delay must be positive")
+        self.fixed_delay_ms = fixed_delay_ms
+
+    def length_for(self, site: str) -> float:
+        return self.fixed_delay_ms
+
+
+class ProportionalDelayPolicy(DelayLengthPolicy):
+    """Waffle: ``alpha * len(site)``, clamped below by a minimum.
+
+    ``lengths`` maps site -> the largest gap observed in the preparation
+    run; locations absent from the map (which should not be delayed at
+    all under Waffle's plan) fall back to the minimum.
+    """
+
+    def __init__(self, lengths: Dict[str, float], alpha: float, min_delay_ms: float):
+        if alpha < 1.0:
+            raise ValueError("alpha must be >= 1 (delay must cover the observed gap)")
+        self.lengths = dict(lengths)
+        self.alpha = alpha
+        self.min_delay_ms = min_delay_ms
+
+    def length_for(self, site: str) -> float:
+        base = self.lengths.get(site, 0.0)
+        return max(self.min_delay_ms, self.alpha * base)
+
+    def update(self, site: str, gap_ms: float) -> None:
+        """Fold in a newly observed gap (used by the online/no-prep
+        ablation, which learns lengths while injecting)."""
+        if gap_ms > self.lengths.get(site, 0.0):
+            self.lengths[site] = gap_ms

@@ -1,0 +1,286 @@
+"""The Waffle detector: preparation run -> analysis -> detection runs.
+
+This is the orchestration of Figure 3. ``Waffle.detect`` executes the
+workload once delay-free while recording a trace, analyzes the trace
+into an :class:`InjectionPlan`, then repeatedly re-executes the workload
+with the :class:`PlannedInjectionHook` until a MemOrder bug manifests or
+the run budget is exhausted. Decay state and the (mutable) candidate
+set persist across detection runs, mirroring the on-disk bootstrap
+described in section 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, List, Optional
+
+from ..sim.api import Simulation
+from ..sim.errors import NullReferenceError
+from ..sim.scheduler import RunResult
+from .analyzer import InjectionPlan, analyze_trace
+from .config import DEFAULT_CONFIG, WaffleConfig
+from .delay_policy import DecayState, ProportionalDelayPolicy
+from .reports import BugReport, build_report
+from .runtime import OnlineInjectionHook, PlannedInjectionHook, _BaseInjectionHook
+from .trace import RecordingHook, Trace
+
+
+class Workload:
+    """A named, re-runnable test input.
+
+    ``build(sim)`` must return a fresh root generator for the given
+    simulation; it is called once per run. Plain generator functions
+    taking a single ``sim`` argument can be wrapped with
+    :func:`as_workload`.
+    """
+
+    def __init__(self, name: str, build: Callable[[Simulation], Generator]):
+        self.name = name
+        self._build = build
+
+    def build(self, sim: Simulation) -> Generator:
+        return self._build(sim)
+
+    def __repr__(self) -> str:
+        return "Workload(%r)" % self.name
+
+
+def as_workload(obj: Any) -> Workload:
+    """Coerce a Workload, or a callable ``f(sim) -> generator``, to Workload."""
+    if isinstance(obj, Workload):
+        return obj
+    if callable(obj):
+        return Workload(getattr(obj, "__name__", "workload"), obj)
+    if hasattr(obj, "name") and hasattr(obj, "build"):
+        return Workload(obj.name, obj.build)
+    raise TypeError("cannot interpret %r as a workload" % (obj,))
+
+
+@dataclass
+class RunRecord:
+    """Measurements of one run within a detection session."""
+
+    kind: str  # "prep" | "detect"
+    index: int  # 1-based position in the session
+    virtual_time_ms: float
+    delays_injected: int = 0
+    total_delay_ms: float = 0.0
+    overlap_ratio: float = 0.0
+    op_count: int = 0
+    crashed: bool = False
+    timed_out: bool = False
+    bug_found: bool = False
+    skipped_interference: int = 0
+
+
+@dataclass
+class DetectionOutcome:
+    """Everything a detection session produced."""
+
+    tool: str
+    workload: str
+    runs: List[RunRecord] = field(default_factory=list)
+    reports: List[BugReport] = field(default_factory=list)
+    plan: Optional[InjectionPlan] = None
+    trace: Optional[Trace] = None
+
+    @property
+    def bug_found(self) -> bool:
+        return bool(self.reports)
+
+    @property
+    def runs_to_expose(self) -> Optional[int]:
+        """Total runs executed up to and including the exposing run
+        (Waffle's count includes the preparation run, matching Table 4
+        where 'bug reliably exposed in the first detection run after a
+        preparation run' is reported as 2)."""
+        for record in self.runs:
+            if record.bug_found:
+                return record.index
+        return None
+
+    @property
+    def total_time_ms(self) -> float:
+        return sum(record.virtual_time_ms for record in self.runs)
+
+    @property
+    def total_delays(self) -> int:
+        return sum(record.delays_injected for record in self.runs)
+
+    @property
+    def total_delay_ms(self) -> float:
+        return sum(record.total_delay_ms for record in self.runs)
+
+    @property
+    def timed_out(self) -> bool:
+        return any(record.timed_out for record in self.runs)
+
+    def slowdown_vs(self, baseline_ms: float) -> float:
+        """End-to-end detection slowdown vs one uninstrumented run."""
+        if baseline_ms <= 0:
+            return float("inf")
+        return self.total_time_ms / baseline_ms
+
+
+class ToolDriver:
+    """Base class for detection tools (Waffle, WaffleBasic, Tsvd)."""
+
+    name = "tool"
+
+    def __init__(self, config: Optional[WaffleConfig] = None):
+        self.config = config if config is not None else DEFAULT_CONFIG
+
+    # -- Common helpers -------------------------------------------------
+
+    def _simulate(self, workload: Workload, hook, seed: int) -> RunResult:
+        sim = Simulation(
+            seed=seed,
+            hook=hook,
+            time_limit_ms=self.config.run_time_limit_ms,
+            stop_on_failure=True,
+            name=workload.name,
+        )
+        return sim.run(workload.build(sim), name="main")
+
+    def _record(
+        self,
+        kind: str,
+        index: int,
+        result: RunResult,
+        hook: Optional[_BaseInjectionHook] = None,
+        bug_found: bool = False,
+    ) -> RunRecord:
+        return RunRecord(
+            kind=kind,
+            index=index,
+            virtual_time_ms=result.virtual_time,
+            delays_injected=hook.delays_injected if hook else 0,
+            total_delay_ms=hook.total_delay_ms if hook else 0.0,
+            overlap_ratio=hook.overlap_ratio() if hook else 0.0,
+            op_count=result.op_count,
+            crashed=result.crashed,
+            timed_out=result.timed_out,
+            bug_found=bug_found,
+            skipped_interference=(
+                hook.engine.skipped_interference if hook and hook.engine else 0
+            ),
+        )
+
+    def _memorder_failure(self, result: RunResult) -> Optional[BaseException]:
+        for _, error in result.failures:
+            if isinstance(error, NullReferenceError):
+                return error
+        return None
+
+    def _harvest(
+        self,
+        workload: Workload,
+        hook: _BaseInjectionHook,
+        result: RunResult,
+        run_index: int,
+    ) -> Optional[BugReport]:
+        """Turn a crashed run into a bug report, if the crash is a
+        delay-induced MemOrder manifestation."""
+        error = self._memorder_failure(result)
+        if error is None:
+            return None
+        if hook.delays_injected == 0:
+            # Zero false positives: a crash the tool did not cause is
+            # not claimed (and, in this reproduction, indicates a
+            # mis-constructed benchmark -- surfaced by tests).
+            return None
+        context = hook.failure
+        return build_report(
+            tool=self.name,
+            workload=workload.name,
+            error=error,
+            run_index=run_index,
+            fault_time_ms=context.fault_time_ms if context else result.virtual_time,
+            matched_pairs=hook.matched_pairs_for(error),
+            active_delays=context.active_delays if context else [],
+            delays_injected=hook.delays_injected,
+            stacks=context.stacks if context else {},
+        )
+
+    def detect(self, workload: Any, max_detection_runs: Optional[int] = None) -> DetectionOutcome:
+        raise NotImplementedError
+
+
+class Waffle(ToolDriver):
+    """The paper's tool: prepare once, analyze, then inject (Figure 3).
+
+    With ``config.preparation_run`` disabled (the Table 7 ablation),
+    Waffle degenerates to a single-phase online tool that keeps its
+    other design points: variable-length delays learned online,
+    parent-child pruning via live vector clocks, and online
+    interference discovery.
+    """
+
+    name = "waffle"
+
+    def detect(self, workload: Any, max_detection_runs: Optional[int] = None) -> DetectionOutcome:
+        workload = as_workload(workload)
+        config = self.config
+        budget = max_detection_runs if max_detection_runs is not None else config.max_detection_runs
+        outcome = DetectionOutcome(tool=self.name, workload=workload.name)
+        decay = DecayState(config.decay_lambda)
+        run_index = 0
+
+        plan: Optional[InjectionPlan] = None
+        if config.preparation_run:
+            run_index += 1
+            recorder = RecordingHook(
+                record_overhead_ms=config.record_overhead_ms,
+                track_vector_clocks=config.parent_child_analysis,
+            )
+            result = self._simulate(workload, recorder, seed=config.seed)
+            outcome.trace = recorder.trace
+            plan = analyze_trace(recorder.trace, config)
+            outcome.plan = plan
+            record = RunRecord(
+                kind="prep",
+                index=run_index,
+                virtual_time_ms=result.virtual_time,
+                op_count=result.op_count,
+                crashed=result.crashed,
+                timed_out=result.timed_out,
+            )
+            outcome.runs.append(record)
+
+        # State shared by the online (no-prep) configuration.
+        online_candidates = None
+        online_policy = None
+        if plan is None:
+            from .candidates import CandidateSet
+
+            online_candidates = CandidateSet()
+            online_policy = ProportionalDelayPolicy({}, config.alpha, config.min_delay_ms)
+
+        for attempt in range(1, budget + 1):
+            run_index += 1
+            if plan is not None:
+                hook: _BaseInjectionHook = PlannedInjectionHook(
+                    plan, config, decay, seed=config.seed * 7919 + attempt
+                )
+            else:
+                hook = OnlineInjectionHook(
+                    config,
+                    decay,
+                    candidates=online_candidates,
+                    seed=config.seed * 7919 + attempt,
+                    variable_delays=True,
+                    hb_inference=False,
+                    parent_child=config.parent_child_analysis,
+                    online_interference=config.interference_control,
+                    shared_policy=online_policy,
+                )
+            result = self._simulate(workload, hook, seed=config.seed + attempt)
+            report = self._harvest(workload, hook, result, run_index)
+            outcome.runs.append(
+                self._record("detect", run_index, result, hook, bug_found=report is not None)
+            )
+            if report is not None:
+                outcome.reports.append(report)
+                if config.stop_at_first_bug:
+                    break
+        return outcome

@@ -1,0 +1,71 @@
+"""Serialization of trace events (JSONL).
+
+The preparation run writes "an unperturbed execution trace containing
+every access to heap objects" (section 5). This module round-trips
+:class:`~repro.sim.instrument.AccessEvent` records through plain dicts
+so traces can be stored as JSON Lines files, inspected, and re-analyzed
+without re-running the program.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, Iterable, Iterator, Optional
+
+from ..sim.instrument import AccessEvent, AccessType, Location
+
+
+def event_to_dict(event: AccessEvent) -> dict:
+    payload = {
+        "loc": event.location.site,
+        "type": event.access_type.value,
+        "oid": event.object_id,
+        "tid": event.thread_id,
+        "ts": round(event.timestamp, 6),
+        "ref": event.ref_name,
+        "member": event.member,
+    }
+    if event.duration:
+        payload["dur"] = round(event.duration, 6)
+    if event.injected_delay:
+        payload["delay"] = round(event.injected_delay, 6)
+    if event.vc_snapshot is not None:
+        # JSON object keys must be strings; thread ids are ints.
+        payload["vc"] = {str(tid): counter for tid, counter in event.vc_snapshot.items()}
+    return payload
+
+
+def event_from_dict(payload: dict) -> AccessEvent:
+    vc: Optional[Dict[int, int]] = None
+    if "vc" in payload:
+        vc = {int(tid): counter for tid, counter in payload["vc"].items()}
+    return AccessEvent(
+        location=Location(payload["loc"]),
+        access_type=AccessType(payload["type"]),
+        object_id=payload["oid"],
+        thread_id=payload["tid"],
+        timestamp=payload["ts"],
+        ref_name=payload.get("ref", ""),
+        member=payload.get("member", ""),
+        duration=payload.get("dur", 0.0),
+        injected_delay=payload.get("delay", 0.0),
+        vc_snapshot=vc,
+    )
+
+
+def dump_events(events: Iterable[AccessEvent], fp: IO[str]) -> int:
+    """Write events as JSON Lines; returns the number written."""
+    count = 0
+    for event in events:
+        fp.write(json.dumps(event_to_dict(event), separators=(",", ":")))
+        fp.write("\n")
+        count += 1
+    return count
+
+
+def load_events(fp: IO[str]) -> Iterator[AccessEvent]:
+    """Yield events from a JSON Lines stream, skipping blank lines."""
+    for line in fp:
+        line = line.strip()
+        if line:
+            yield event_from_dict(json.loads(line))

@@ -1,0 +1,196 @@
+"""Delay-interference analysis and the runtime interference guard.
+
+Section 4.4: a delay planned for location ``l*`` on thread Thd2
+interferes with a delay planned for ``l1`` on thread Thd1 when, for a
+candidate pair {l1, l2}, (1) ``l*`` executes before ``l2`` on Thd2 --
+so delaying it would block Thd2 and cancel the reordering the ``l1``
+delay is trying to achieve -- and (2) ``l*`` executes shortly before
+``l1`` or between ``l1`` and ``l2`` (the *interference window*,
+Figure 5).
+
+Waffle computes the interference set I from the preparation trace:
+when a pair {l1, l2} is identified at the moment ``l2`` executes (time
+tau2), it scans the operations performed by ``l2``'s thread in the
+window [tau1 - delta, tau2]; any candidate delay location found there
+becomes an interference partner of ``l1``. Self-interference (another
+dynamic instance of ``l1`` itself, the Figure 4b pattern) is included.
+
+At run time, a delay is *skipped* (not deferred) when any currently
+ongoing delay was injected at an interfering location.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from ..sim.instrument import AccessEvent
+from .candidates import CandidateSet
+
+#: An interference pair is an unordered set of one or two sites (one
+#: site only for self-interference).
+InterferencePair = FrozenSet[str]
+
+
+def build_interference_set(
+    events: List[AccessEvent],
+    candidates: CandidateSet,
+    window_ms: float,
+) -> Set[InterferencePair]:
+    """Compute I from a (sorted) preparation-run event list.
+
+    Runs as a second pass with the *final* candidate set, which catches
+    strictly more interference than the paper's single online pass
+    (where ``l*`` must already be a candidate when ``l2`` executes);
+    the difference only adds conservatism.
+    """
+    delay_sites = {loc.site for loc in candidates.delay_locations}
+    if not delay_sites:
+        return set()
+
+    # Per-thread timeline of memorder events for window scans.
+    by_thread: Dict[int, List[Tuple[float, str]]] = {}
+    for event in events:
+        if event.access_type.is_memorder:
+            by_thread.setdefault(event.thread_id, []).append(
+                (event.timestamp, event.location.site)
+            )
+    for timeline in by_thread.values():
+        timeline.sort()
+
+    interference: Set[InterferencePair] = set()
+    for pair in candidates:
+        l1_site = pair.delay_location.site
+        for obs in candidates.observations(pair):
+            timeline = by_thread.get(obs.thread_second)
+            if not timeline:
+                continue
+            lo = bisect_left(timeline, (obs.timestamp_first - window_ms, ""))
+            hi = bisect_right(timeline, (obs.timestamp_second, "￿"))
+            for index in range(lo, hi):
+                ts, site = timeline[index]
+                if site not in delay_sites:
+                    continue
+                if ts == obs.timestamp_second and site == pair.other_location.site:
+                    # This is the l2 occurrence itself, not a preceding op.
+                    continue
+                interference.add(frozenset((l1_site, site)))
+    return interference
+
+
+class InterferenceIndex:
+    """Fast site -> conflicting-sites lookup built from I."""
+
+    def __init__(self, pairs: Iterable[InterferencePair] = ()):
+        self._conflicts: Dict[str, Set[str]] = {}
+        for pair in pairs:
+            self.add(pair)
+
+    def add(self, pair: InterferencePair) -> None:
+        sites = list(pair)
+        if len(sites) == 1:
+            a = b = sites[0]
+        else:
+            a, b = sites
+        self._conflicts.setdefault(a, set()).add(b)
+        self._conflicts.setdefault(b, set()).add(a)
+
+    def conflicts_of(self, site: str) -> Set[str]:
+        return self._conflicts.get(site, set())
+
+    def conflicts_with_any(self, site: str, active_sites: Iterable[str]) -> bool:
+        conflicts = self._conflicts.get(site)
+        if not conflicts:
+            return False
+        return any(active in conflicts for active in active_sites)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._conflicts.values())
+
+    def pairs(self) -> Set[InterferencePair]:
+        out: Set[InterferencePair] = set()
+        for site, conflicts in self._conflicts.items():
+            for other in conflicts:
+                out.add(frozenset((site, other)))
+        return out
+
+
+@dataclass
+class DelayInterval:
+    """One injected delay, for ledger bookkeeping and overlap metrics."""
+
+    site: str
+    thread_id: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class ActiveDelayLedger:
+    """Tracks which delays are ongoing at the current virtual time.
+
+    Used by the runtime both to enforce interference control ("no delay
+    gets injected at l* as long as there is another delay concurrently
+    injected at a location interfering with l*") and to account for the
+    delay-overlap statistics of section 3.3.
+    """
+
+    def __init__(self) -> None:
+        self._active: List[DelayInterval] = []
+        #: Complete history of injected delays (for metrics).
+        self.history: List[DelayInterval] = []
+
+    def register(self, site: str, thread_id: int, start: float, duration: float) -> DelayInterval:
+        interval = DelayInterval(site=site, thread_id=thread_id, start=start, end=start + duration)
+        self._active.append(interval)
+        self.history.append(interval)
+        return interval
+
+    def active_sites(self, now: float) -> List[str]:
+        self._prune(now)
+        return [interval.site for interval in self._active]
+
+    def active_intervals(self, now: float) -> List[DelayInterval]:
+        self._prune(now)
+        return list(self._active)
+
+    def _prune(self, now: float) -> None:
+        if self._active:
+            self._active = [interval for interval in self._active if interval.end > now]
+
+    # -- Metrics (section 3.3's overlap ratio) -------------------------
+
+    @property
+    def total_delay_ms(self) -> float:
+        return sum(interval.duration for interval in self.history)
+
+    @property
+    def count(self) -> int:
+        return len(self.history)
+
+    def projection_ms(self) -> float:
+        """Length of the union ("time projection") of all delay intervals."""
+        if not self.history:
+            return 0.0
+        spans = sorted((i.start, i.end) for i in self.history)
+        total = 0.0
+        cur_start, cur_end = spans[0]
+        for start, end in spans[1:]:
+            if start > cur_end:
+                total += cur_end - cur_start
+                cur_start, cur_end = start, end
+            else:
+                cur_end = max(cur_end, end)
+        total += cur_end - cur_start
+        return total
+
+    def overlap_ratio(self) -> float:
+        """1 - projection/total: 0 when no delays overlap, -> 1 when all do."""
+        total = self.total_delay_ms
+        if total <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.projection_ms() / total)

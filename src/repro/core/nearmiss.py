@@ -1,0 +1,170 @@
+"""Near-miss tracking.
+
+The near-miss heuristic (paper sections 2 and 3.1) is the sole
+candidate-*generation* mechanism of the whole tool family: two
+operations form a candidate iff they touch the same object from
+different threads within a physical-time window delta.
+
+Patterns:
+
+* MemOrder mode -- ``(INIT at tau1, USE at tau2)`` with
+  ``0 <= tau2 - tau1 <= delta`` yields a use-before-initialization
+  candidate delaying the INIT; ``(USE at tau1, DISPOSE at tau2)`` yields
+  a use-after-free candidate delaying the USE.
+* TSV mode (Tsvd baseline) -- two ``UNSAFE_CALL`` operations within
+  delta of each other; both call sites become delay locations.
+
+The tracker is incremental so the same code serves the offline trace
+analysis (Waffle's preparation phase) and the online identification of
+WaffleBasic/Tsvd (fed from ``after_access``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from ..sim.instrument import AccessEvent, AccessType
+from .candidates import CandidateKind, CandidatePair, CandidateSet, GapObservation
+
+#: Optional filter deciding whether a would-be pair is already ordered
+#: (and must be pruned). Receives (earlier_event, later_event); returns
+#: True to prune. Waffle plugs its vector-clock comparison in here.
+OrderFilter = Callable[[AccessEvent, AccessEvent], bool]
+
+#: Callback fired when a pair is added; receives (pair, is_new).
+PairSink = Callable[[CandidatePair, bool], None]
+
+
+class NearMissTracker:
+    """Incremental MemOrder near-miss matching over an event stream."""
+
+    def __init__(
+        self,
+        window_ms: float,
+        candidates: Optional[CandidateSet] = None,
+        order_filter: Optional[OrderFilter] = None,
+        on_pair: Optional[PairSink] = None,
+    ):
+        if window_ms <= 0:
+            raise ValueError("near-miss window must be positive")
+        self.window_ms = window_ms
+        self.candidates = candidates if candidates is not None else CandidateSet()
+        self.order_filter = order_filter
+        self.on_pair = on_pair
+        #: Per-object recent-event windows (object id -> deque).
+        self._recent: Dict[int, Deque[AccessEvent]] = {}
+
+    def observe(self, event: AccessEvent) -> List[CandidatePair]:
+        """Feed one event (in timestamp order); returns pairs (re)added."""
+        if not event.access_type.is_memorder:
+            return []
+        if event.object_id < 0:
+            # A faulting access through a null reference carries no
+            # object identity; it cannot participate in near-miss
+            # matching (the bug already manifested anyway).
+            return []
+        window = self._recent.setdefault(event.object_id, deque())
+        horizon = event.timestamp - self.window_ms
+        while window and window[0].timestamp < horizon:
+            window.popleft()
+
+        added: List[CandidatePair] = []
+        for earlier in window:
+            if earlier.thread_id == event.thread_id:
+                continue
+            kind = CandidateKind.from_access_pair(earlier.access_type, event.access_type)
+            if kind is None:
+                continue
+            if self.order_filter is not None and self.order_filter(earlier, event):
+                self.candidates.pruned_parent_child += 1
+                continue
+            pair = CandidatePair(
+                kind=kind,
+                delay_location=earlier.location,
+                other_location=event.location,
+            )
+            observation = GapObservation(
+                gap_ms=event.timestamp - earlier.timestamp,
+                timestamp_first=earlier.timestamp,
+                timestamp_second=event.timestamp,
+                object_id=event.object_id,
+                thread_first=earlier.thread_id,
+                thread_second=event.thread_id,
+            )
+            is_new = self.candidates.add(pair, observation)
+            if self.on_pair is not None:
+                self.on_pair(pair, is_new)
+            added.append(pair)
+
+        window.append(event)
+        return added
+
+    def observe_all(self, events) -> CandidateSet:
+        """Feed a whole (sorted) event sequence; returns the candidate set."""
+        for event in events:
+            self.observe(event)
+        return self.candidates
+
+
+class TsvNearMissTracker:
+    """Near-miss matching for thread-safety violations (Tsvd, section 2).
+
+    Both locations of a TSV pair become delay locations: reversing
+    either side can make the two call windows overlap.
+    """
+
+    def __init__(
+        self,
+        window_ms: float,
+        candidates: Optional[CandidateSet] = None,
+        on_pair: Optional[PairSink] = None,
+    ):
+        if window_ms <= 0:
+            raise ValueError("near-miss window must be positive")
+        self.window_ms = window_ms
+        self.candidates = candidates if candidates is not None else CandidateSet()
+        self.on_pair = on_pair
+        self._recent: Dict[int, Deque[AccessEvent]] = {}
+
+    def observe(self, event: AccessEvent) -> List[CandidatePair]:
+        if event.access_type is not AccessType.UNSAFE_CALL:
+            return []
+        window = self._recent.setdefault(event.object_id, deque())
+        horizon = event.timestamp - self.window_ms
+        while window and window[0].timestamp < horizon:
+            window.popleft()
+
+        added: List[CandidatePair] = []
+        for earlier in window:
+            if earlier.thread_id == event.thread_id:
+                continue
+            observation = GapObservation(
+                gap_ms=event.timestamp - earlier.timestamp,
+                timestamp_first=earlier.timestamp,
+                timestamp_second=event.timestamp,
+                object_id=event.object_id,
+                thread_first=earlier.thread_id,
+                thread_second=event.thread_id,
+            )
+            for delay_loc, other_loc in (
+                (earlier.location, event.location),
+                (event.location, earlier.location),
+            ):
+                pair = CandidatePair(
+                    kind=CandidateKind.THREAD_SAFETY,
+                    delay_location=delay_loc,
+                    other_location=other_loc,
+                )
+                is_new = self.candidates.add(pair, observation)
+                if self.on_pair is not None:
+                    self.on_pair(pair, is_new)
+                added.append(pair)
+
+        window.append(event)
+        return added
+
+    def observe_all(self, events) -> CandidateSet:
+        for event in events:
+            self.observe(event)
+        return self.candidates

@@ -1,0 +1,102 @@
+"""Bug reports.
+
+Section 5: "Waffle reports a bug only when the target binary raises a
+NULL reference exception as a consequence of the delay injection
+performed. At that time, the relevant run-time context (i.e., faulty
+input, candidate locations involved, stack traces for all threads, and
+delay value information) is recorded as part of the bug report."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sim.errors import NullReferenceError
+from ..sim.instrument import Location
+from .candidates import CandidatePair
+from .interference import DelayInterval
+
+
+@dataclass
+class BugReport:
+    """A manifested MemOrder bug and the context that exposed it."""
+
+    #: Name of the tool that produced the report.
+    tool: str
+    #: Name of the test input that triggered the bug ("faulty input").
+    workload: str
+    #: Static location of the faulting access.
+    fault_location: Optional[Location]
+    #: Name of the reference that was null/disposed.
+    ref_name: str
+    #: Thread that performed the faulting access.
+    thread_name: str
+    #: Exception class name (NullReferenceError / ObjectDisposedError).
+    error_type: str
+    #: Virtual time of the manifestation within its run.
+    fault_time_ms: float
+    #: 1-based index of the run (within the tool session) that crashed.
+    run_index: int
+    #: Candidate pairs involving the faulting location.
+    matched_pairs: List[CandidatePair] = field(default_factory=list)
+    #: Delays that were ongoing when the bug manifested.
+    active_delays: List[DelayInterval] = field(default_factory=list)
+    #: Total delays injected in the crashing run up to the fault.
+    delays_injected: int = 0
+    #: Whether any delay was injected before the fault (a report with
+    #: False would be a spontaneous crash, which the tools never claim
+    #: credit for -- the zero-false-positive property of section 6.4).
+    delay_induced: bool = False
+    #: Per-thread stack labels at crash time.
+    stacks: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def fault_site(self) -> str:
+        return self.fault_location.site if self.fault_location else ""
+
+    def summary(self) -> str:
+        pairs = "; ".join(str(p) for p in self.matched_pairs) or "(no matched pair)"
+        return (
+            "%s: %s on ref %r at %s (thread %s, t=%.2fms, run %d) -- %s"
+            % (
+                self.tool,
+                self.error_type,
+                self.ref_name,
+                self.fault_site or "?",
+                self.thread_name,
+                self.fault_time_ms,
+                self.run_index,
+                pairs,
+            )
+        )
+
+
+def build_report(
+    tool: str,
+    workload: str,
+    error: BaseException,
+    run_index: int,
+    fault_time_ms: float,
+    matched_pairs: List[CandidatePair],
+    active_delays: List[DelayInterval],
+    delays_injected: int,
+    stacks: Optional[Dict[str, List[str]]] = None,
+) -> BugReport:
+    """Assemble a report from a captured thread failure."""
+    location = getattr(error, "location", None)
+    return BugReport(
+        tool=tool,
+        workload=workload,
+        fault_location=location,
+        ref_name=getattr(error, "ref_name", "") or "",
+        thread_name=getattr(error, "thread_name", "") or "",
+        error_type=type(error).__name__,
+        fault_time_ms=fault_time_ms,
+        run_index=run_index,
+        matched_pairs=list(matched_pairs),
+        active_delays=list(active_delays),
+        delays_injected=delays_injected,
+        delay_induced=delays_injected > 0,
+        stacks=dict(stacks or {}),
+    )

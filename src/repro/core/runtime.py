@@ -1,0 +1,403 @@
+"""Delay-injection runtime hooks.
+
+Two hooks implement the "Step 2: injecting delays at run time" half of
+Figure 1:
+
+* :class:`PlannedInjectionHook` -- Waffle's detection-run runtime,
+  bootstrapped from the preparation run's :class:`InjectionPlan`
+  (candidate set S, per-location delay lengths, interference set I).
+* :class:`OnlineInjectionHook` -- the single-phase runtime shared by
+  WaffleBasic, Tsvd and the no-preparation-run ablation: it identifies
+  candidate locations with near-miss tracking *in the same run* it
+  injects delays, optionally running happens-before inference,
+  parent-child vector-clock pruning and online interference discovery.
+
+Both share :class:`InjectionEngine`, the delay-or-not decision process:
+probability decay -> random draw -> interference guard -> delay length.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from ..sim.instrument import AccessEvent, AccessType, InstrumentationHook, PendingAccess
+from .analyzer import InjectionPlan
+from .candidates import CandidatePair, CandidateSet
+from .config import WaffleConfig
+from .delay_policy import (
+    DecayState,
+    DelayLengthPolicy,
+    FixedDelayPolicy,
+    ProportionalDelayPolicy,
+)
+from .interference import ActiveDelayLedger, DelayInterval, InterferenceIndex
+from .nearmiss import NearMissTracker, TsvNearMissTracker
+from .vector_clock import TLS_KEY, ThreadVectorClock, ordered
+
+
+@dataclass
+class FailureContext:
+    """Crash context captured by ``on_failure`` for report assembly."""
+
+    error: BaseException
+    thread_name: str
+    fault_time_ms: float
+    active_delays: List[DelayInterval]
+    stacks: Dict[str, List[str]] = field(default_factory=dict)
+
+
+class InjectionEngine:
+    """The delay-or-not decision process shared by all runtimes."""
+
+    def __init__(
+        self,
+        config: WaffleConfig,
+        candidates: CandidateSet,
+        decay: DecayState,
+        delay_policy: DelayLengthPolicy,
+        interference: Optional[InterferenceIndex],
+        rng: random.Random,
+    ):
+        self.config = config
+        self.candidates = candidates
+        self.decay = decay
+        self.delay_policy = delay_policy
+        self.interference = interference
+        self.rng = rng
+        self.ledger = ActiveDelayLedger()
+        #: Delays whose injection was skipped by the interference guard.
+        self.skipped_interference: int = 0
+
+    def decide(self, pending: PendingAccess) -> float:
+        """Return the delay to inject before ``pending`` (0 for none)."""
+        site = pending.location.site
+        if not self.candidates.pairs_for_delay_location(pending.location):
+            return 0.0
+        probability = self.decay.register(site)
+        if probability <= 0.0:
+            # Retired location: drop its pairs from S (Tsvd rule).
+            self.candidates.remove_with_delay_location(pending.location)
+            return 0.0
+        if self.rng.random() >= probability:
+            return 0.0
+        now = pending.timestamp
+        if self.interference is not None and self.config.interference_control:
+            active = self.ledger.active_sites(now)
+            if active and self.interference.conflicts_with_any(site, active):
+                self.skipped_interference += 1
+                return 0.0
+        length = self.delay_policy.length_for(site)
+        if length <= 0.0:
+            return 0.0
+        self.ledger.register(site, pending.thread_id, now, length)
+        remaining = self.decay.decay(site)
+        if remaining <= 0.0:
+            self.candidates.remove_with_delay_location(pending.location)
+        return length
+
+
+class _BaseInjectionHook(InstrumentationHook):
+    """Shared scaffolding: engine wiring, stats, failure capture."""
+
+    def __init__(self, config: WaffleConfig):
+        self.config = config
+        self.per_op_overhead_ms = config.inject_overhead_ms
+        self.failure: Optional[FailureContext] = None
+        self._threads: Dict[int, object] = {}
+        self.engine: Optional[InjectionEngine] = None
+
+    # -- Stats accessors used by the harness ---------------------------
+
+    @property
+    def delays_injected(self) -> int:
+        return self.engine.ledger.count if self.engine else 0
+
+    @property
+    def total_delay_ms(self) -> float:
+        return self.engine.ledger.total_delay_ms if self.engine else 0.0
+
+    @property
+    def delay_intervals(self) -> List[DelayInterval]:
+        return list(self.engine.ledger.history) if self.engine else []
+
+    def overlap_ratio(self) -> float:
+        return self.engine.ledger.overlap_ratio() if self.engine else 0.0
+
+    # -- Hook callbacks -------------------------------------------------
+
+    def on_thread_start(self, thread) -> None:
+        self._threads[thread.tid] = thread
+
+    def on_failure(self, thread, error: BaseException) -> None:
+        if self.failure is not None:
+            return
+        now = thread.end_time if thread.end_time is not None else 0.0
+        stacks = {
+            t.name: t.snapshot_stack() for t in self._threads.values() if t.is_alive or t is thread
+        }
+        self.failure = FailureContext(
+            error=error,
+            thread_name=thread.name,
+            fault_time_ms=now,
+            active_delays=self.engine.ledger.active_intervals(now) if self.engine else [],
+            stacks=stacks,
+        )
+
+    def matched_pairs_for(self, error: BaseException) -> List[CandidatePair]:
+        """Candidate pairs that involve the faulting location."""
+        location = getattr(error, "location", None)
+        if location is None or self.engine is None:
+            return []
+        matched = self.engine.candidates.pairs_for_delay_location(location)
+        matched += self.engine.candidates.pairs_watching(location)
+        # Deduplicate while preserving order.
+        seen: Set[Tuple[str, str, str]] = set()
+        unique: List[CandidatePair] = []
+        for pair in matched:
+            if pair.key() not in seen:
+                seen.add(pair.key())
+                unique.append(pair)
+        return unique
+
+
+class PlannedInjectionHook(_BaseInjectionHook):
+    """Waffle's detection-run runtime (sections 4.3-4.4).
+
+    The plan's candidate set, delay lengths and interference set come
+    from the preparation run; the decay state persists across detection
+    runs. The hook performs no identification work of its own, which is
+    why its per-operation overhead is the low proxy-dispatch cost.
+    """
+
+    def __init__(
+        self,
+        plan: InjectionPlan,
+        config: WaffleConfig,
+        decay: DecayState,
+        seed: int = 0,
+    ):
+        super().__init__(config)
+        self.plan = plan
+        if config.custom_delay_length:
+            policy: DelayLengthPolicy = ProportionalDelayPolicy(
+                plan.delay_lengths, config.alpha, config.min_delay_ms
+            )
+        else:
+            policy = FixedDelayPolicy(config.fixed_delay_ms)
+        interference = (
+            InterferenceIndex(plan.interference) if config.interference_control else None
+        )
+        self.engine = InjectionEngine(
+            config=config,
+            candidates=plan.candidates,
+            decay=decay,
+            delay_policy=policy,
+            interference=interference,
+            rng=random.Random(seed),
+        )
+
+    def before_access(self, pending: PendingAccess) -> float:
+        if not pending.access_type.is_memorder:
+            return 0.0
+        return self.engine.decide(pending)
+
+
+class OnlineInjectionHook(_BaseInjectionHook):
+    """Single-phase runtime: identify candidates and inject in one run.
+
+    Configuration degrees of freedom (all combinations are meaningful):
+
+    * ``tsv_mode`` -- track thread-unsafe API calls instead of MemOrder
+      operations (the Tsvd baseline).
+    * ``variable_delays`` -- learn per-location delay lengths from the
+      gaps observed online (the no-preparation-run Waffle ablation);
+      otherwise use the fixed length (WaffleBasic/Tsvd).
+    * ``hb_inference`` -- Tsvd's happens-before inference: a candidate
+      pair is dropped when a delay at l1 is followed by l2 executing
+      just after the delay ends without having executed during it.
+    * ``parent_child`` -- maintain TLS vector clocks online and refuse
+      pairs whose operations are fork-ordered.
+    * ``online_interference`` -- build the interference index on the
+      fly from per-thread recent-operation windows.
+
+    State that persists across runs (S, probabilities, learned delay
+    lengths) is carried by the objects passed in, so a tool driver can
+    thread them through successive runs.
+    """
+
+    def __init__(
+        self,
+        config: WaffleConfig,
+        decay: DecayState,
+        candidates: Optional[CandidateSet] = None,
+        seed: int = 0,
+        tsv_mode: bool = False,
+        variable_delays: bool = False,
+        hb_inference: bool = True,
+        parent_child: bool = False,
+        online_interference: bool = False,
+        shared_policy: Optional[ProportionalDelayPolicy] = None,
+    ):
+        super().__init__(config)
+        self.tsv_mode = tsv_mode
+        self.hb_inference = hb_inference
+        self.parent_child = parent_child
+        self.online_interference = online_interference
+
+        candidate_set = candidates if candidates is not None else CandidateSet()
+        if variable_delays:
+            policy: DelayLengthPolicy = shared_policy or ProportionalDelayPolicy(
+                {}, config.alpha, config.min_delay_ms
+            )
+        else:
+            policy = FixedDelayPolicy(config.fixed_delay_ms)
+        self._variable_policy = policy if variable_delays else None
+
+        interference = InterferenceIndex() if online_interference else None
+        self.engine = InjectionEngine(
+            config=config,
+            candidates=candidate_set,
+            decay=decay,
+            delay_policy=policy,
+            interference=interference,
+            rng=random.Random(seed),
+        )
+
+        order_filter = self._vc_filter if parent_child else None
+        if tsv_mode:
+            self._tracker = TsvNearMissTracker(
+                config.near_miss_window_ms,
+                candidates=candidate_set,
+                on_pair=self._on_pair,
+            )
+        else:
+            self._tracker = NearMissTracker(
+                config.near_miss_window_ms,
+                candidates=candidate_set,
+                order_filter=order_filter,
+                on_pair=self._on_pair,
+            )
+
+        #: Per-thread recent memorder operations, for online
+        #: interference discovery: deque of (timestamp, site).
+        self._thread_recent: Dict[int, Deque[Tuple[float, str]]] = {}
+        #: HB-inference: open delay windows per delay site:
+        #: site -> (start, end, thread_id, sites_seen_during).
+        self._windows: Dict[str, Tuple[float, float, int, Set[str]]] = {}
+
+    # -- Candidate bookkeeping ------------------------------------------
+
+    def _on_pair(self, pair: CandidatePair, is_new: bool) -> None:
+        # Rediscovered pairs are fresh: no tombstones, probability
+        # resets to 1 (see delay_policy.DecayState.register).
+        self.engine.decay.register(pair.delay_location.site, reset=is_new)
+        if self._variable_policy is not None:
+            gap = self.engine.candidates.max_gap(pair)
+            self._variable_policy.update(pair.delay_location.site, gap)
+        if self.online_interference and self.engine.interference is not None and is_new:
+            self._discover_interference(pair)
+
+    def _discover_interference(self, pair: CandidatePair) -> None:
+        """Scan l2's thread-recent window for interfering delay sites."""
+        observations = self.engine.candidates.observations(pair)
+        if not observations:
+            return
+        obs = observations[-1]
+        recent = self._thread_recent.get(obs.thread_second, ())
+        delay_sites = {loc.site for loc in self.engine.candidates.delay_locations}
+        window_start = obs.timestamp_first - self.config.near_miss_window_ms
+        for ts, site in recent:
+            if ts < window_start or ts > obs.timestamp_second:
+                continue
+            if site in delay_sites:
+                if ts == obs.timestamp_second and site == pair.other_location.site:
+                    continue
+                self.engine.interference.add(frozenset((pair.delay_location.site, site)))
+
+    def _vc_filter(self, earlier: AccessEvent, later: AccessEvent) -> bool:
+        return ordered(earlier.vc_snapshot, later.vc_snapshot)
+
+    # -- Hook callbacks -------------------------------------------------
+
+    def on_thread_start(self, thread) -> None:
+        super().on_thread_start(thread)
+        if self.parent_child and TLS_KEY not in thread.itls:
+            thread.itls.set(TLS_KEY, ThreadVectorClock(thread.tid))
+
+    def before_access(self, pending: PendingAccess) -> float:
+        if self.tsv_mode:
+            if pending.access_type is not AccessType.UNSAFE_CALL:
+                return 0.0
+        elif not pending.access_type.is_memorder:
+            return 0.0
+        return self.engine.decide(pending)
+
+    def after_access(self, event: AccessEvent) -> None:
+        if self.parent_child:
+            thread = self._threads.get(event.thread_id)
+            if thread is not None:
+                clock = thread.itls.get(TLS_KEY)
+                if clock is not None:
+                    event.vc_snapshot = clock.snapshot()
+        if self.hb_inference:
+            self._hb_observe(event)
+        if self.online_interference and event.access_type.is_memorder:
+            recent = self._thread_recent.setdefault(event.thread_id, deque())
+            recent.append((event.timestamp, event.location.site))
+            horizon = event.timestamp - 2 * self.config.near_miss_window_ms
+            while recent and recent[0][0] < horizon:
+                recent.popleft()
+        if event.injected_delay > 0 and self.hb_inference:
+            # Open an inference window for the delay that just elapsed:
+            # the delay occupied [ts - delay, ts).
+            self._windows[event.location.site] = (
+                event.timestamp - event.injected_delay,
+                event.timestamp,
+                event.thread_id,
+                set(),
+            )
+        self._tracker.observe(event)
+
+    def _hb_observe(self, event: AccessEvent) -> None:
+        """Happens-before inference (section 2, 'removing from S').
+
+        If location l2 of a pair {l1, l2} executes within the grace
+        window right after a delay at l1 ends -- and never executed
+        *during* the delay -- the delay propagated: l1 happens-before
+        l2, so the pair is removed. Note the deliberate fragility the
+        paper highlights (section 4.1): a concurrent delay in l2's own
+        thread produces the same timing signature, so dense injection
+        makes this heuristic unreliable.
+        """
+        if not self._windows:
+            return
+        ts = event.timestamp
+        grace = self.config.hb_inference_grace_ms
+        stale: List[str] = []
+        for l1_site, (start, end, tid, seen_during) in self._windows.items():
+            if ts > end + grace:
+                stale.append(l1_site)
+                continue
+            if event.thread_id == tid:
+                continue
+            if start <= ts < end:
+                seen_during.add(event.location.site)
+            elif end <= ts <= end + grace and event.location.site not in seen_during:
+                from ..sim.instrument import Location
+
+                l1 = Location(l1_site)
+                for pair in self.engine.candidates.pairs_for_delay_location(l1):
+                    if pair.other_location == event.location:
+                        self.engine.candidates.remove(pair)
+                        self.engine.candidates.pruned_hb_inference += 1
+        for site in stale:
+            self._windows.pop(site, None)
+
+    # -- Exposed for tests ----------------------------------------------
+
+    @property
+    def candidates(self) -> CandidateSet:
+        return self.engine.candidates

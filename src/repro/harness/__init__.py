@@ -1,0 +1,25 @@
+"""Experiment harness: per-table drivers, metrics, renderers, CLI."""
+
+from . import experiments, metrics, tables
+from .runner import (
+    SingleRun,
+    analyze_test,
+    run_baseline,
+    run_online_detection,
+    run_planned_detection,
+    run_recording,
+    test_time_limit,
+)
+
+__all__ = [
+    "experiments",
+    "metrics",
+    "tables",
+    "SingleRun",
+    "analyze_test",
+    "run_baseline",
+    "run_online_detection",
+    "run_planned_detection",
+    "run_recording",
+    "test_time_limit",
+]

@@ -1,0 +1,349 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Examples::
+
+    waffle-repro table1
+    waffle-repro table4 --attempts 15 --budget 50
+    waffle-repro table5 --apps netmq mqttnet
+    waffle-repro detect --bug Bug-11 --tool wafflebasic
+    waffle-repro all --attempts 5 --out results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import Any, List, Optional
+
+from ..apps import all_bugs, bug_workload, get_app
+from ..baselines import StressRunner, WaffleBasic
+from ..core.config import DEFAULT_CONFIG
+from ..core.detector import Waffle
+from . import experiments, tables
+
+
+def _emit(text: str, out: Optional[str]) -> None:
+    if out:
+        with open(out, "a") as fp:
+            fp.write(text + "\n\n")
+    print(text)
+    print()
+
+
+def _to_jsonable(value: Any) -> Any:
+    """Best-effort conversion of experiment rows to JSON-safe values."""
+    from ..sim.instrument import Location
+
+    if isinstance(value, Location):
+        return value.site
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # Field-by-field (not dataclasses.asdict) so nested values still
+        # pass through this dispatcher, e.g. Locations become site
+        # strings rather than {"site": ...} dicts.
+        return {
+            f.name: _to_jsonable(getattr(value, f.name)) for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_to_jsonable(v) for v in value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _emit_rows(name: str, rows: Any, text: str, args) -> None:
+    """Emit rendered text, or machine-readable JSON with --json."""
+    if getattr(args, "json", False):
+        payload = json.dumps({name: _to_jsonable(rows)}, indent=2, sort_keys=True)
+        _emit(payload, args.out)
+    else:
+        _emit(text, args.out)
+
+
+def cmd_table1(args) -> None:
+    _emit(tables.design_matrix(), args.out)
+
+
+def cmd_table2(args) -> None:
+    rows = experiments.table2_sites(apps=args.apps, seed=args.seed)
+    _emit_rows("table2", rows, tables.render_table2(rows), args)
+
+
+def cmd_figure2(args) -> None:
+    points = experiments.figure2_timing_conditions(seed=args.seed)
+    _emit_rows("figure2", points, tables.render_figure2(points), args)
+
+
+def cmd_figure5(args) -> None:
+    points = experiments.figure5_interference_window(seed=args.seed)
+    _emit_rows("figure5", points, tables.render_figure5(points), args)
+
+
+def cmd_overlap(args) -> None:
+    rows = experiments.overlap_ratios(apps=args.apps, seed=args.seed)
+    _emit_rows("overlap", rows, tables.render_overlap(rows), args)
+
+
+def cmd_dynamic(args) -> None:
+    rows, overall = experiments.dynamic_instances(apps=args.apps, seed=args.seed)
+    _emit(tables.render_dynamic_instances(rows, overall), args.out)
+
+
+def cmd_table4(args) -> None:
+    rows = experiments.table4_detection(
+        attempts=args.attempts, budget=args.budget, bugs=args.bugs, base_seed=args.seed
+    )
+    _emit_rows("table4", rows, tables.render_table4(rows), args)
+
+
+def cmd_table5(args) -> None:
+    rows = experiments.table5_overhead(apps=args.apps, seed=args.seed)
+    _emit_rows("table5", rows, tables.render_table5(rows), args)
+
+
+def cmd_table6(args) -> None:
+    rows = experiments.table6_delays(apps=args.apps, seed=args.seed)
+    _emit_rows("table6", rows, tables.render_table6(rows), args)
+
+
+def cmd_table7(args) -> None:
+    rows = experiments.table7_ablations(
+        attempts=args.attempts, budget=args.budget, base_seed=args.seed
+    )
+    _emit_rows("table7", rows, tables.render_table7(rows), args)
+
+
+def cmd_related(args) -> None:
+    rows = experiments.related_tools_comparison(
+        bugs=args.bugs, budget=args.budget, base_seed=args.seed
+    )
+    _emit_rows("related", rows, tables.render_related_tools(rows), args)
+
+
+def cmd_stress(args) -> None:
+    rows = experiments.stress_control(runs=args.budget, bugs=args.bugs, base_seed=args.seed)
+    _emit_rows("stress", rows, tables.render_stress(rows), args)
+
+
+def cmd_detect(args) -> None:
+    if args.bug:
+        test = bug_workload(args.bug)
+    else:
+        test = get_app(args.app).test(args.test)
+    config = DEFAULT_CONFIG.with_seed(args.seed)
+    driver = {"waffle": Waffle, "wafflebasic": WaffleBasic, "stress": StressRunner}[args.tool](
+        config
+    )
+    outcome = driver.detect(test, max_detection_runs=args.budget)
+    print("tool=%s workload=%s" % (outcome.tool, outcome.workload))
+    for record in outcome.runs:
+        print(
+            "  run %d (%s): %.2fms, %d delays (%.1fms), crashed=%s%s"
+            % (
+                record.index,
+                record.kind,
+                record.virtual_time_ms,
+                record.delays_injected,
+                record.total_delay_ms,
+                record.crashed,
+                " TIMEOUT" if record.timed_out else "",
+            )
+        )
+    if outcome.bug_found:
+        print("BUG EXPOSED after %s runs:" % outcome.runs_to_expose)
+        print("  " + outcome.reports[0].summary())
+    else:
+        print("no bug exposed within %d runs" % args.budget)
+
+
+def cmd_apps(args) -> None:
+    """List the benchmark applications and their test suites."""
+    from ..apps import all_apps
+
+    for app in all_apps().values():
+        bugs = ", ".join(b.bug_id for b in app.known_bugs) or "none"
+        print(
+            "%-18s %-20s %3d tests   bugs: %s"
+            % (app.name, app.display_name, len(app.tests), bugs)
+        )
+        if args.verbose:
+            for test in app.tests:
+                print("    %s" % test.name)
+
+
+def cmd_bugs(args) -> None:
+    """List the 18 Table 4 bugs with their metadata."""
+    from ..apps import all_bugs
+
+    for bug in all_bugs():
+        print(
+            "%-7s %-17s issue %-5s %-16s %-9s test=%s"
+            % (
+                bug.bug_id,
+                bug.app,
+                bug.issue_id,
+                bug.kind,
+                "known" if bug.previously_known else "unknown",
+                bug.test_name,
+            )
+        )
+        if args.verbose:
+            print("    %s" % bug.description)
+
+
+def cmd_trace(args) -> None:
+    """Record a delay-free trace of one test; dump stats and optionally
+    the JSONL events and the analyzed injection plan."""
+    from ..core.analyzer import analyze_trace
+    from ..core.persistence import save_plan
+    from .runner import run_recording
+
+    test = bug_workload(args.bug) if args.bug else get_app(args.app).test(args.test)
+    config = DEFAULT_CONFIG.with_seed(args.seed)
+    run, trace = run_recording(test, config, seed=args.seed)
+    print("trace of %r: %d events, %.2f virtual ms" % (test.name, len(trace), run.virtual_time_ms))
+    print("  threads: %d (%s)" % (
+        len(trace.thread_names),
+        ", ".join(sorted(trace.thread_names.values())[:8]),
+    ))
+    print("  MemOrder sites: %d, TSV sites: %d" % (
+        len(trace.static_sites(memorder=True)),
+        len(trace.static_sites(memorder=False)),
+    ))
+    plan = analyze_trace(trace, config)
+    print("  candidate pairs: %d, injection sites: %d, interference pairs: %d, "
+          "pruned fork-ordered: %d" % (
+        plan.stats.candidate_pairs,
+        plan.stats.injection_sites,
+        plan.stats.interference_pairs,
+        plan.stats.pruned_parent_child,
+    ))
+    for site in sorted(plan.delay_sites):
+        print("    delay %-50s %.2f ms (x%.2f)" % (
+            site, plan.delay_lengths.get(site, 0.0), config.alpha))
+    if args.save_trace:
+        with open(args.save_trace, "w") as fp:
+            count = trace.dump(fp)
+        print("  wrote %d events to %s" % (count, args.save_trace))
+    if args.save_plan:
+        save_plan(plan, args.save_plan)
+        print("  wrote injection plan to %s" % args.save_plan)
+
+
+def cmd_all(args) -> None:
+    for command in (
+        cmd_table1,
+        cmd_table2,
+        cmd_figure2,
+        cmd_figure5,
+        cmd_overlap,
+        cmd_dynamic,
+        cmd_table4,
+        cmd_table5,
+        cmd_table6,
+        cmd_table7,
+        cmd_stress,
+    ):
+        command(args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    # SUPPRESS keeps a subcommand's (unset) copy of a shared option
+    # from clobbering a value given before the subcommand.
+    shared = argparse.ArgumentParser(add_help=False)
+    shared.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS, help="base random seed"
+    )
+    shared.add_argument(
+        "--out", type=str, default=argparse.SUPPRESS, help="append output to this file"
+    )
+    shared.add_argument(
+        "--json",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="emit machine-readable JSON instead of rendered tables",
+    )
+    parser = argparse.ArgumentParser(
+        prog="waffle-repro",
+        parents=[shared],
+        description="Regenerate the tables and figures of the Waffle paper (EuroSys '23).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, attempts_default=15, budget_default=50):
+        p.add_argument("--apps", nargs="*", default=None, help="restrict to these app keys")
+        p.add_argument("--bugs", nargs="*", default=None, help="restrict to these bug ids")
+        p.add_argument("--attempts", type=int, default=attempts_default)
+        p.add_argument("--budget", type=int, default=budget_default)
+
+    for name, fn, help_text in (
+        ("table1", cmd_table1, "design-decision matrix (Table 1)"),
+        ("table2", cmd_table2, "instrumentation/injection site densities (Table 2)"),
+        ("figure2", cmd_figure2, "timing-condition microbenchmark (Figure 2)"),
+        ("figure5", cmd_figure5, "interference-window microbenchmark (Figure 5)"),
+        ("overlap", cmd_overlap, "delay-overlap ratios (section 3.3)"),
+        ("dynamic", cmd_dynamic, "init-site dynamic-instance census (section 3.3)"),
+        ("table4", cmd_table4, "bug detection results (Table 4)"),
+        ("table5", cmd_table5, "average overhead per app (Table 5)"),
+        ("table6", cmd_table6, "cumulative delays injected (Table 6)"),
+        ("table7", cmd_table7, "design-point ablations (Table 7)"),
+        ("stress", cmd_stress, "delay-free control (section 6.2)"),
+        ("related", cmd_related, "extension: the full Table 1 design space"),
+        ("all", cmd_all, "everything above"),
+    ):
+        p = sub.add_parser(name, help=help_text, parents=[shared])
+        common(p, attempts_default=5 if name in ("table7", "all") else 15)
+        p.set_defaults(func=fn)
+
+    for name, fn, help_text in (
+        ("apps", cmd_apps, "list the benchmark applications"),
+        ("bugs", cmd_bugs, "list the 18 Table 4 bugs"),
+    ):
+        p = sub.add_parser(name, help=help_text, parents=[shared])
+        p.add_argument("-v", "--verbose", action="store_true")
+        p.set_defaults(func=fn)
+
+    p = sub.add_parser(
+        "trace",
+        help="record and analyze a delay-free trace of one workload",
+        parents=[shared],
+    )
+    p.add_argument("--bug", type=str, default=None, help="bug id, e.g. Bug-11")
+    p.add_argument("--app", type=str, default=None)
+    p.add_argument("--test", type=str, default=None)
+    p.add_argument("--save-trace", type=str, default=None, help="write events (JSONL) here")
+    p.add_argument("--save-plan", type=str, default=None, help="write the injection plan here")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("detect", help="run one tool on one workload", parents=[shared])
+    p.add_argument("--tool", choices=["waffle", "wafflebasic", "stress"], default="waffle")
+    p.add_argument("--bug", type=str, default=None, help="bug id, e.g. Bug-11")
+    p.add_argument("--app", type=str, default=None)
+    p.add_argument("--test", type=str, default=None)
+    p.add_argument("--budget", type=int, default=50)
+    p.set_defaults(func=cmd_detect)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not hasattr(args, "seed"):
+        args.seed = 0
+    if not hasattr(args, "out"):
+        args.out = None
+    if not hasattr(args, "json"):
+        args.json = False
+    if args.command in ("detect", "trace") and not args.bug and not (args.app and args.test):
+        parser.error("%s requires --bug or both --app and --test" % args.command)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,805 @@
+"""One driver per paper table/figure (DESIGN.md section 4).
+
+Every function returns plain dataclasses so the renderers in
+:mod:`repro.harness.tables`, the pytest benchmarks and the CLI can share
+results. Paper-reported values are carried alongside measured ones so
+EXPERIMENTS.md tables can be regenerated mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..apps import all_apps, all_bugs, bug_workload
+from ..apps.base import Application, AppTestCase, KnownBug
+from ..baselines import ALL_ABLATIONS, DESIGN_POINT_LABELS, StressRunner, Tsvd, WaffleBasic
+from ..core.candidates import CandidateSet
+from ..core.config import DEFAULT_CONFIG, WaffleConfig
+from ..core.delay_policy import DecayState
+from ..core.detector import DetectionOutcome, Waffle
+from ..core.nearmiss import TsvNearMissTracker
+from ..sim.api import Simulation
+from ..sim.errors import NullReferenceError
+from ..sim.instrument import InstrumentationHook
+from . import metrics
+from .runner import (
+    analyze_test,
+    run_baseline,
+    run_online_detection,
+    run_planned_detection,
+    run_recording,
+    test_time_limit,
+)
+
+
+def _apps(subset: Optional[Sequence[str]] = None) -> List[Application]:
+    registry = all_apps()
+    if subset is None:
+        return list(registry.values())
+    return [registry[name] for name in subset]
+
+
+# ======================================================================
+# Table 2 -- instrumentation and injection site densities
+# ======================================================================
+
+
+@dataclass
+class Table2Row:
+    app: str
+    tsv_instr_sites: float
+    mo_instr_sites: float
+    tsv_injection_sites: float
+    mo_injection_sites: float
+
+
+def table2_sites(
+    config: WaffleConfig = DEFAULT_CONFIG,
+    apps: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> List[Table2Row]:
+    """Average unique static instrumentation and injection sites per
+    test input, for the TSV (Tsvd) and MemOrder (Waffle) surfaces."""
+    rows: List[Table2Row] = []
+    for app in _apps(apps):
+        tsv_instr: List[int] = []
+        mo_instr: List[int] = []
+        tsv_inject: List[int] = []
+        mo_inject: List[int] = []
+        for test in app.multithreaded_tests:
+            _, trace = run_recording(test, config, seed=seed)
+            mo_instr.append(len(trace.static_sites(memorder=True)))
+            tsv_instr.append(len(trace.static_sites(memorder=False)))
+            from ..core.analyzer import analyze_trace
+
+            plan = analyze_trace(trace, config)
+            mo_inject.append(len(plan.candidates.delay_locations))
+            tsv_tracker = TsvNearMissTracker(config.near_miss_window_ms)
+            tsv_tracker.observe_all(trace.sorted_events())
+            tsv_inject.append(len(tsv_tracker.candidates.delay_locations))
+        count = max(1, len(app.multithreaded_tests))
+        rows.append(
+            Table2Row(
+                app=app.display_name,
+                tsv_instr_sites=sum(tsv_instr) / count,
+                mo_instr_sites=sum(mo_instr) / count,
+                tsv_injection_sites=sum(tsv_inject) / count,
+                mo_injection_sites=sum(mo_inject) / count,
+            )
+        )
+    return rows
+
+
+# ======================================================================
+# Figure 2 -- timing conditions for TSVs vs MemOrder bugs
+# ======================================================================
+
+
+@dataclass
+class Figure2Point:
+    delay_ms: float
+    tsv_exposed: bool
+    memorder_exposed: bool
+
+
+class _FixedDelayAt(InstrumentationHook):
+    """Inject a fixed delay at exactly one static site (microbench aid)."""
+
+    def __init__(self, site: str, delay_ms: float):
+        self.site = site
+        self.delay_ms = delay_ms
+
+    def before_access(self, pending) -> float:
+        return self.delay_ms if pending.location.site == self.site else 0.0
+
+
+def _figure2_tsv_scenario(sim: Simulation) -> object:
+    """API call 1 (thread 1) ends well before API call 2 (thread 2):
+    only a delay within (T3-T2, T4-T1) makes the windows overlap."""
+    table = sim.unsafe_dict("fig2.Dict")
+
+    def caller_one():
+        yield from sim.unsafe_call(table, "add", "k", 1, loc="fig2.call1", duration=3.0)
+
+    def caller_two():
+        yield from sim.sleep(10.0)
+        yield from sim.unsafe_call(table, "add", "k", 2, loc="fig2.call2", duration=3.0)
+
+    def root():
+        a = sim.fork(caller_one(), name="fig2-one")
+        b = sim.fork(caller_two(), name="fig2-two")
+        yield from sim.join(a)
+        yield from sim.join(b)
+
+    return root()
+
+
+def _figure2_memorder_scenario(sim: Simulation) -> object:
+    """Use at t=0 (thread 2), dispose at t=10 (thread 1): only a delay
+    longer than the whole gap (delay > T4-T1) exposes the bug."""
+    ref = sim.ref("fig2_obj")
+
+    def user():
+        yield from sim.use(ref, member="Touch", loc="fig2.use")
+
+    def root():
+        yield from sim.assign(ref, sim.new("fig2.Obj"), loc="fig2.init")
+        worker = sim.fork(user(), name="fig2-user")
+        yield from sim.sleep(10.0)
+        yield from sim.dispose(ref, loc="fig2.dispose")
+        yield from sim.join(worker)
+
+    return root()
+
+
+def figure2_timing_conditions(
+    delays_ms: Sequence[float] = (0, 2, 4, 6, 8, 9, 11, 12, 14, 16, 20, 30),
+    seed: int = 0,
+) -> List[Figure2Point]:
+    points: List[Figure2Point] = []
+    for delay in delays_ms:
+        sim = Simulation(seed=seed, hook=_FixedDelayAt("fig2.call1", float(delay)))
+        result = sim.run(_figure2_tsv_scenario(sim))
+        tsv_exposed = bool(result.tsv_occurrences)
+
+        sim = Simulation(seed=seed, hook=_FixedDelayAt("fig2.use", float(delay)))
+        result = sim.run(_figure2_memorder_scenario(sim))
+        memorder_exposed = result.crashed and isinstance(
+            result.first_failure(), NullReferenceError
+        )
+        points.append(Figure2Point(float(delay), tsv_exposed, memorder_exposed))
+    return points
+
+
+# ======================================================================
+# Section 3.3 -- delay overlap and dynamic-instance censuses
+# ======================================================================
+
+
+@dataclass
+class OverlapRow:
+    app: str
+    tsvd_overlap: float
+    wafflebasic_overlap: float
+
+
+def overlap_ratios(
+    config: WaffleConfig = DEFAULT_CONFIG,
+    apps: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> List[OverlapRow]:
+    """Average delay-overlap ratio per app for Tsvd vs WaffleBasic.
+
+    Each test gets two runs per tool (state persists across them, so
+    the second run actually injects); the overlap ratio of the delayed
+    run is averaged across tests.
+    """
+    rows: List[OverlapRow] = []
+    for app in _apps(apps):
+        per_tool: Dict[str, List[float]] = {"tsvd": [], "basic": []}
+        for test in app.multithreaded_tests:
+            base = run_baseline(test, seed=seed).virtual_time_ms
+            limit = test_time_limit(base)
+            for tool, tsv_mode in (("tsvd", True), ("basic", False)):
+                decay = DecayState(config.decay_lambda)
+                candidates = CandidateSet()
+                last_overlap = 0.0
+                for attempt in (1, 2):
+                    run, _ = run_online_detection(
+                        test,
+                        config,
+                        decay,
+                        candidates,
+                        seed=seed + attempt,
+                        hook_seed=seed * 7919 + attempt,
+                        tsv_mode=tsv_mode,
+                        time_limit_ms=limit,
+                    )
+                    if run.delays_injected:
+                        last_overlap = run.overlap_ratio
+                per_tool[tool].append(last_overlap)
+        rows.append(
+            OverlapRow(
+                app=app.display_name,
+                tsvd_overlap=metrics.mean(per_tool["tsvd"]) if per_tool["tsvd"] else 0.0,
+                wafflebasic_overlap=metrics.mean(per_tool["basic"]) if per_tool["basic"] else 0.0,
+            )
+        )
+    return rows
+
+
+@dataclass
+class DynamicInstanceRow:
+    app: str
+    median_init_instances: float
+    init_sites: int
+
+
+def dynamic_instances(
+    config: WaffleConfig = DEFAULT_CONFIG,
+    apps: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> Tuple[List[DynamicInstanceRow], float]:
+    """Median dynamic instances of initialization sites (section 3.3:
+    'the median number of dynamic instances for all object
+    initialization operations is 2')."""
+    rows: List[DynamicInstanceRow] = []
+    all_counts: List[int] = []
+    for app in _apps(apps):
+        counts: List[int] = []
+        for test in app.multithreaded_tests:
+            _, trace = run_recording(test, config, seed=seed)
+            counts.extend(trace.init_instance_counts())
+        all_counts.extend(counts)
+        rows.append(
+            DynamicInstanceRow(
+                app=app.display_name,
+                median_init_instances=metrics.median(counts) if counts else 0.0,
+                init_sites=len(counts),
+            )
+        )
+    overall = metrics.median(all_counts) if all_counts else 0.0
+    return rows, overall
+
+
+# ======================================================================
+# Table 4 -- bug detection results
+# ======================================================================
+
+
+@dataclass
+class Table4Row:
+    bug: KnownBug
+    baseline_ms: float
+    basic_runs: Optional[int]
+    waffle_runs: Optional[int]
+    basic_slowdown: Optional[float]
+    waffle_slowdown: Optional[float]
+    basic_attempt_runs: List[Optional[int]] = field(default_factory=list)
+    waffle_attempt_runs: List[Optional[int]] = field(default_factory=list)
+
+
+def _detect_attempts(
+    tool_factory,
+    bug: KnownBug,
+    test: AppTestCase,
+    attempts: int,
+    budget: int,
+    base_seed: int,
+) -> Tuple[List[Optional[int]], List[float]]:
+    runs: List[Optional[int]] = []
+    times: List[float] = []
+    for attempt in range(1, attempts + 1):
+        config = DEFAULT_CONFIG.with_seed(base_seed + attempt)
+        outcome: DetectionOutcome = tool_factory(config).detect(test, max_detection_runs=budget)
+        matched = outcome.bug_found and bug.matches(outcome.reports[0])
+        runs.append(outcome.runs_to_expose if matched else None)
+        if matched:
+            times.append(outcome.total_time_ms)
+    return runs, times
+
+
+def table4_detection(
+    attempts: int = 15,
+    budget: int = 50,
+    bugs: Optional[Sequence[str]] = None,
+    base_seed: int = 0,
+) -> List[Table4Row]:
+    """Per-bug detection runs and end-to-end slowdowns, Waffle vs
+    WaffleBasic, with the paper's 15-attempt majority convention."""
+    rows: List[Table4Row] = []
+    selected = [b for b in all_bugs() if bugs is None or b.bug_id in bugs]
+    for bug in selected:
+        test = bug_workload(bug.bug_id)
+        baseline = run_baseline(test, seed=base_seed).virtual_time_ms
+
+        waffle_runs, waffle_times = _detect_attempts(
+            Waffle, bug, test, attempts, budget, base_seed
+        )
+        basic_runs, basic_times = _detect_attempts(
+            WaffleBasic, bug, test, attempts, budget, base_seed
+        )
+
+        rows.append(
+            Table4Row(
+                bug=bug,
+                baseline_ms=baseline,
+                basic_runs=metrics.majority_runs_to_expose(basic_runs),
+                waffle_runs=metrics.majority_runs_to_expose(waffle_runs),
+                basic_slowdown=(
+                    metrics.median([t / baseline for t in basic_times]) if basic_times else None
+                ),
+                waffle_slowdown=(
+                    metrics.median([t / baseline for t in waffle_times]) if waffle_times else None
+                ),
+                basic_attempt_runs=basic_runs,
+                waffle_attempt_runs=waffle_runs,
+            )
+        )
+    return rows
+
+
+# ======================================================================
+# Table 5 -- average overhead on all test inputs
+# ======================================================================
+
+
+@dataclass
+class Table5Row:
+    app: str
+    baseline_ms: float
+    basic_run1_pct: Optional[float]
+    basic_run2_pct: Optional[float]
+    waffle_run1_pct: Optional[float]
+    waffle_run2_pct: Optional[float]
+    basic_timeouts: int = 0
+    waffle_timeouts: int = 0
+    tests: int = 0
+
+    @property
+    def basic_timed_out(self) -> bool:
+        return self.tests > 0 and self.basic_timeouts > self.tests / 2
+
+
+def table5_overhead(
+    config: WaffleConfig = DEFAULT_CONFIG,
+    apps: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> List[Table5Row]:
+    """Average Run#1/Run#2 overheads per app for both tools.
+
+    For WaffleBasic, Run#1 and Run#2 are its first two (online)
+    detection runs with persisted state. For Waffle, Run#1 is the
+    preparation run and Run#2 the first detection run (the paper's R#1
+    and R#2 columns). Tests whose run exceeds the per-test timeout are
+    counted as timeouts and excluded from the percentage averages.
+    """
+    rows: List[Table5Row] = []
+    for app in _apps(apps):
+        bases: List[float] = []
+        basic_pcts: Dict[int, List[float]] = {1: [], 2: []}
+        waffle_pcts: Dict[int, List[float]] = {1: [], 2: []}
+        basic_timeouts = 0
+        waffle_timeouts = 0
+        for test in app.multithreaded_tests:
+            base = run_baseline(test, seed=seed).virtual_time_ms
+            bases.append(base)
+            limit = test_time_limit(base)
+
+            # WaffleBasic run 1 and run 2.
+            decay = DecayState(config.decay_lambda)
+            candidates = CandidateSet()
+            timed_out = False
+            for run_index in (1, 2):
+                run, _ = run_online_detection(
+                    test,
+                    config,
+                    decay,
+                    candidates,
+                    seed=seed + run_index,
+                    hook_seed=seed * 7919 + run_index,
+                    time_limit_ms=limit,
+                )
+                if run.timed_out:
+                    timed_out = True
+                else:
+                    basic_pcts[run_index].append(
+                        metrics.overhead_percent(run.virtual_time_ms, base)
+                    )
+            if timed_out:
+                basic_timeouts += 1
+
+            # Waffle preparation + first detection run.
+            prep, trace = run_recording(test, config, seed=seed, time_limit_ms=limit)
+            from ..core.analyzer import analyze_trace
+
+            plan = analyze_trace(trace, config)
+            if prep.timed_out:
+                waffle_timeouts += 1
+            else:
+                waffle_pcts[1].append(metrics.overhead_percent(prep.virtual_time_ms, base))
+                detect, _ = run_planned_detection(
+                    test,
+                    plan,
+                    config,
+                    DecayState(config.decay_lambda),
+                    seed=seed + 1,
+                    hook_seed=seed * 7919 + 1,
+                    time_limit_ms=limit,
+                )
+                if detect.timed_out:
+                    waffle_timeouts += 1
+                else:
+                    waffle_pcts[2].append(
+                        metrics.overhead_percent(detect.virtual_time_ms, base)
+                    )
+
+        def avg(values: List[float]) -> Optional[float]:
+            return metrics.mean(values) if values else None
+
+        rows.append(
+            Table5Row(
+                app=app.display_name,
+                baseline_ms=metrics.mean(bases) if bases else 0.0,
+                basic_run1_pct=avg(basic_pcts[1]),
+                basic_run2_pct=avg(basic_pcts[2]),
+                waffle_run1_pct=avg(waffle_pcts[1]),
+                waffle_run2_pct=avg(waffle_pcts[2]),
+                basic_timeouts=basic_timeouts,
+                waffle_timeouts=waffle_timeouts,
+                tests=len(app.multithreaded_tests),
+            )
+        )
+    return rows
+
+
+# ======================================================================
+# Table 6 -- cumulative delays injected
+# ======================================================================
+
+
+@dataclass
+class Table6Row:
+    app: str
+    basic_delays: int
+    basic_duration_ms: float
+    waffle_delays: int
+    waffle_duration_ms: float
+    basic_timeouts: int = 0
+    tests: int = 0
+
+    @property
+    def basic_timed_out(self) -> bool:
+        return self.tests > 0 and self.basic_timeouts > self.tests / 2
+
+
+def table6_delays(
+    config: WaffleConfig = DEFAULT_CONFIG,
+    apps: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> List[Table6Row]:
+    """Cumulative number and duration of injected delays across all
+    test inputs, one detection run per input (Basic: its second run,
+    when persisted state makes injection meaningful; Waffle: its first
+    detection run after the preparation run)."""
+    rows: List[Table6Row] = []
+    for app in _apps(apps):
+        basic_delays = 0
+        basic_duration = 0.0
+        waffle_delays = 0
+        waffle_duration = 0.0
+        basic_timeouts = 0
+        for test in app.multithreaded_tests:
+            base = run_baseline(test, seed=seed).virtual_time_ms
+            limit = test_time_limit(base)
+
+            decay = DecayState(config.decay_lambda)
+            candidates = CandidateSet()
+            timed_out = False
+            for run_index in (1, 2):
+                run, _ = run_online_detection(
+                    test,
+                    config,
+                    decay,
+                    candidates,
+                    seed=seed + run_index,
+                    hook_seed=seed * 7919 + run_index,
+                    time_limit_ms=limit,
+                )
+                if run.timed_out:
+                    timed_out = True
+                if run_index == 2:
+                    basic_delays += run.delays_injected
+                    basic_duration += run.total_delay_ms
+            if timed_out:
+                basic_timeouts += 1
+
+            plan = analyze_test(test, config, seed=seed)
+            detect, _ = run_planned_detection(
+                test,
+                plan,
+                config,
+                DecayState(config.decay_lambda),
+                seed=seed + 1,
+                hook_seed=seed * 7919 + 1,
+                time_limit_ms=limit,
+            )
+            waffle_delays += detect.delays_injected
+            waffle_duration += detect.total_delay_ms
+        rows.append(
+            Table6Row(
+                app=app.display_name,
+                basic_delays=basic_delays,
+                basic_duration_ms=basic_duration,
+                waffle_delays=waffle_delays,
+                waffle_duration_ms=waffle_duration,
+                basic_timeouts=basic_timeouts,
+                tests=len(app.multithreaded_tests),
+            )
+        )
+    return rows
+
+
+# ======================================================================
+# Table 7 -- design-point ablations
+# ======================================================================
+
+
+@dataclass
+class Table7Row:
+    design_point: str
+    label: str
+    bugs_missed: int
+    slowdown_over_waffle: float
+
+
+def table7_ablations(
+    attempts: int = 5,
+    budget: int = 15,
+    base_seed: int = 0,
+    apps_for_perf: Optional[Sequence[str]] = None,
+) -> List[Table7Row]:
+    """Bugs missed and detection-run slowdown for each single-design-
+    point ablation, relative to full Waffle."""
+    config = DEFAULT_CONFIG
+    bugs = all_bugs()
+
+    # Reference: bugs Waffle itself finds, and its detection-run times.
+    waffle_found: Dict[str, bool] = {}
+    for bug in bugs:
+        test = bug_workload(bug.bug_id)
+        runs, _ = _detect_attempts(Waffle, bug, test, attempts, budget, base_seed)
+        waffle_found[bug.bug_id] = metrics.majority_runs_to_expose(runs) is not None
+
+    waffle_perf = _ablation_perf(Waffle(config), config, apps_for_perf, base_seed)
+
+    rows: List[Table7Row] = []
+    for point, factory in ALL_ABLATIONS.items():
+        missed = 0
+        for bug in bugs:
+            if not waffle_found[bug.bug_id]:
+                continue
+            test = bug_workload(bug.bug_id)
+            runs, _ = _detect_attempts(
+                lambda cfg, factory=factory: factory(cfg), bug, test, attempts, budget, base_seed
+            )
+            if metrics.majority_runs_to_expose(runs) is None:
+                missed += 1
+        ablated_perf = _ablation_perf(factory(config), config, apps_for_perf, base_seed)
+        rows.append(
+            Table7Row(
+                design_point=point,
+                label=DESIGN_POINT_LABELS[point],
+                bugs_missed=missed,
+                slowdown_over_waffle=ablated_perf / waffle_perf if waffle_perf > 0 else 0.0,
+            )
+        )
+    return rows
+
+
+def _ablation_perf(
+    driver,
+    config: WaffleConfig,
+    apps: Optional[Sequence[str]],
+    seed: int,
+) -> float:
+    """Average detection-run virtual time across all test inputs for a
+    driver, capped at one detection run per test."""
+    total = 0.0
+    count = 0
+    # Re-seed without disturbing the driver's (possibly ablated) flags.
+    driver.config = driver.config.with_seed(seed)
+    for app in _apps(apps):
+        for test in app.multithreaded_tests:
+            outcome = driver.detect(test, max_detection_runs=1)
+            detect_runs = [r for r in outcome.runs if r.kind == "detect"]
+            if detect_runs:
+                total += detect_runs[-1].virtual_time_ms
+                count += 1
+    return total / count if count else 0.0
+
+
+# ======================================================================
+# Section 6.2 -- delay-free stress control
+# ======================================================================
+
+
+@dataclass
+class StressRow:
+    bug_id: str
+    runs: int
+    spontaneous_manifestations: int
+
+
+def stress_control(
+    runs: int = 50,
+    bugs: Optional[Sequence[str]] = None,
+    base_seed: int = 0,
+) -> List[StressRow]:
+    """Re-run each bug-triggering input ``runs`` times without delays;
+    the paper's control says no bug ever manifests."""
+    rows: List[StressRow] = []
+    for bug in all_bugs():
+        if bugs is not None and bug.bug_id not in bugs:
+            continue
+        test = bug_workload(bug.bug_id)
+        runner = StressRunner(DEFAULT_CONFIG.with_seed(base_seed))
+        outcome = runner.detect(test, max_detection_runs=runs)
+        rows.append(
+            StressRow(
+                bug_id=bug.bug_id,
+                runs=len(outcome.runs),
+                spontaneous_manifestations=runner.spontaneous_manifestations(outcome),
+            )
+        )
+    return rows
+
+
+# ======================================================================
+# Extension -- the full Table 1 design space, quantified
+# ======================================================================
+
+
+@dataclass
+class RelatedToolsRow:
+    """Runs-to-expose and end-to-end slowdown for one bug x tool."""
+
+    bug_id: str
+    app: str
+    runs: Dict[str, Optional[int]] = field(default_factory=dict)
+    slowdowns: Dict[str, Optional[float]] = field(default_factory=dict)
+
+
+def related_tools_comparison(
+    bugs: Optional[Sequence[str]] = None,
+    budget: int = 60,
+    base_seed: int = 1,
+) -> List[RelatedToolsRow]:
+    """Extension experiment: quantify Table 1's qualitative matrix.
+
+    Runs simplified models of RaceFuzzer, CTrigger, RaceMob and
+    DataCollider (see :mod:`repro.baselines.related`) next to Waffle on
+    the Table 4 bug suite. The paper's section 7 claim -- prior
+    validation-style tools "naturally require many more runs than
+    Waffle" -- becomes measurable: the one-candidate-per-run tools sweep
+    |S| candidates on the dense apps, and the sampling tools miss the
+    long-gap bugs outright.
+    """
+    from ..baselines.related import RELATED_TOOLS
+    from ..baselines.stress import baseline_time_ms
+    from ..core.detector import Waffle as _Waffle
+
+    tool_factories = dict(RELATED_TOOLS)
+    tool_factories["waffle"] = _Waffle
+
+    rows: List[RelatedToolsRow] = []
+    for bug in all_bugs():
+        if bugs is not None and bug.bug_id not in bugs:
+            continue
+        test = bug_workload(bug.bug_id)
+        baseline = baseline_time_ms(test, seed=base_seed)
+        row = RelatedToolsRow(bug_id=bug.bug_id, app=bug.app)
+        for name, factory in tool_factories.items():
+            config = DEFAULT_CONFIG.with_seed(base_seed)
+            outcome = factory(config).detect(test, max_detection_runs=budget)
+            matched = outcome.bug_found and bug.matches(outcome.reports[0])
+            row.runs[name] = outcome.runs_to_expose if matched else None
+            row.slowdowns[name] = (
+                outcome.total_time_ms / baseline if matched and baseline > 0 else None
+            )
+        rows.append(row)
+    return rows
+
+
+# ======================================================================
+# Figure 5 -- the delay-interference window
+# ======================================================================
+
+
+@dataclass
+class Figure5Point:
+    """One sweep point: when the interfering delay starts, and whether
+    the target bug still manifests."""
+
+    interferer_at_ms: float
+    interferer_delay_overlaps_window: bool
+    bug_exposed: bool
+
+
+class _TwoSiteDelays(InstrumentationHook):
+    """Fixed delays at the target use site and the interfering site."""
+
+    def __init__(self, target_delay_ms: float, interferer_delay_ms: float):
+        self.target_delay_ms = target_delay_ms
+        self.interferer_delay_ms = interferer_delay_ms
+
+    def before_access(self, pending) -> float:
+        if pending.location.site == "fig5.use":
+            return self.target_delay_ms
+        if pending.location.site == "fig5.interferer":
+            return self.interferer_delay_ms
+        return 0.0
+
+
+def figure5_interference_window(
+    interferer_times_ms: Sequence[float] = (0.0, 1.0, 2.0, 6.0, 7.0, 8.0),
+    target_delay_ms: float = 20.0,
+    interferer_delay_ms: float = 20.0,
+    seed: int = 0,
+) -> List[Figure5Point]:
+    """Quantify Figure 5: an equal-length delay at l* on the disposer's
+    thread cancels the reordering delay at l1 *only when it runs late
+    enough to still be pending when the delayed use lands* -- an early
+    l* delay is absorbed by the thread's slack before the disposal and
+    interferes with nothing.
+
+    Scenario (delay-free timeline): thread 1 uses the object at t=5;
+    thread 2 executes l* at a swept time, waits for a timer gate at
+    t=9.5, then disposes at t~10. Both sites receive the same 20 ms
+    delay (the WaffleBasic fixed-length setting that makes Figure 4's
+    cancellations deterministic). The delayed use lands at ~25 ms; the
+    disposal lands at max(10, t* + 20) + 0.5 -- so for t* late enough
+    that the two delay windows still overlap at the use's landing, the
+    disposal is pushed past the use and the bug is hidden.
+    """
+    points: List[Figure5Point] = []
+    for interferer_at in interferer_times_ms:
+        sim = Simulation(
+            seed=seed, hook=_TwoSiteDelays(target_delay_ms, interferer_delay_ms)
+        )
+        ref = sim.ref("fig5_obj")
+        scratch = sim.ref("fig5_scratch")
+        gate = sim.event("fig5.gate")
+
+        def user():
+            yield from sim.sleep(5.0)
+            yield from sim.use(ref, member="Touch", loc="fig5.use")
+
+        def disposer(at=interferer_at):
+            yield from sim.sleep(at)
+            yield from sim.use(scratch, member="Prep", loc="fig5.interferer")
+            yield from gate.wait()  # slack absorbs early delays
+            yield from sim.sleep(0.5)
+            yield from sim.dispose(ref, loc="fig5.dispose")
+
+        def timer():
+            yield from sim.sleep(9.5)
+            gate.set()
+
+        def root():
+            yield from sim.assign(ref, sim.new("fig5.Obj"), loc="fig5.init")
+            yield from sim.assign(scratch, sim.new("fig5.Scratch"), loc="fig5.scratch_init")
+            threads = [
+                sim.fork(user(), name="fig5-user"),
+                sim.fork(disposer(), name="fig5-disposer"),
+                sim.fork(timer(), name="fig5-timer"),
+            ]
+            yield from sim.join_all(threads)
+
+        result = sim.run(root())
+        exposed = result.crashed and isinstance(result.first_failure(), NullReferenceError)
+        use_lands_at = 5.0 + target_delay_ms
+        overlaps = interferer_at + interferer_delay_ms + 0.5 > use_lands_at
+        points.append(Figure5Point(interferer_at, overlaps, exposed))
+    return points

@@ -1,0 +1,88 @@
+"""Statistics helpers for the experiment harness.
+
+Implements the paper's reporting conventions (section 6.1): each
+experiment repeats 15 times; "found in N runs" is claimed only when a
+majority of attempts (>= 10 of 15) agree; flakier bugs report the
+median; overheads are averages across test inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+
+def median(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def majority_runs_to_expose(
+    runs: Sequence[Optional[int]],
+    majority_fraction: float = 2.0 / 3.0,
+) -> Optional[int]:
+    """The paper's Table 4 run-count convention.
+
+    ``runs`` holds one entry per attempt: the number of runs the tool
+    needed, or None when the bug was not exposed within the budget.
+    Returns None when a majority of attempts missed the bug ("-" in
+    Table 4). When a single run-count is reached in a majority of
+    attempts, that count is reported; otherwise (a flakier bug) the
+    median over the successful attempts is reported, matching "for
+    those bugs, we report the median number of runs" (section 6.2).
+    """
+    if not runs:
+        return None
+    attempts = len(runs)
+    successes = [r for r in runs if r is not None]
+    if len(successes) < attempts * majority_fraction:
+        return None
+    counts = {}
+    for value in successes:
+        counts[value] = counts.get(value, 0) + 1
+    value, count = max(counts.items(), key=lambda item: item[1])
+    if count >= attempts * majority_fraction:
+        return value
+    return int(round(median(successes)))
+
+
+def overhead_percent(measured_ms: float, baseline_ms: float) -> float:
+    """Overhead over baseline in percent (Table 5's convention)."""
+    if baseline_ms <= 0:
+        raise ValueError("baseline must be positive")
+    return (measured_ms / baseline_ms - 1.0) * 100.0
+
+
+def slowdown(measured_ms: float, baseline_ms: float) -> float:
+    if baseline_ms <= 0:
+        raise ValueError("baseline must be positive")
+    return measured_ms / baseline_ms
+
+
+def overlap_ratio_from_intervals(intervals: Iterable) -> float:
+    """Section 3.3's delay-overlap metric over (start, end) pairs:
+    ``1 - projection / total``; 0 with no overlap, -> 1 as all overlap."""
+    spans = sorted((float(start), float(end)) for start, end in intervals)
+    total = sum(end - start for start, end in spans)
+    if total <= 0:
+        return 0.0
+    projection = 0.0
+    cur_start, cur_end = spans[0]
+    for start, end in spans[1:]:
+        if start > cur_end:
+            projection += cur_end - cur_start
+            cur_start, cur_end = start, end
+        else:
+            cur_end = max(cur_end, end)
+    projection += cur_end - cur_start
+    return max(0.0, 1.0 - projection / total)

@@ -1,0 +1,159 @@
+"""Low-level run drivers shared by the experiment implementations.
+
+Provides single-run primitives (baseline, recording, one online or
+planned detection run) with per-test timeout handling, so experiment
+code composes runs instead of re-implementing tool loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..apps.base import AppTestCase
+from ..core.analyzer import InjectionPlan, analyze_trace
+from ..core.candidates import CandidateSet
+from ..core.config import WaffleConfig
+from ..core.delay_policy import DecayState
+from ..core.runtime import OnlineInjectionHook, PlannedInjectionHook
+from ..core.trace import RecordingHook, Trace
+from ..sim.api import Simulation
+from ..sim.instrument import NoopHook
+#: Per-test timeout multiplier: a run exceeding ``TIMEOUT_FACTOR x``
+#: its uninstrumented duration (with a floor) is marked TimeOut -- the
+#: convention behind the MQTT.Net rows of Tables 5 and 6, where most
+#: tests time out under WaffleBasic's accumulated fixed delays.
+TIMEOUT_FACTOR = 30.0
+TIMEOUT_FLOOR_MS = 3_000.0
+
+
+def test_time_limit(baseline_ms: float) -> float:
+    return max(TIMEOUT_FLOOR_MS, TIMEOUT_FACTOR * baseline_ms)
+
+
+@dataclass
+class SingleRun:
+    """One measured run of one test."""
+
+    virtual_time_ms: float
+    op_count: int
+    crashed: bool
+    timed_out: bool
+    delays_injected: int = 0
+    total_delay_ms: float = 0.0
+    overlap_ratio: float = 0.0
+
+
+def run_baseline(test: AppTestCase, seed: int = 0) -> SingleRun:
+    """Uninstrumented execution: the 'Base' column."""
+    sim = Simulation(seed=seed, hook=NoopHook(), time_limit_ms=600_000.0)
+    result = sim.run(test.build(sim))
+    return SingleRun(
+        virtual_time_ms=result.virtual_time,
+        op_count=result.op_count,
+        crashed=result.crashed,
+        timed_out=result.timed_out,
+    )
+
+
+def run_recording(
+    test: AppTestCase,
+    config: WaffleConfig,
+    seed: int = 0,
+    time_limit_ms: Optional[float] = None,
+) -> Tuple[SingleRun, Trace]:
+    """A Waffle preparation run: delay-free, full tracing."""
+    hook = RecordingHook(
+        record_overhead_ms=config.record_overhead_ms,
+        track_vector_clocks=config.parent_child_analysis,
+    )
+    sim = Simulation(
+        seed=seed,
+        hook=hook,
+        time_limit_ms=time_limit_ms if time_limit_ms is not None else 600_000.0,
+    )
+    result = sim.run(test.build(sim))
+    run = SingleRun(
+        virtual_time_ms=result.virtual_time,
+        op_count=result.op_count,
+        crashed=result.crashed,
+        timed_out=result.timed_out,
+    )
+    return run, hook.trace
+
+
+def run_planned_detection(
+    test: AppTestCase,
+    plan: InjectionPlan,
+    config: WaffleConfig,
+    decay: DecayState,
+    seed: int = 0,
+    hook_seed: Optional[int] = None,
+    time_limit_ms: Optional[float] = None,
+) -> Tuple[SingleRun, PlannedInjectionHook]:
+    """One Waffle detection run bootstrapped from a plan."""
+    hook = PlannedInjectionHook(
+        plan, config, decay, seed=hook_seed if hook_seed is not None else seed
+    )
+    sim = Simulation(
+        seed=seed,
+        hook=hook,
+        time_limit_ms=time_limit_ms if time_limit_ms is not None else 600_000.0,
+    )
+    result = sim.run(test.build(sim))
+    run = SingleRun(
+        virtual_time_ms=result.virtual_time,
+        op_count=result.op_count,
+        crashed=result.crashed,
+        timed_out=result.timed_out,
+        delays_injected=hook.delays_injected,
+        total_delay_ms=hook.total_delay_ms,
+        overlap_ratio=hook.overlap_ratio(),
+    )
+    return run, hook
+
+
+def run_online_detection(
+    test: AppTestCase,
+    config: WaffleConfig,
+    decay: DecayState,
+    candidates: CandidateSet,
+    seed: int = 0,
+    hook_seed: Optional[int] = None,
+    tsv_mode: bool = False,
+    time_limit_ms: Optional[float] = None,
+) -> Tuple[SingleRun, OnlineInjectionHook]:
+    """One WaffleBasic (or Tsvd) run; state persists via the arguments."""
+    hook = OnlineInjectionHook(
+        config,
+        decay,
+        candidates=candidates,
+        seed=hook_seed if hook_seed is not None else seed,
+        tsv_mode=tsv_mode,
+        variable_delays=False,
+        hb_inference=True,
+        parent_child=False,
+        online_interference=False,
+    )
+    sim = Simulation(
+        seed=seed,
+        hook=hook,
+        time_limit_ms=time_limit_ms if time_limit_ms is not None else 600_000.0,
+    )
+    result = sim.run(test.build(sim))
+    run = SingleRun(
+        virtual_time_ms=result.virtual_time,
+        op_count=result.op_count,
+        crashed=result.crashed,
+        timed_out=result.timed_out,
+        delays_injected=hook.delays_injected,
+        total_delay_ms=hook.total_delay_ms,
+        overlap_ratio=hook.overlap_ratio(),
+    )
+    return run, hook
+
+
+def analyze_test(test: AppTestCase, config: WaffleConfig, seed: int = 0) -> InjectionPlan:
+    """Record one delay-free trace of a test and analyze it."""
+    _, trace = run_recording(test, config, seed=seed)
+    return analyze_trace(trace, config)

@@ -1,0 +1,19 @@
+"""Real-threads adapter: the unchanged Waffle core over ``threading``.
+
+See DESIGN.md and the module docstrings: this package demonstrates the
+paper's section 5 claim that porting Waffle to another runtime only
+means swapping the instrumentation layer. The simulator remains the
+measurement substrate (the GIL dampens real memory-ordering races).
+"""
+
+from .detector import RealDetectionOutcome, RealRunRecord, RealThreadsWaffle
+from .runtime import RealThreadsRuntime, TrackedObject, TrackedRef
+
+__all__ = [
+    "RealDetectionOutcome",
+    "RealRunRecord",
+    "RealThreadsWaffle",
+    "RealThreadsRuntime",
+    "TrackedObject",
+    "TrackedRef",
+]

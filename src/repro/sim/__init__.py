@@ -1,0 +1,71 @@
+"""Deterministic virtual-time concurrency simulator.
+
+This package is the substrate of the Waffle reproduction: it plays the
+role of the instrumented C# runtime in the paper. See DESIGN.md section
+3.1 for the inventory and the substitution rationale.
+"""
+
+from .api import Simulation
+from .clock import VirtualClock
+from .errors import (
+    DeadlockError,
+    NullReferenceError,
+    ObjectDisposedError,
+    SimulationError,
+    SimulationTimeout,
+)
+from .instrument import (
+    AccessEvent,
+    AccessType,
+    CostModel,
+    InstrumentationHook,
+    Location,
+    NoopHook,
+    PendingAccess,
+)
+from .refs import HeapObject, Ref
+from .scheduler import RunResult, Scheduler
+from .sync import Barrier, Channel, Condition, Event, Lock, RLock, Semaphore
+from .tasks import TaskHandle, TaskPool
+from .thread import SimThread, ThreadState
+from .tls import Inheritable, InheritableTlsMap, TlsMap
+from .unsafe_api import THREAD_UNSAFE_APIS, TsvOccurrence, UnsafeDict, UnsafeList
+
+__all__ = [
+    "Simulation",
+    "VirtualClock",
+    "DeadlockError",
+    "NullReferenceError",
+    "ObjectDisposedError",
+    "SimulationError",
+    "SimulationTimeout",
+    "AccessEvent",
+    "AccessType",
+    "CostModel",
+    "InstrumentationHook",
+    "Location",
+    "NoopHook",
+    "PendingAccess",
+    "HeapObject",
+    "Ref",
+    "RunResult",
+    "Scheduler",
+    "Channel",
+    "Condition",
+    "Event",
+    "Barrier",
+    "Lock",
+    "RLock",
+    "Semaphore",
+    "TaskHandle",
+    "TaskPool",
+    "SimThread",
+    "ThreadState",
+    "Inheritable",
+    "InheritableTlsMap",
+    "TlsMap",
+    "THREAD_UNSAFE_APIS",
+    "TsvOccurrence",
+    "UnsafeDict",
+    "UnsafeList",
+]

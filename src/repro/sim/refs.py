@@ -1,0 +1,87 @@
+"""Heap objects and nullable reference slots.
+
+The paper's MemOrder bugs are defined over *reference-type variables*:
+an **initialization** changes a reference from null to non-null, a
+**disposal** changes it from non-null to null (or calls ``Dispose()``),
+and a **use** is any member-field access or member-method call through
+the reference (section 3.1). This module provides those semantics:
+
+* :class:`HeapObject` -- an allocated object with fields and an id;
+* :class:`Ref` -- a named, nullable slot holding a :class:`HeapObject`.
+
+Dereferencing a null :class:`Ref` raises
+:class:`~repro.sim.errors.NullReferenceError`; using a disposed object
+raises :class:`~repro.sim.errors.ObjectDisposedError` (a subclass).
+These are the bug oracles.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional
+
+from .errors import NullReferenceError, ObjectDisposedError
+
+
+class HeapObject:
+    """A simulated heap allocation.
+
+    Fields are plain Python values; reference-typed state is modeled by
+    storing :class:`Ref` instances in fields or in application objects.
+    ``disposed`` marks objects whose ``Dispose()`` ran: member access on
+    a disposed object fails even if some reference still points at it.
+    """
+
+    __slots__ = ("oid", "type_name", "fields", "disposed")
+
+    _oid_counter = itertools.count(1)
+
+    def __init__(self, type_name: str, **fields: Any):
+        self.oid = next(HeapObject._oid_counter)
+        self.type_name = type_name
+        self.fields: Dict[str, Any] = dict(fields)
+        self.disposed = False
+
+    def __repr__(self) -> str:
+        return "<%s #%d%s>" % (self.type_name, self.oid, " (disposed)" if self.disposed else "")
+
+
+class Ref:
+    """A named nullable reference slot.
+
+    The *name* identifies the variable in bug reports (e.g.
+    ``"m_poller"``); the slot's identity is irrelevant to the detection
+    algorithms, which key on the ids of the objects flowing through it.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: Optional[HeapObject] = None):
+        self.name = name
+        self.value = value
+
+    @property
+    def is_null(self) -> bool:
+        return self.value is None
+
+    def require(self, location=None, thread_name: str = "") -> HeapObject:
+        """Dereference, raising the appropriate MemOrder failure when invalid."""
+        value = self.value
+        if value is None:
+            raise NullReferenceError(
+                "null reference %r dereferenced at %s" % (self.name, location),
+                location=location,
+                ref_name=self.name,
+                thread_name=thread_name,
+            )
+        if value.disposed:
+            raise ObjectDisposedError(
+                "disposed object %r used through %r at %s" % (value, self.name, location),
+                location=location,
+                ref_name=self.name,
+                thread_name=thread_name,
+            )
+        return value
+
+    def __repr__(self) -> str:
+        return "Ref(%s=%r)" % (self.name, self.value)

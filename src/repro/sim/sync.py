@@ -1,0 +1,324 @@
+"""Synchronization primitives built on the scheduler.
+
+These provide the *real* synchronization present in the benchmark
+applications -- locks, events, semaphores, condition variables and
+queues. Crucially, the delay-injection tools are **not** told about
+them: like Tsvd and Waffle, they must infer ordering from physical
+(virtual) time and, in Waffle's case, from parent-child thread
+relationships only. Synchronization that the tools fail to infer is
+what produces wasted delays; synchronization they wrongly assume is
+what produces missed bugs.
+
+All blocking methods are generator functions; call them with
+``yield from``. Fast paths (uncontended acquire, non-empty queue get)
+run through without yielding, so they cost no virtual time -- matching
+the negligible cost of uncontended synchronization on real hardware.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List, Optional
+
+from .scheduler import BLOCK, Scheduler
+from .thread import SimThread
+
+
+class _Primitive:
+    """Common plumbing: primitives hold a scheduler and wake waiters."""
+
+    __slots__ = ("_scheduler", "name")
+
+    def __init__(self, scheduler: Scheduler, name: str = ""):
+        self._scheduler = scheduler
+        self.name = name
+
+    def _me(self) -> SimThread:
+        thread = self._scheduler.current
+        if thread is None:
+            raise RuntimeError("synchronization primitive used outside a simulated thread")
+        return thread
+
+    def _wake(self, thread: SimThread) -> None:
+        self._scheduler.wake(thread)
+
+
+class Lock(_Primitive):
+    """A non-reentrant mutual-exclusion lock with FIFO handoff."""
+
+    __slots__ = ("_owner", "_waiters")
+
+    def __init__(self, scheduler: Scheduler, name: str = ""):
+        super().__init__(scheduler, name)
+        self._owner: Optional[SimThread] = None
+        self._waiters: Deque[SimThread] = deque()
+
+    @property
+    def locked(self) -> bool:
+        return self._owner is not None
+
+    def acquire(self) -> Generator[Any, Any, None]:
+        me = self._me()
+        while self._owner is not None:
+            if self._owner is me:
+                raise RuntimeError("Lock %r is not reentrant" % (self.name,))
+            self._waiters.append(me)
+            yield BLOCK
+        self._owner = me
+
+    def release(self) -> None:
+        me = self._me()
+        if self._owner is not me:
+            raise RuntimeError(
+                "Lock %r released by %r but owned by %r"
+                % (self.name, me.name, self._owner.name if self._owner else None)
+            )
+        self._owner = None
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.is_alive:
+                self._wake(waiter)
+                break
+
+    def holding(self) -> "_LockContext":
+        """``yield from`` helper is not possible for context managers in
+        generators; instead use::
+
+            yield from lock.acquire()
+            try:
+                ...
+            finally:
+                lock.release()
+
+        ``holding()`` exists only to document that idiom.
+        """
+        raise NotImplementedError("use acquire()/release() explicitly in generator code")
+
+
+class _LockContext:  # pragma: no cover - documentation aid only
+    pass
+
+
+class Event(_Primitive):
+    """A one-way latch: threads wait until some thread sets it."""
+
+    __slots__ = ("_is_set", "_waiters")
+
+    def __init__(self, scheduler: Scheduler, name: str = ""):
+        super().__init__(scheduler, name)
+        self._is_set = False
+        self._waiters: List[SimThread] = []
+
+    @property
+    def is_set(self) -> bool:
+        return self._is_set
+
+    def set(self) -> None:
+        self._is_set = True
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            if waiter.is_alive:
+                self._wake(waiter)
+
+    def clear(self) -> None:
+        self._is_set = False
+
+    def wait(self) -> Generator[Any, Any, None]:
+        me = self._me()
+        while not self._is_set:
+            self._waiters.append(me)
+            yield BLOCK
+
+
+class Semaphore(_Primitive):
+    """A counting semaphore."""
+
+    __slots__ = ("_count", "_waiters")
+
+    def __init__(self, scheduler: Scheduler, initial: int = 1, name: str = ""):
+        super().__init__(scheduler, name)
+        if initial < 0:
+            raise ValueError("semaphore initial count must be >= 0")
+        self._count = initial
+        self._waiters: Deque[SimThread] = deque()
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def acquire(self) -> Generator[Any, Any, None]:
+        me = self._me()
+        while self._count == 0:
+            self._waiters.append(me)
+            yield BLOCK
+        self._count -= 1
+
+    def release(self) -> None:
+        self._count += 1
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.is_alive:
+                self._wake(waiter)
+                break
+
+
+class Condition(_Primitive):
+    """A condition variable bound to a :class:`Lock`."""
+
+    __slots__ = ("_lock", "_waiters")
+
+    def __init__(self, scheduler: Scheduler, lock: Lock, name: str = ""):
+        super().__init__(scheduler, name)
+        self._lock = lock
+        self._waiters: Deque[SimThread] = deque()
+
+    def wait(self) -> Generator[Any, Any, None]:
+        me = self._me()
+        if self._lock._owner is not me:
+            raise RuntimeError("Condition.wait called without holding the lock")
+        self._waiters.append(me)
+        self._lock.release()
+        yield BLOCK
+        yield from self._lock.acquire()
+
+    def notify(self, n: int = 1) -> None:
+        for _ in range(n):
+            if not self._waiters:
+                break
+            waiter = self._waiters.popleft()
+            if waiter.is_alive:
+                self._wake(waiter)
+
+    def notify_all(self) -> None:
+        self.notify(len(self._waiters))
+
+
+class Channel(_Primitive):
+    """An unbounded FIFO queue with blocking ``get``.
+
+    Named ``Channel`` rather than ``Queue`` to avoid confusion with the
+    *thread-unsafe* collections in :mod:`repro.sim.unsafe_api`: this one
+    is properly synchronized, so the tools should (ideally) never expose
+    bugs through it.
+    """
+
+    __slots__ = ("_items", "_getters", "_closed")
+
+    def __init__(self, scheduler: Scheduler, name: str = ""):
+        super().__init__(scheduler, name)
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[SimThread] = deque()
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, item: Any) -> None:
+        if self._closed:
+            raise RuntimeError("put on closed channel %r" % (self.name,))
+        self._items.append(item)
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.is_alive:
+                self._wake(getter)
+                break
+
+    def close(self) -> None:
+        """Close the channel; blocked and future ``get`` calls return ``None``."""
+        self._closed = True
+        getters, self._getters = self._getters, deque()
+        for getter in getters:
+            if getter.is_alive:
+                self._wake(getter)
+
+    def get(self) -> Generator[Any, Any, Any]:
+        me = self._me()
+        while not self._items:
+            if self._closed:
+                return None
+            self._getters.append(me)
+            yield BLOCK
+        return self._items.popleft()
+
+    def try_get(self) -> Any:
+        """Non-blocking get; returns ``None`` when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+
+class RLock(Lock):
+    """A reentrant lock: the owner may re-acquire, paired releases."""
+
+    __slots__ = ("_depth",)
+
+    def __init__(self, scheduler: Scheduler, name: str = ""):
+        super().__init__(scheduler, name)
+        self._depth = 0
+
+    def acquire(self) -> Generator[Any, Any, None]:
+        me = self._me()
+        if self._owner is me:
+            self._depth += 1
+            return
+        while self._owner is not None:
+            self._waiters.append(me)
+            yield BLOCK
+        self._owner = me
+        self._depth = 1
+
+    def release(self) -> None:
+        me = self._me()
+        if self._owner is not me:
+            raise RuntimeError(
+                "RLock %r released by %r but owned by %r"
+                % (self.name, me.name, self._owner.name if self._owner else None)
+            )
+        self._depth -= 1
+        if self._depth > 0:
+            return
+        self._owner = None
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.is_alive:
+                self._wake(waiter)
+                break
+
+
+class Barrier(_Primitive):
+    """A cyclic barrier: the Nth arriving thread releases all parties.
+
+    ``wait`` returns the arrival index (0-based within the generation),
+    like :class:`threading.Barrier`.
+    """
+
+    __slots__ = ("parties", "_arrived", "_generation")
+
+    def __init__(self, scheduler: Scheduler, parties: int, name: str = ""):
+        if parties < 1:
+            raise ValueError("a barrier needs at least one party")
+        super().__init__(scheduler, name)
+        self.parties = parties
+        self._arrived: List[SimThread] = []
+        self._generation = 0
+
+    def wait(self) -> Generator[Any, Any, int]:
+        me = self._me()
+        generation = self._generation
+        index = len(self._arrived)
+        if index + 1 == self.parties:
+            # Last arrival: trip the barrier, wake everyone, reset.
+            arrived, self._arrived = self._arrived, []
+            self._generation += 1
+            for waiter in arrived:
+                if waiter.is_alive:
+                    self._wake(waiter)
+            return index
+        self._arrived.append(me)
+        while self._generation == generation:
+            yield BLOCK
+        return index

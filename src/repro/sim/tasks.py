@@ -1,0 +1,193 @@
+"""Task-parallel programming with async-local storage.
+
+Section 4.1's note: "while Waffle only considers threads, .NET provides
+a similar mechanism for task-oriented programming -- async-local
+storage -- which supports state propagation from a parent to a child
+task irrespective of which thread these tasks are scheduled to run on."
+
+This module adds that programming model to the simulator: a
+:class:`TaskPool` multiplexes submitted tasks over a fixed set of
+worker threads. Each task carries an *async-local context* cloned from
+its submitting task (or thread) at submission time, honoring the same
+:class:`~repro.sim.tls.Inheritable` protocol the thread-level TLS uses
+-- so Waffle's vector clocks propagate across task boundaries without
+any change to the analyzers.
+
+The trick that keeps the existing hooks oblivious: while a worker
+thread executes a task, the task's context is *installed into the
+worker's inheritable TLS* (and restored afterwards). Recording and
+injection hooks read clocks from ``thread.itls`` exactly as for plain
+threads; they cannot tell tasks are involved. Two tasks that run
+sequentially on the same worker thread share a thread id -- and are
+genuinely ordered by that serialization, so treating their operations
+as same-thread is semantically correct for near-miss tracking.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Generator, List, Optional
+
+from .scheduler import BLOCK
+from .tls import Inheritable, InheritableTlsMap
+
+#: Task ids live in their own space so vector-clock entries for tasks
+#: can never collide with thread ids.
+_TASK_ID_BASE = 100_000
+
+
+class TaskHandle:
+    """Submission receipt: await it, read the result or the exception."""
+
+    def __init__(self, task_id: int, name: str):
+        self.task_id = task_id
+        self.name = name
+        self.done = False
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        #: Threads blocked waiting for completion.
+        self._waiters: List[Any] = []
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "pending"
+        return "TaskHandle(%d, %r, %s)" % (self.task_id, self.name, state)
+
+
+class _Task:
+    def __init__(self, task_id: int, name: str, gen: Generator, context: InheritableTlsMap):
+        self.task_id = task_id
+        self.name = name
+        self.gen = gen
+        self.context = context
+        self.handle = TaskHandle(task_id, name)
+
+
+class _TaskIdentity:
+    """Duck-typed stand-in for a thread when inheriting context values
+    (the Inheritable protocol only reads ``tid``)."""
+
+    __slots__ = ("tid",)
+
+    def __init__(self, tid: int):
+        self.tid = tid
+
+
+class TaskPool:
+    """A fixed pool of worker threads executing submitted tasks in FIFO
+    order. Create via :meth:`repro.sim.api.Simulation.task_pool`."""
+
+    def __init__(self, sim, workers: int = 2, name: str = "pool"):
+        if workers < 1:
+            raise ValueError("a task pool needs at least one worker")
+        self._sim = sim
+        self.name = name
+        self._queue = sim.channel("%s.tasks" % name)
+        self._task_ids = itertools.count(_TASK_ID_BASE + 1)
+        self._workers = [
+            sim.fork(self._worker_loop(), name="%s-worker-%d" % (name, index))
+            for index in range(workers)
+        ]
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Submission and completion
+    # ------------------------------------------------------------------
+
+    def submit(self, gen: Generator, name: str = "") -> TaskHandle:
+        """Queue a task; its async-local context is cloned *now*, from
+        the submitting task (or, outside any task, the submitting
+        thread's inheritable TLS)."""
+        if self._closed:
+            raise RuntimeError("submit on closed task pool %r" % self.name)
+        task_id = next(self._task_ids)
+        parent_context, parent_identity = self._current_context()
+        context = parent_context.propagate_to_child(
+            parent_identity, _TaskIdentity(task_id)
+        )
+        task = _Task(task_id, name or ("task-%d" % task_id), gen, context)
+        self._queue.put(task)
+        return task.handle
+
+    def wait(self, handle: TaskHandle) -> Generator[Any, Any, Any]:
+        """Block until the task completes; returns its result. A task
+        that crashed re-raises its exception in the waiter -- the
+        ``await`` semantics of task-parallel runtimes."""
+        me = self._sim.current_thread
+        while not handle.done:
+            handle._waiters.append(me)
+            yield BLOCK
+        if handle.exception is not None:
+            raise handle.exception
+        return handle.result
+
+    def wait_all(self, handles) -> Generator[Any, Any, None]:
+        for handle in list(handles):
+            yield from self.wait(handle)
+
+    def close(self) -> Generator[Any, Any, None]:
+        """Stop accepting tasks, drain the queue, join the workers."""
+        self._closed = True
+        self._queue.close()
+        yield from self._sim.join_all(self._workers)
+
+    # ------------------------------------------------------------------
+    # Async-local storage
+    # ------------------------------------------------------------------
+
+    def alocal_get(self, key: str, default: Any = None) -> Any:
+        context, _ = self._current_context()
+        return context.get(key, default)
+
+    def alocal_set(self, key: str, value: Any) -> None:
+        context, _ = self._current_context()
+        context.set(key, value)
+
+    def _current_context(self):
+        """The async-local context in scope: the running task's when a
+        worker is mid-task, else the calling thread's inheritable TLS."""
+        thread = self._sim.current_thread
+        task = thread.tls.get("%s.current_task" % self.name)
+        if task is not None:
+            return task.context, _TaskIdentity(task.task_id)
+        return thread.itls, thread
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> Generator:
+        sim = self._sim
+        while True:
+            task = yield from self._queue.get()
+            if task is None:
+                return
+            thread = sim.current_thread
+            # Install the task's context into the worker's inheritable
+            # TLS so hooks (vector-clock snapshots in particular) see
+            # the *task's* causal state, not the worker's.
+            saved_itls = thread.itls
+            thread.itls = task.context
+            thread.tls.set("%s.current_task" % self.name, task)
+            handle = task.handle
+            try:
+                handle.result = yield from task.gen
+            except BaseException as exc:  # noqa: BLE001 - crash capture
+                handle.exception = exc
+            finally:
+                thread.tls.pop("%s.current_task" % self.name)
+                thread.itls = saved_itls
+                handle.done = True
+                waiters, handle._waiters = handle._waiters, []
+                for waiter in waiters:
+                    sim.scheduler.wake(waiter)
+            if (
+                handle.exception is not None
+                and not waiters
+                and sim.scheduler.stop_on_failure
+            ):
+                # No one was awaiting the task when it crashed: surface
+                # it as an unobserved task exception tearing the worker
+                # (and, under stop_on_failure, the run) down, like an
+                # unhandled task exception in .NET. Awaited exceptions
+                # are re-raised in the waiter instead (see wait()).
+                raise handle.exception

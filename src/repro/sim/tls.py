@@ -1,0 +1,79 @@
+"""Thread-local storage with parent-to-child inheritance.
+
+Waffle's parent-child happens-before analysis (paper section 4.1) rests
+on one language feature: "a special type of thread-local storage (TLS)
+that automatically gets copied from a parent to all child threads at the
+moment of thread creation" (C#'s ``LogicalCallContext``, Java's
+``InheritableThreadLocal``). The simulator provides the same feature so
+that Waffle's vector clocks can be implemented *exactly* as the paper
+describes -- as objects living in inheritable TLS whose construction
+hook runs when the region is propagated to a child.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+class Inheritable:
+    """Protocol for values that customize their propagation at fork time.
+
+    When a thread is forked, every value in the parent's inheritable TLS
+    map that implements ``inherit_to`` is replaced in the *child's* map
+    by the return value of ``inherit_to(parent_thread, child_thread)``.
+    Values without the method are shared by reference, matching the
+    shallow-copy semantics of ``LogicalCallContext``.
+
+    Waffle's vector-clock object implements this protocol: its
+    ``inherit_to`` appends the child's ``(tid, &counter)`` tuple and
+    increments the parent's counter through the shared reference
+    (section 4.1).
+    """
+
+    def inherit_to(self, parent_thread: Any, child_thread: Any) -> "Inheritable":
+        raise NotImplementedError
+
+
+class TlsMap:
+    """Plain (non-inheritable) thread-local storage: a per-thread dict."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Any] = {}
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def set(self, key: str, value: Any) -> None:
+        self._data[key] = value
+
+    def pop(self, key: str, default: Any = None) -> Any:
+        return self._data.pop(key, default)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class InheritableTlsMap(TlsMap):
+    """TLS map that is propagated from parent to child at thread fork."""
+
+    def propagate_to_child(self, parent_thread: Any, child_thread: Any) -> "InheritableTlsMap":
+        """Build the child's map from this (the parent's) map.
+
+        The copy is shallow; values implementing :class:`Inheritable`
+        control their own propagation. This runs *at the moment of
+        thread creation*, before the child executes its first operation,
+        which is the window in which the paper notes the parent's vector
+        clock is briefly inaccurate but never compared.
+        """
+        child_map = InheritableTlsMap()
+        for key, value in self._data.items():
+            if isinstance(value, Inheritable):
+                child_map._data[key] = value.inherit_to(parent_thread, child_thread)
+            else:
+                child_map._data[key] = value
+        return child_map

@@ -1,0 +1,181 @@
+"""Thread-unsafe collection APIs (the TSVD instrumentation class).
+
+Tsvd (paper section 2) instruments *call sites of thread-unsafe APIs*
+and reports a thread-safety violation (TSV) when the execution windows
+of two such calls on the same object overlap. To reproduce the Table 2
+comparison between TSV and MemOrder instrumentation densities -- and to
+host a working TSVD baseline -- the simulator provides thread-unsafe
+collections whose operations have non-zero execution windows.
+
+The collections *function* correctly in the simulator (we do not model
+torn internal state); what matters for the reproduction is the overlap
+oracle, which the simulation records as :class:`TsvOccurrence` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from .instrument import Location
+from .refs import HeapObject
+
+#: API names considered thread-unsafe, mirroring the paper's examples of
+#: non-thread-safe .NET collection operations.
+THREAD_UNSAFE_APIS = frozenset(
+    {
+        "add",
+        "remove",
+        "get",
+        "set",
+        "clear",
+        "append",
+        "pop",
+        "insert",
+        "resize",
+        "enumerate",
+    }
+)
+
+
+@dataclass(frozen=True)
+class TsvOccurrence:
+    """Two thread-unsafe calls whose execution windows overlapped."""
+
+    location_a: Location
+    location_b: Location
+    object_id: int
+    thread_a: int
+    thread_b: int
+    timestamp: float
+
+
+class UnsafeCollection(HeapObject):
+    """Base class for collections with thread-unsafe operations."""
+
+    __slots__ = ()
+
+    def apply(self, api: str, *args: Any) -> Any:
+        """Execute the semantic effect of ``api`` (at call-window end)."""
+        raise NotImplementedError
+
+
+class UnsafeDict(UnsafeCollection):
+    """A dictionary whose operations are thread-unsafe."""
+
+    __slots__ = ()
+
+    def __init__(self, type_name: str = "UnsafeDict"):
+        super().__init__(type_name)
+        self.fields["data"] = {}
+
+    @property
+    def data(self) -> Dict[Any, Any]:
+        return self.fields["data"]
+
+    def apply(self, api: str, *args: Any) -> Any:
+        data = self.data
+        if api == "add" or api == "set":
+            key, value = args
+            data[key] = value
+            return None
+        if api == "get":
+            (key,) = args
+            return data.get(key)
+        if api == "remove":
+            (key,) = args
+            return data.pop(key, None)
+        if api == "clear":
+            data.clear()
+            return None
+        if api == "enumerate":
+            return list(data.items())
+        raise ValueError("UnsafeDict does not support API %r" % api)
+
+
+class UnsafeList(UnsafeCollection):
+    """A list whose operations are thread-unsafe."""
+
+    __slots__ = ()
+
+    def __init__(self, type_name: str = "UnsafeList"):
+        super().__init__(type_name)
+        self.fields["items"] = []
+
+    @property
+    def items(self) -> List[Any]:
+        return self.fields["items"]
+
+    def apply(self, api: str, *args: Any) -> Any:
+        items = self.items
+        if api == "add" or api == "append":
+            (value,) = args
+            items.append(value)
+            return None
+        if api == "pop":
+            return items.pop() if items else None
+        if api == "get":
+            (index,) = args
+            return items[index] if 0 <= index < len(items) else None
+        if api == "remove":
+            (value,) = args
+            if value in items:
+                items.remove(value)
+            return None
+        if api == "clear":
+            items.clear()
+            return None
+        if api == "insert":
+            index, value = args
+            items.insert(index, value)
+            return None
+        if api == "enumerate":
+            return list(items)
+        raise ValueError("UnsafeList does not support API %r" % api)
+
+
+class ActiveCallTable:
+    """Tracks in-flight thread-unsafe calls to detect window overlaps."""
+
+    def __init__(self) -> None:
+        #: object id -> list of (thread_id, location, end_time)
+        self._active: Dict[int, List[Any]] = {}
+        self.occurrences: List[TsvOccurrence] = []
+
+    def begin(
+        self,
+        object_id: int,
+        thread_id: int,
+        location: Location,
+        now: float,
+        end_time: float,
+    ) -> Optional[TsvOccurrence]:
+        """Register a call start; report an overlap with any live call
+        on the same object from a *different* thread."""
+        calls = self._active.setdefault(object_id, [])
+        # Garbage-collect calls whose windows already closed.
+        calls[:] = [entry for entry in calls if entry[2] > now]
+        hit: Optional[TsvOccurrence] = None
+        for other_tid, other_loc, _ in calls:
+            if other_tid != thread_id:
+                hit = TsvOccurrence(
+                    location_a=other_loc,
+                    location_b=location,
+                    object_id=object_id,
+                    thread_a=other_tid,
+                    thread_b=thread_id,
+                    timestamp=now,
+                )
+                self.occurrences.append(hit)
+                break
+        calls.append((thread_id, location, end_time))
+        return hit
+
+    def end(self, object_id: int, thread_id: int, location: Location) -> None:
+        calls = self._active.get(object_id)
+        if not calls:
+            return
+        for index, (tid, loc, _) in enumerate(calls):
+            if tid == thread_id and loc == location:
+                del calls[index]
+                break

@@ -1,0 +1,196 @@
+"""Pattern-level properties: benign motifs are crash-proof under
+arbitrary delays; bug motifs crash only under the right delay."""
+
+import pytest
+
+from repro.apps import patterns as P
+from repro.core.config import WaffleConfig
+from repro.core.detector import Waffle, Workload
+from repro.baselines import StressRunner
+from repro.sim.api import Simulation
+from repro.sim.instrument import InstrumentationHook
+
+
+class RandomDelays(InstrumentationHook):
+    """Adversarial chaos hook: random delays at random operations."""
+
+    def __init__(self, seed, probability=0.3, max_delay=120.0):
+        import random
+
+        self.rng = random.Random(seed)
+        self.probability = probability
+        self.max_delay = max_delay
+
+    def before_access(self, pending):
+        if self.rng.random() < self.probability:
+            return self.rng.uniform(0.1, self.max_delay)
+        return 0.0
+
+
+BENIGN_BUILDERS = [
+    ("pipeline", lambda sim: P.synchronized_pipeline(sim, "t.pipe", items=8)),
+    ("unsafe", lambda sim: P.unsafe_collection_traffic(sim, "t.unsafe", workers=2, ops_per_worker=3)),
+    ("locked", lambda sim: P.locked_counter_workers(sim, "t.lock", workers=2, increments=3)),
+    ("churn", lambda sim: P.dense_connection_churn(sim, "t.churn", workers=2, conns_per_worker=5, uses_per_conn=2)),
+]
+
+
+@pytest.mark.parametrize("name,builder", BENIGN_BUILDERS)
+class TestBenignPatternsCrashProof:
+    def test_delay_free(self, name, builder):
+        sim = Simulation(seed=1)
+        result = sim.run(builder(sim))
+        assert not result.crashed, result.first_failure()
+
+    @pytest.mark.parametrize("chaos_seed", [1, 2, 3, 4, 5])
+    def test_under_random_delays(self, name, builder, chaos_seed):
+        """Failure injection: no interleaving that delays can produce
+        may crash a properly synchronized pattern."""
+        sim = Simulation(seed=chaos_seed, hook=RandomDelays(chaos_seed), time_limit_ms=600_000)
+        result = sim.run(builder(sim))
+        assert not result.crashed, "%s crashed: %r" % (name, result.first_failure())
+
+
+class TestForkOrderedPreamble:
+    def test_runs_clean(self):
+        sim = Simulation(seed=1)
+        preamble, threads = P.fork_ordered_preamble(sim, "t.pre", count=3)
+
+        def main(sim):
+            yield from preamble
+            yield from sim.join_all(threads)
+
+        result = sim.run(main(sim))
+        assert not result.crashed
+
+    def test_candidates_fully_fork_ordered(self, config):
+        """Every near-miss candidate the preamble generates is pruned by
+        parent-child analysis -- the Table 7 ablation's whole point."""
+        from repro.harness.runner import run_recording
+        from repro.core.analyzer import analyze_trace
+
+        def build(sim):
+            preamble, threads = P.fork_ordered_preamble(sim, "t.pre", count=4)
+
+            def main(sim):
+                yield from preamble
+                yield from sim.join_all(threads)
+
+            return main(sim)
+
+        test = Workload("preamble", build)
+        _, trace = run_recording(test, config, seed=1)
+        with_pruning = analyze_trace(trace, config)
+        without_pruning = analyze_trace(trace, config.without("parent_child_analysis"))
+        assert len(with_pruning.candidates) == 0
+        assert len(without_pruning.candidates) > 0
+
+
+class TestRotatingCachePartner:
+    def _workload(self):
+        def build(sim):
+            partner = P.RotatingCache(sim, "t.rc")
+
+            def host(sim):
+                for i in range(10):
+                    yield from partner.lookup(i)
+                    yield from sim.sleep(1.0)
+
+            def main(sim):
+                yield from partner.start()
+                t = sim.fork(host(sim), name="host")
+                yield from sim.join(t)
+                yield from partner.stop()
+
+            return main(sim)
+
+        return Workload("rotating_cache", build)
+
+    def test_delay_free_clean(self):
+        sim = Simulation(seed=1)
+        w = self._workload()
+        result = sim.run(w.build(sim))
+        assert not result.crashed
+
+    @pytest.mark.parametrize("chaos_seed", [1, 2, 3])
+    def test_crash_proof_under_random_delays(self, chaos_seed):
+        sim = Simulation(seed=chaos_seed, hook=RandomDelays(chaos_seed))
+        w = self._workload()
+        result = sim.run(w.build(sim))
+        assert not result.crashed, result.first_failure()
+
+    def test_lookup_site_becomes_delay_candidate(self, config):
+        from repro.harness.runner import run_recording
+        from repro.core.analyzer import analyze_trace
+
+        _, trace = run_recording(self._workload(), config, seed=1)
+        plan = analyze_trace(trace, config)
+        assert "t.rc.Cache.Lookup:74" in plan.delay_sites
+
+
+class TestBugMotifGapSemantics:
+    def test_plain_uaf_delay_threshold(self):
+        """A delay shorter than the use-dispose gap cannot expose the
+        plain UAF; a longer one always does (the Figure 2 condition)."""
+
+        class DelayUse(InstrumentationHook):
+            def __init__(self, delay):
+                self.delay = delay
+
+            def before_access(self, pending):
+                return self.delay if pending.location.site == "m.use:1" else 0.0
+
+        def run_with(delay):
+            sim = Simulation(seed=2, hook=DelayUse(delay))
+            root = P.plain_uaf(
+                sim, "m", "r", "m.use:1", "m.dispose:1", "m.init:1",
+                use_at_ms=4.0, dispose_at_ms=9.0,
+            )
+            return sim.run(root)
+
+        assert not run_with(2.0).crashed  # lands before the dispose
+        assert run_with(8.0).crashed  # lands after the dispose
+
+    def test_long_gap_uaf_needs_more_than_fixed_delay(self):
+        class DelayUse(InstrumentationHook):
+            def __init__(self, delay):
+                self.delay = delay
+
+            def before_access(self, pending):
+                return self.delay if pending.location.site == "m.use:1" else 0.0
+
+        def run_with(delay):
+            sim = Simulation(seed=2, hook=DelayUse(delay))
+            root = P.long_gap_uaf(sim, "m", "q", "m.init:1", "m.use:1", "m.dispose:1")
+            return sim.run(root)
+
+        assert not run_with(100.0).crashed  # the fixed length: too short
+        assert run_with(112.0).crashed  # alpha * observed gap: enough
+
+    def test_long_gap_parameter_validation(self):
+        sim = Simulation(seed=1)
+        with pytest.raises(ValueError):
+            P.long_gap_uaf(sim, "m", "q", "i", "u", "d", vulnerable_gap_ms=90.0)
+        with pytest.raises(ValueError):
+            P.long_gap_uaf(sim, "m", "q", "i", "u", "d", observed_gap_ms=100.0)
+        with pytest.raises(ValueError):
+            P.long_gap_uaf(
+                sim, "m", "q", "i", "u", "d", vulnerable_gap_ms=150.0, observed_gap_ms=97.0
+            )
+
+    def test_plain_uaf_rejects_inverted_times(self):
+        sim = Simulation(seed=1)
+        with pytest.raises(ValueError):
+            P.plain_uaf(sim, "m", "r", "u", "d", "i", use_at_ms=9.0, dispose_at_ms=4.0)
+
+    def test_plain_ubi_rejects_inverted_times(self):
+        sim = Simulation(seed=1)
+        with pytest.raises(ValueError):
+            P.plain_ubi(sim, "m", "r", "i", "u", init_at_ms=5.0, first_use_at_ms=2.0)
+
+    def test_interfering_instances_rejects_inverted_times(self):
+        sim = Simulation(seed=1)
+        with pytest.raises(ValueError):
+            P.interfering_instances(
+                sim, "m", "r", "i", "c", "d", worker_check_at_ms=12.0, cleanup_at_ms=10.0
+            )

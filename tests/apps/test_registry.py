@@ -1,0 +1,154 @@
+"""Registry sanity: 11 apps, 18 bugs, metadata consistency."""
+
+import pytest
+
+from repro.apps import all_apps, all_bugs, bug_workload, get_app, get_bug
+from repro.apps.base import Application, AppTestCase, KnownBug, match_bug
+from repro.core.reports import BugReport
+from repro.sim.instrument import Location
+
+EXPECTED_APPS = {
+    "appinsights",
+    "fluentassertions",
+    "kubernetesnet",
+    "litedb",
+    "mqttnet",
+    "netmq",
+    "npgsql",
+    "nsubstitute",
+    "nswag",
+    "signalr",
+    "sshnet",
+}
+
+
+class TestRegistry:
+    def test_eleven_apps(self):
+        assert set(all_apps()) == EXPECTED_APPS
+
+    def test_eighteen_bugs_in_order(self):
+        bugs = all_bugs()
+        assert [b.bug_id for b in bugs] == ["Bug-%d" % i for i in range(1, 19)]
+
+    def test_twelve_known_six_unknown(self):
+        bugs = all_bugs()
+        assert sum(1 for b in bugs if b.previously_known) == 12
+        assert sum(1 for b in bugs if not b.previously_known) == 6
+
+    def test_bug_kinds_valid(self):
+        for bug in all_bugs():
+            assert bug.kind in ("use_after_free", "use_before_init", "both")
+
+    def test_every_bug_has_existing_test(self):
+        for bug in all_bugs():
+            test = bug_workload(bug.bug_id)
+            assert isinstance(test, AppTestCase)
+            assert test.name == bug.test_name
+
+    def test_get_app_unknown(self):
+        with pytest.raises(KeyError):
+            get_app("wordpress")
+
+    def test_get_bug_unknown(self):
+        with pytest.raises(KeyError):
+            get_bug("Bug-99")
+
+    def test_table3_metadata_present(self):
+        for app in all_apps().values():
+            assert app.paper_loc_kloc > 0
+            assert app.paper_multithreaded_tests > 0
+            assert app.paper_stars_k > 0
+
+    def test_every_app_has_multithreaded_tests(self):
+        for app in all_apps().values():
+            assert len(app.multithreaded_tests) >= 5, app.name
+
+    def test_test_names_unique_within_app(self):
+        for app in all_apps().values():
+            names = [t.name for t in app.tests]
+            assert len(names) == len(set(names))
+
+    def test_paper_run_metadata_coherent(self):
+        """Bugs the paper says WaffleBasic missed carry None."""
+        missed = {"Bug-8", "Bug-10", "Bug-12", "Bug-13", "Bug-15", "Bug-16", "Bug-17"}
+        for bug in all_bugs():
+            if bug.bug_id in missed:
+                assert bug.paper_runs_basic is None
+            else:
+                assert bug.paper_runs_basic is not None
+            assert bug.paper_runs_waffle is not None
+
+
+class TestApplicationContainer:
+    def test_duplicate_test_rejected(self):
+        app = Application("x", "X", 1.0, 1, 1.0)
+        app.add_test("t", lambda sim: None)
+        with pytest.raises(ValueError):
+            app.add_test("t", lambda sim: None)
+
+    def test_bug_for_wrong_app_rejected(self):
+        app = Application("x", "X", 1.0, 1, 1.0)
+        app.add_test("t", lambda sim: None)
+        bug = KnownBug(
+            bug_id="Bug-99",
+            app="other",
+            issue_id="1",
+            kind="use_after_free",
+            previously_known=True,
+            description="",
+            fault_sites=frozenset({"s"}),
+            test_name="t",
+        )
+        with pytest.raises(ValueError):
+            app.add_bug(bug)
+
+    def test_bug_with_unknown_test_rejected(self):
+        app = Application("x", "X", 1.0, 1, 1.0)
+        bug = KnownBug(
+            bug_id="Bug-99",
+            app="x",
+            issue_id="1",
+            kind="use_after_free",
+            previously_known=True,
+            description="",
+            fault_sites=frozenset({"s"}),
+            test_name="missing",
+        )
+        with pytest.raises(ValueError):
+            app.add_bug(bug)
+
+
+class TestBugMatching:
+    def _report(self, site):
+        return BugReport(
+            tool="t",
+            workload="w",
+            fault_location=Location(site),
+            ref_name="r",
+            thread_name="th",
+            error_type="NullReferenceError",
+            fault_time_ms=1.0,
+            run_index=1,
+        )
+
+    def test_match_by_fault_site(self):
+        bug = get_bug("Bug-11")
+        site = next(iter(bug.fault_sites))
+        assert bug.matches(self._report(site))
+        assert not bug.matches(self._report("unrelated"))
+
+    def test_match_bug_scans_all(self):
+        bugs = all_bugs()
+        bug = get_bug("Bug-14")
+        site = next(iter(bug.fault_sites))
+        assert match_bug(self._report(site), bugs) is bug
+        assert match_bug(self._report("nowhere"), bugs) is None
+
+    def test_fault_sites_unique_across_bugs(self):
+        """No two bugs share a fault site, so report labeling is
+        unambiguous."""
+        seen = {}
+        for bug in all_bugs():
+            for site in bug.fault_sites:
+                assert site not in seen, (site, bug.bug_id, seen.get(site))
+                seen[site] = bug.bug_id

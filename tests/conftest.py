@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import WaffleConfig
+from repro.sim.api import Simulation
+
+
+@pytest.fixture
+def sim() -> Simulation:
+    """A fresh simulation with a fixed seed and no instrumentation hook."""
+    return Simulation(seed=42)
+
+
+@pytest.fixture
+def config() -> WaffleConfig:
+    return WaffleConfig(seed=42)
+
+
+def run_root(sim: Simulation, gen_fn, *args, **kwargs):
+    """Convenience: run ``gen_fn(sim, *args)`` as the root thread."""
+    return sim.run(gen_fn(sim, *args, **kwargs))

@@ -1,0 +1,147 @@
+"""Candidate set S: pairs, gap bookkeeping, removal rules, round-trip."""
+
+import pytest
+
+from repro.core.candidates import (
+    CandidateKind,
+    CandidatePair,
+    CandidateSet,
+    GapObservation,
+)
+from repro.sim.instrument import AccessType, Location
+
+
+def _pair(kind=CandidateKind.USE_AFTER_FREE, delay="l1", other="l2"):
+    return CandidatePair(kind=kind, delay_location=Location(delay), other_location=Location(other))
+
+
+def _obs(gap=5.0, t1=0.0, oid=1, thd1=1, thd2=2):
+    return GapObservation(
+        gap_ms=gap,
+        timestamp_first=t1,
+        timestamp_second=t1 + gap,
+        object_id=oid,
+        thread_first=thd1,
+        thread_second=thd2,
+    )
+
+
+class TestCandidateKind:
+    def test_init_then_use_is_ubi(self):
+        assert (
+            CandidateKind.from_access_pair(AccessType.INIT, AccessType.USE)
+            is CandidateKind.USE_BEFORE_INIT
+        )
+
+    def test_use_then_dispose_is_uaf(self):
+        assert (
+            CandidateKind.from_access_pair(AccessType.USE, AccessType.DISPOSE)
+            is CandidateKind.USE_AFTER_FREE
+        )
+
+    @pytest.mark.parametrize(
+        "first,second",
+        [
+            (AccessType.USE, AccessType.USE),
+            (AccessType.USE, AccessType.INIT),
+            (AccessType.DISPOSE, AccessType.USE),
+            (AccessType.INIT, AccessType.DISPOSE),
+            (AccessType.INIT, AccessType.INIT),
+            (AccessType.DISPOSE, AccessType.DISPOSE),
+        ],
+    )
+    def test_non_patterns_rejected(self, first, second):
+        assert CandidateKind.from_access_pair(first, second) is None
+
+
+class TestCandidateSet:
+    def test_add_is_new_then_not(self):
+        s = CandidateSet()
+        pair = _pair()
+        assert s.add(pair) is True
+        assert s.add(pair) is False
+        assert len(s) == 1
+
+    def test_pairs_distinguished_by_kind(self):
+        s = CandidateSet()
+        s.add(_pair(kind=CandidateKind.USE_AFTER_FREE))
+        s.add(_pair(kind=CandidateKind.USE_BEFORE_INIT))
+        assert len(s) == 2
+
+    def test_contains_and_iteration(self):
+        s = CandidateSet()
+        pair = _pair()
+        s.add(pair)
+        assert pair in s
+        assert list(s) == [pair]
+
+    def test_remove(self):
+        s = CandidateSet()
+        pair = _pair()
+        s.add(pair, _obs())
+        s.remove(pair)
+        assert pair not in s
+        assert s.observations(pair) == []
+
+    def test_remove_with_delay_location(self):
+        s = CandidateSet()
+        s.add(_pair(delay="a", other="x"))
+        s.add(_pair(delay="a", other="y"))
+        s.add(_pair(delay="b", other="x"))
+        doomed = s.remove_with_delay_location(Location("a"))
+        assert len(doomed) == 2
+        assert len(s) == 1
+        assert s.delay_locations == {Location("b")}
+
+    def test_pairs_for_delay_location_and_watching(self):
+        s = CandidateSet()
+        p1 = _pair(delay="a", other="x")
+        p2 = _pair(delay="x", other="a")
+        s.add(p1)
+        s.add(p2)
+        assert s.pairs_for_delay_location(Location("a")) == [p1]
+        assert s.pairs_watching(Location("a")) == [p2]
+
+    def test_max_gap_over_observations(self):
+        s = CandidateSet()
+        pair = _pair()
+        s.add(pair, _obs(gap=3.0))
+        s.add(pair, _obs(gap=9.0))
+        s.add(pair, _obs(gap=6.0))
+        assert s.max_gap(pair) == 9.0
+
+    def test_max_gap_without_observations_is_zero(self):
+        s = CandidateSet()
+        pair = _pair()
+        s.add(pair)
+        assert s.max_gap(pair) == 0.0
+
+    def test_locations_union(self):
+        s = CandidateSet()
+        s.add(_pair(delay="a", other="x"))
+        assert s.locations == {Location("a"), Location("x")}
+
+    def test_merge(self):
+        a = CandidateSet()
+        b = CandidateSet()
+        pair = _pair()
+        b.add(pair, _obs(gap=4.0))
+        a.merge(b)
+        assert pair in a
+        assert a.max_gap(pair) == 4.0
+
+    def test_roundtrip_through_dict(self):
+        s = CandidateSet()
+        pair = _pair(kind=CandidateKind.USE_BEFORE_INIT, delay="p.q:1", other="p.r:2")
+        s.add(pair, _obs(gap=7.5, t1=100.0, oid=42, thd1=3, thd2=4))
+        s.pruned_parent_child = 5
+        s.pruned_hb_inference = 2
+
+        restored = CandidateSet.from_dict(s.to_dict())
+        assert pair in restored
+        assert restored.max_gap(pair) == 7.5
+        assert restored.pruned_parent_child == 5
+        assert restored.pruned_hb_inference == 2
+        obs = restored.observations(pair)[0]
+        assert obs.timestamp_first == 100.0
+        assert obs.object_id == 42

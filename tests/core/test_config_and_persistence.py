@@ -1,0 +1,137 @@
+"""Configuration invariants and on-disk persistence round-trips."""
+
+import pytest
+
+from repro.core.analyzer import AnalysisStats, InjectionPlan
+from repro.core.candidates import CandidateKind, CandidatePair, CandidateSet
+from repro.core.config import DEFAULT_CONFIG, WaffleConfig
+from repro.core.delay_policy import DecayState
+from repro.core.persistence import (
+    load_decay,
+    load_plan,
+    load_session,
+    save_decay,
+    save_plan,
+    save_session,
+)
+from repro.sim.instrument import Location
+
+
+class TestWaffleConfig:
+    def test_defaults_match_paper(self):
+        config = WaffleConfig()
+        assert config.near_miss_window_ms == 100.0  # Tsvd default delta
+        assert config.fixed_delay_ms == 100.0
+        assert config.alpha == 1.15
+        assert config.max_detection_runs == 50
+        assert config.parent_child_analysis
+        assert config.preparation_run
+        assert config.custom_delay_length
+        assert config.interference_control
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            WaffleConfig().alpha = 2.0
+
+    @pytest.mark.parametrize(
+        "point",
+        [
+            "parent_child_analysis",
+            "preparation_run",
+            "custom_delay_length",
+            "interference_control",
+        ],
+    )
+    def test_without_disables_exactly_one(self, point):
+        config = WaffleConfig().without(point)
+        flags = {
+            "parent_child_analysis": config.parent_child_analysis,
+            "preparation_run": config.preparation_run,
+            "custom_delay_length": config.custom_delay_length,
+            "interference_control": config.interference_control,
+        }
+        assert flags.pop(point) is False
+        assert all(flags.values())
+
+    def test_without_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            WaffleConfig().without("nonexistent")
+
+    def test_with_seed(self):
+        config = WaffleConfig().with_seed(77)
+        assert config.seed == 77
+        # Everything else preserved.
+        assert config.alpha == WaffleConfig().alpha
+
+
+def _plan():
+    candidates = CandidateSet()
+    candidates.add(
+        CandidatePair(
+            kind=CandidateKind.USE_AFTER_FREE,
+            delay_location=Location("a.use:1"),
+            other_location=Location("a.dispose:2"),
+        )
+    )
+    return InjectionPlan(
+        candidates=candidates,
+        delay_lengths={"a.use:1": 12.5},
+        interference={frozenset({"a.use:1", "a.other:3"})},
+        stats=AnalysisStats(),
+    )
+
+
+class TestPersistence:
+    def test_plan_roundtrip(self, tmp_path):
+        path = tmp_path / "plan.json"
+        save_plan(_plan(), path)
+        restored = load_plan(path)
+        assert restored.delay_lengths == {"a.use:1": 12.5}
+        assert restored.interference == {frozenset({"a.use:1", "a.other:3"})}
+        assert len(restored.candidates) == 1
+
+    def test_decay_roundtrip(self, tmp_path):
+        path = tmp_path / "decay.json"
+        decay = DecayState(0.1)
+        decay.register("x")
+        decay.decay("x")
+        save_decay(decay, path)
+        restored = load_decay(path)
+        assert restored.probability("x") == pytest.approx(0.9)
+
+    def test_session_roundtrip(self, tmp_path):
+        path = tmp_path / "session.json"
+        decay = DecayState(0.2)
+        decay.register("a.use:1")
+        save_session(_plan(), decay, path)
+        plan, restored_decay = load_session(path)
+        assert plan.delay_sites == {"a.use:1"}
+        assert restored_decay.probability("a.use:1") == 1.0
+        assert restored_decay.decay_lambda == 0.2
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 999, "plan": {}}')
+        with pytest.raises(ValueError):
+            load_plan(path)
+
+    def test_bootstrap_equivalence(self, tmp_path):
+        """A detection run bootstrapped from a reloaded plan behaves
+        identically to one using the in-memory plan (section 5's on-disk
+        bootstrap is lossless)."""
+        import random
+
+        from repro.core.runtime import PlannedInjectionHook
+        from repro.sim.instrument import AccessType, PendingAccess
+
+        config = DEFAULT_CONFIG
+        path = tmp_path / "plan.json"
+        save_plan(_plan(), path)
+        reloaded = load_plan(path)
+
+        for plan in (_plan(), reloaded):
+            hook = PlannedInjectionHook(plan, config, DecayState(config.decay_lambda), seed=3)
+            delay = hook.before_access(
+                PendingAccess(Location("a.use:1"), AccessType.USE, 1, 1, 0.0)
+            )
+            assert delay == pytest.approx(config.alpha * 12.5)

@@ -1,0 +1,140 @@
+"""Probability decay and delay-length policies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.delay_policy import (
+    DecayState,
+    FixedDelayPolicy,
+    ProportionalDelayPolicy,
+)
+
+
+class TestDecayState:
+    def test_register_defaults_to_one(self):
+        decay = DecayState(0.1)
+        assert decay.register("a") == 1.0
+        assert decay.probability("a") == 1.0
+
+    def test_unknown_site_probability_zero(self):
+        assert DecayState(0.1).probability("missing") == 0.0
+
+    def test_register_preserves_existing(self):
+        decay = DecayState(0.1)
+        decay.register("a")
+        decay.decay("a")
+        assert decay.register("a") == pytest.approx(0.9)
+
+    def test_register_reset(self):
+        decay = DecayState(0.1)
+        decay.register("a")
+        decay.decay("a")
+        assert decay.register("a", reset=True) == 1.0
+
+    def test_decay_sequence_reaches_exact_zero(self):
+        """Float residue must not leave a site limping at p=1e-16
+        (the retire/rediscover cycle depends on exact zero)."""
+        decay = DecayState(0.1)
+        decay.register("a")
+        for _ in range(10):
+            last = decay.decay("a")
+        assert last == 0.0
+        assert decay.retired("a")
+
+    def test_decay_does_not_go_negative(self):
+        decay = DecayState(0.4)
+        decay.register("a")
+        for _ in range(5):
+            decay.decay("a")
+        assert decay.probability("a") == 0.0
+
+    def test_invalid_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            DecayState(0.0)
+        with pytest.raises(ValueError):
+            DecayState(1.5)
+
+    def test_known_sites(self):
+        decay = DecayState(0.1)
+        decay.register("a")
+        decay.register("b")
+        assert sorted(decay.known_sites()) == ["a", "b"]
+
+    def test_roundtrip(self):
+        decay = DecayState(0.2)
+        decay.register("a")
+        decay.decay("a")
+        restored = DecayState.from_dict(decay.to_dict())
+        assert restored.decay_lambda == 0.2
+        assert restored.probability("a") == pytest.approx(0.8)
+
+    @given(lam=st.floats(min_value=0.01, max_value=1.0), steps=st.integers(0, 200))
+    def test_probability_always_in_unit_interval(self, lam, steps):
+        decay = DecayState(lam)
+        decay.register("s")
+        for _ in range(steps):
+            p = decay.decay("s")
+            assert 0.0 <= p <= 1.0
+
+    @given(lam=st.floats(min_value=0.01, max_value=0.5))
+    def test_monotone_nonincreasing(self, lam):
+        decay = DecayState(lam)
+        decay.register("s")
+        prev = 1.0
+        for _ in range(30):
+            cur = decay.decay("s")
+            assert cur <= prev
+            prev = cur
+
+
+class TestFixedDelayPolicy:
+    def test_same_length_everywhere(self):
+        policy = FixedDelayPolicy(100.0)
+        assert policy.length_for("anything") == 100.0
+        assert policy.length_for("else") == 100.0
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            FixedDelayPolicy(0.0)
+
+
+class TestProportionalDelayPolicy:
+    def test_alpha_scaling(self):
+        policy = ProportionalDelayPolicy({"a": 10.0}, alpha=1.15, min_delay_ms=0.5)
+        assert policy.length_for("a") == pytest.approx(11.5)
+
+    def test_min_delay_floor(self):
+        policy = ProportionalDelayPolicy({"a": 0.1}, alpha=1.15, min_delay_ms=0.5)
+        assert policy.length_for("a") == 0.5
+
+    def test_unknown_site_gets_floor(self):
+        policy = ProportionalDelayPolicy({}, alpha=1.15, min_delay_ms=0.5)
+        assert policy.length_for("missing") == 0.5
+
+    def test_update_keeps_max(self):
+        policy = ProportionalDelayPolicy({}, alpha=1.0, min_delay_ms=0.0)
+        policy.update("a", 5.0)
+        policy.update("a", 3.0)
+        assert policy.length_for("a") == 5.0
+        policy.update("a", 8.0)
+        assert policy.length_for("a") == 8.0
+
+    def test_alpha_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            ProportionalDelayPolicy({}, alpha=0.9, min_delay_ms=0.5)
+
+    @given(
+        gaps=st.dictionaries(
+            st.text(min_size=1, max_size=5),
+            st.floats(min_value=0.0, max_value=1000.0),
+            max_size=10,
+        ),
+        alpha=st.floats(min_value=1.0, max_value=3.0),
+    )
+    def test_delay_always_covers_observed_gap(self, gaps, alpha):
+        """The core section 4.3 property: alpha >= 1 means the injected
+        delay is never shorter than the largest observed gap."""
+        policy = ProportionalDelayPolicy(gaps, alpha=alpha, min_delay_ms=0.5)
+        for site, gap in gaps.items():
+            assert policy.length_for(site) >= gap

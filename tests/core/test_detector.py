@@ -1,0 +1,149 @@
+"""The Waffle detector end-to-end: prep run, analysis, detection runs."""
+
+import pytest
+
+from repro.core.config import WaffleConfig
+from repro.core.detector import (
+    DetectionOutcome,
+    RunRecord,
+    Waffle,
+    Workload,
+    as_workload,
+)
+from repro.sim.api import Simulation
+
+
+def uaf_workload(use_at=4.0, dispose_at=9.0):
+    """A plain use-after-free: exposable by delaying the use."""
+
+    def build(sim):
+        ref = sim.ref("session")
+
+        def user(sim):
+            yield from sim.sleep(use_at)
+            yield from sim.use(ref, member="Send", loc="dw.use:1")
+
+        def main(sim):
+            yield from sim.assign(ref, sim.new("T"), loc="dw.init:1")
+            t = sim.fork(user(sim), name="user")
+            yield from sim.sleep(dispose_at)
+            yield from sim.dispose(ref, loc="dw.dispose:1")
+            yield from sim.join(t)
+
+        return main(sim)
+
+    return Workload("uaf", build)
+
+
+def clean_workload():
+    def build(sim):
+        def main(sim):
+            ref = sim.ref("r")
+            yield from sim.assign(ref, sim.new("T"), loc="cw.init:1")
+            yield from sim.use(ref, member="M", loc="cw.use:1")
+
+        return main(sim)
+
+    return Workload("clean", build)
+
+
+class TestWorkloadCoercion:
+    def test_workload_passthrough(self):
+        w = Workload("x", lambda sim: None)
+        assert as_workload(w) is w
+
+    def test_callable_coerced(self):
+        def my_test(sim):
+            return None
+
+        w = as_workload(my_test)
+        assert w.name == "my_test"
+
+    def test_invalid_rejected(self):
+        with pytest.raises(TypeError):
+            as_workload(42)
+
+
+class TestWaffleDetect:
+    def test_finds_plain_uaf_in_two_runs(self):
+        outcome = Waffle(WaffleConfig(seed=1)).detect(uaf_workload(), max_detection_runs=5)
+        assert outcome.bug_found
+        assert outcome.runs_to_expose == 2
+        assert outcome.runs[0].kind == "prep"
+        assert outcome.runs[0].delays_injected == 0
+        assert outcome.runs[1].kind == "detect"
+        report = outcome.reports[0]
+        assert report.fault_site == "dw.use:1"
+        assert report.delay_induced
+        assert report.error_type in ("ObjectDisposedError", "NullReferenceError")
+
+    def test_report_matches_candidate_pair(self):
+        outcome = Waffle(WaffleConfig(seed=1)).detect(uaf_workload(), max_detection_runs=5)
+        pairs = outcome.reports[0].matched_pairs
+        assert any(p.delay_location.site == "dw.use:1" for p in pairs)
+
+    def test_clean_workload_no_bug(self):
+        outcome = Waffle(WaffleConfig(seed=1)).detect(clean_workload(), max_detection_runs=3)
+        assert not outcome.bug_found
+        assert outcome.runs_to_expose is None
+        assert len(outcome.runs) == 4  # prep + 3 detection runs
+
+    def test_plan_attached_to_outcome(self):
+        outcome = Waffle(WaffleConfig(seed=1)).detect(uaf_workload(), max_detection_runs=2)
+        assert outcome.plan is not None
+        assert "dw.use:1" in outcome.plan.delay_sites
+        assert outcome.trace is not None
+        assert len(outcome.trace) > 0
+
+    def test_deterministic_given_seed(self):
+        a = Waffle(WaffleConfig(seed=9)).detect(uaf_workload(), max_detection_runs=5)
+        b = Waffle(WaffleConfig(seed=9)).detect(uaf_workload(), max_detection_runs=5)
+        assert a.runs_to_expose == b.runs_to_expose
+        assert a.total_time_ms == pytest.approx(b.total_time_ms)
+
+    def test_no_prep_run_ablation_still_detects_repeated_race(self):
+        """Without a preparation run Waffle identifies online; a
+        single-instance race needs at least two runs (state persists)."""
+        config = WaffleConfig(seed=1).without("preparation_run")
+        outcome = Waffle(config).detect(uaf_workload(), max_detection_runs=10)
+        assert outcome.bug_found
+        assert outcome.runs[0].kind == "detect"
+
+    def test_outcome_aggregates(self):
+        outcome = Waffle(WaffleConfig(seed=1)).detect(uaf_workload(), max_detection_runs=5)
+        assert outcome.total_time_ms == pytest.approx(
+            sum(r.virtual_time_ms for r in outcome.runs)
+        )
+        assert outcome.total_delays == sum(r.delays_injected for r in outcome.runs)
+        assert outcome.slowdown_vs(100.0) == pytest.approx(outcome.total_time_ms / 100.0)
+        assert outcome.slowdown_vs(0.0) == float("inf")
+
+    def test_stop_at_first_bug_false_keeps_running(self):
+        from dataclasses import replace
+
+        config = replace(WaffleConfig(seed=1), stop_at_first_bug=False)
+        outcome = Waffle(config).detect(uaf_workload(), max_detection_runs=4)
+        assert outcome.bug_found
+        assert len(outcome.runs) == 5  # prep + all 4 detection runs
+        assert len(outcome.reports) >= 2
+
+
+class TestZeroFalsePositives:
+    def test_spontaneous_crash_not_claimed(self):
+        """A crash in a run with zero injected delays must not produce a
+        bug report (section 6.4: no false positives)."""
+
+        def build(sim):
+            ref = sim.ref("r")
+
+            def main(sim):
+                yield from sim.use(ref, member="M", loc="fp.use:1")
+
+            return main(sim)
+
+        outcome = Waffle(WaffleConfig(seed=1)).detect(
+            Workload("alwayscrash", build), max_detection_runs=2
+        )
+        # Every run crashes, but never because of a delay.
+        assert all(r.crashed for r in outcome.runs)
+        assert not outcome.bug_found

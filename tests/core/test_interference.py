@@ -1,0 +1,177 @@
+"""Interference set construction and the runtime delay ledger."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.candidates import CandidateSet
+from repro.core.interference import (
+    ActiveDelayLedger,
+    InterferenceIndex,
+    build_interference_set,
+)
+from repro.core.nearmiss import NearMissTracker
+from repro.sim.instrument import AccessEvent, AccessType, Location
+
+
+def ev(site, access, oid=1, tid=1, ts=0.0):
+    return AccessEvent(
+        location=Location(site),
+        access_type=access,
+        object_id=oid,
+        thread_id=tid,
+        timestamp=ts,
+    )
+
+
+def _build(events, window=100.0):
+    candidates = NearMissTracker(window_ms=window).observe_all(events)
+    return build_interference_set(events, candidates, window), candidates
+
+
+class TestBuildInterferenceSet:
+    def test_no_candidates_no_interference(self):
+        events = [ev("a", AccessType.USE, tid=1, ts=0.0)]
+        pairs, _ = _build(events)
+        assert pairs == set()
+
+    def test_fig4b_self_interference(self):
+        """The disposer thread executes the same static use site right
+        before the dispose: (use, use) self-interference."""
+        events = [
+            ev("init", AccessType.INIT, tid=1, ts=0.0),
+            ev("chk", AccessType.USE, tid=2, ts=7.0),
+            ev("chk", AccessType.USE, tid=1, ts=10.0),
+            ev("cleanup", AccessType.DISPOSE, tid=1, ts=10.2),
+        ]
+        pairs, candidates = _build(events)
+        assert frozenset({"chk"}) in pairs
+
+    def test_fig4a_cross_interference(self):
+        """The use thread executes the use site before a later use
+        observation of the (init, use) pair: (init, use) interference."""
+        events = [
+            ev("init", AccessType.INIT, tid=1, ts=0.5),
+            ev("use", AccessType.USE, tid=2, ts=1.2),
+            ev("use", AccessType.USE, tid=2, ts=6.2),
+            # The dispose makes "use" a delay site (a use-after-free
+            # candidate), which is what qualifies it as an interferer.
+            ev("dispose", AccessType.DISPOSE, tid=1, ts=8.0),
+        ]
+        pairs, _ = _build(events)
+        assert frozenset({"init", "use"}) in pairs
+
+    def test_interferer_must_be_delay_site(self):
+        """Operations at non-candidate sites never interfere."""
+        events = [
+            ev("init", AccessType.INIT, tid=1, ts=0.5),
+            ev("benign", AccessType.USE, oid=99, tid=2, ts=0.8),
+            ev("use", AccessType.USE, tid=2, ts=1.2),
+        ]
+        pairs, _ = _build(events)
+        assert frozenset({"init", "benign"}) not in pairs
+
+    def test_l2_occurrence_itself_excluded(self):
+        """The l2 event does not interfere with its own pair."""
+        events = [
+            ev("init", AccessType.INIT, tid=1, ts=0.5),
+            ev("use", AccessType.USE, tid=2, ts=1.2),
+        ]
+        pairs, _ = _build(events)
+        # Single observation: the only same-thread op in the window is
+        # the l2 occurrence itself, so no interference pair forms.
+        assert pairs == set()
+
+    def test_ops_outside_window_excluded(self):
+        events = [
+            ev("use", AccessType.USE, tid=2, ts=0.0),  # far in the past
+            ev("init", AccessType.INIT, tid=1, ts=500.0),
+            ev("use", AccessType.USE, tid=2, ts=501.0),
+            ev("use", AccessType.USE, tid=2, ts=506.0),
+            ev("dispose", AccessType.DISPOSE, tid=1, ts=508.0),
+        ]
+        pairs, _ = _build(events, window=10.0)
+        assert frozenset({"init", "use"}) in pairs  # from the in-window op
+
+
+class TestInterferenceIndex:
+    def test_symmetric_lookup(self):
+        index = InterferenceIndex([frozenset({"a", "b"})])
+        assert "b" in index.conflicts_of("a")
+        assert "a" in index.conflicts_of("b")
+
+    def test_self_pair(self):
+        index = InterferenceIndex([frozenset({"a"})])
+        assert "a" in index.conflicts_of("a")
+        assert index.conflicts_with_any("a", ["a"])
+
+    def test_conflicts_with_any(self):
+        index = InterferenceIndex([frozenset({"a", "b"})])
+        assert index.conflicts_with_any("a", ["x", "b"])
+        assert not index.conflicts_with_any("a", ["x", "y"])
+        assert not index.conflicts_with_any("z", ["a", "b"])
+
+    def test_pairs_roundtrip(self):
+        original = {frozenset({"a", "b"}), frozenset({"c"})}
+        index = InterferenceIndex(original)
+        assert index.pairs() == original
+
+
+class TestActiveDelayLedger:
+    def test_register_and_active_sites(self):
+        ledger = ActiveDelayLedger()
+        ledger.register("a", thread_id=1, start=0.0, duration=10.0)
+        assert ledger.active_sites(5.0) == ["a"]
+        assert ledger.active_sites(15.0) == []
+
+    def test_history_survives_pruning(self):
+        ledger = ActiveDelayLedger()
+        ledger.register("a", 1, 0.0, 1.0)
+        ledger.active_sites(100.0)
+        assert ledger.count == 1
+        assert ledger.total_delay_ms == 1.0
+
+    def test_projection_disjoint(self):
+        ledger = ActiveDelayLedger()
+        ledger.register("a", 1, 0.0, 5.0)
+        ledger.register("b", 2, 10.0, 5.0)
+        assert ledger.projection_ms() == pytest.approx(10.0)
+        assert ledger.overlap_ratio() == pytest.approx(0.0)
+
+    def test_projection_fully_overlapping(self):
+        ledger = ActiveDelayLedger()
+        ledger.register("a", 1, 0.0, 10.0)
+        ledger.register("b", 2, 0.0, 10.0)
+        assert ledger.projection_ms() == pytest.approx(10.0)
+        assert ledger.overlap_ratio() == pytest.approx(0.5)
+
+    def test_partial_overlap(self):
+        ledger = ActiveDelayLedger()
+        ledger.register("a", 1, 0.0, 10.0)
+        ledger.register("b", 2, 5.0, 10.0)
+        # union = 15, total = 20 -> ratio 0.25
+        assert ledger.overlap_ratio() == pytest.approx(0.25)
+
+    def test_empty_ledger(self):
+        ledger = ActiveDelayLedger()
+        assert ledger.overlap_ratio() == 0.0
+        assert ledger.projection_ms() == 0.0
+
+    @given(
+        intervals=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1000),
+                st.floats(min_value=0.1, max_value=100),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_overlap_ratio_bounds(self, intervals):
+        ledger = ActiveDelayLedger()
+        for i, (start, duration) in enumerate(intervals):
+            ledger.register("s%d" % i, i, start, duration)
+        ratio = ledger.overlap_ratio()
+        assert 0.0 <= ratio < 1.0
+        # Projection can never exceed the summed durations.
+        assert ledger.projection_ms() <= ledger.total_delay_ms + 1e-9

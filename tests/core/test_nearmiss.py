@@ -1,0 +1,147 @@
+"""Near-miss tracking: the candidate-generation heuristic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.candidates import CandidateKind
+from repro.core.nearmiss import NearMissTracker, TsvNearMissTracker
+from repro.sim.instrument import AccessEvent, AccessType, Location
+
+
+def ev(site, access, oid=1, tid=1, ts=0.0):
+    return AccessEvent(
+        location=Location(site),
+        access_type=access,
+        object_id=oid,
+        thread_id=tid,
+        timestamp=ts,
+    )
+
+
+class TestMemOrderNearMiss:
+    def test_init_use_within_window_makes_ubi_pair(self):
+        tracker = NearMissTracker(window_ms=100.0)
+        tracker.observe(ev("init", AccessType.INIT, tid=1, ts=0.0))
+        added = tracker.observe(ev("use", AccessType.USE, tid=2, ts=50.0))
+        assert len(added) == 1
+        pair = added[0]
+        assert pair.kind is CandidateKind.USE_BEFORE_INIT
+        assert pair.delay_location.site == "init"
+        assert pair.other_location.site == "use"
+
+    def test_use_dispose_within_window_makes_uaf_pair(self):
+        tracker = NearMissTracker(window_ms=100.0)
+        tracker.observe(ev("use", AccessType.USE, tid=1, ts=0.0))
+        added = tracker.observe(ev("dispose", AccessType.DISPOSE, tid=2, ts=20.0))
+        assert added[0].kind is CandidateKind.USE_AFTER_FREE
+        assert added[0].delay_location.site == "use"
+
+    def test_same_thread_never_pairs(self):
+        tracker = NearMissTracker(window_ms=100.0)
+        tracker.observe(ev("init", AccessType.INIT, tid=1, ts=0.0))
+        assert tracker.observe(ev("use", AccessType.USE, tid=1, ts=10.0)) == []
+
+    def test_different_objects_never_pair(self):
+        tracker = NearMissTracker(window_ms=100.0)
+        tracker.observe(ev("init", AccessType.INIT, oid=1, tid=1, ts=0.0))
+        assert tracker.observe(ev("use", AccessType.USE, oid=2, tid=2, ts=10.0)) == []
+
+    def test_outside_window_never_pairs(self):
+        tracker = NearMissTracker(window_ms=100.0)
+        tracker.observe(ev("init", AccessType.INIT, tid=1, ts=0.0))
+        assert tracker.observe(ev("use", AccessType.USE, tid=2, ts=150.0)) == []
+
+    def test_boundary_inclusive(self):
+        tracker = NearMissTracker(window_ms=100.0)
+        tracker.observe(ev("init", AccessType.INIT, tid=1, ts=0.0))
+        assert len(tracker.observe(ev("use", AccessType.USE, tid=2, ts=100.0))) == 1
+
+    def test_faulting_event_skipped(self):
+        tracker = NearMissTracker(window_ms=100.0)
+        tracker.observe(ev("init", AccessType.INIT, tid=1, ts=0.0))
+        assert tracker.observe(ev("use", AccessType.USE, oid=-1, tid=2, ts=10.0)) == []
+
+    def test_unsafe_calls_ignored(self):
+        tracker = NearMissTracker(window_ms=100.0)
+        assert tracker.observe(ev("c", AccessType.UNSAFE_CALL, tid=1, ts=0.0)) == []
+
+    def test_gap_observation_recorded(self):
+        tracker = NearMissTracker(window_ms=100.0)
+        tracker.observe(ev("init", AccessType.INIT, tid=1, ts=10.0))
+        (pair,) = tracker.observe(ev("use", AccessType.USE, tid=2, ts=35.0))
+        assert tracker.candidates.max_gap(pair) == pytest.approx(25.0)
+
+    def test_order_filter_prunes_and_counts(self):
+        tracker = NearMissTracker(window_ms=100.0, order_filter=lambda a, b: True)
+        tracker.observe(ev("init", AccessType.INIT, tid=1, ts=0.0))
+        assert tracker.observe(ev("use", AccessType.USE, tid=2, ts=10.0)) == []
+        assert tracker.candidates.pruned_parent_child == 1
+
+    def test_on_pair_callback_new_flag(self):
+        calls = []
+        tracker = NearMissTracker(window_ms=100.0, on_pair=lambda p, new: calls.append(new))
+        tracker.observe(ev("init", AccessType.INIT, tid=1, ts=0.0))
+        tracker.observe(ev("use", AccessType.USE, tid=2, ts=10.0))
+        tracker.observe(ev("init", AccessType.INIT, tid=1, ts=20.0))
+        tracker.observe(ev("use", AccessType.USE, tid=2, ts=30.0))
+        # The final use pairs with BOTH init instances still inside the
+        # window (same static pair, so is_new only the first time).
+        assert calls == [True, False, False]
+
+    def test_observe_all_sorted_stream(self):
+        events = [
+            ev("init", AccessType.INIT, tid=1, ts=0.0),
+            ev("use", AccessType.USE, tid=2, ts=5.0),
+            ev("dispose", AccessType.DISPOSE, tid=1, ts=9.0),
+        ]
+        candidates = NearMissTracker(window_ms=100.0).observe_all(events)
+        kinds = {p.kind for p in candidates}
+        assert kinds == {CandidateKind.USE_BEFORE_INIT, CandidateKind.USE_AFTER_FREE}
+
+    def test_window_eviction(self):
+        tracker = NearMissTracker(window_ms=10.0)
+        for i in range(100):
+            tracker.observe(ev("use%d" % i, AccessType.USE, tid=1, ts=float(i)))
+        window = tracker._recent[1]
+        assert len(window) <= 12
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            NearMissTracker(window_ms=0.0)
+
+    @given(gap=st.floats(min_value=0.0, max_value=99.9))
+    def test_any_in_window_gap_pairs(self, gap):
+        tracker = NearMissTracker(window_ms=100.0)
+        tracker.observe(ev("init", AccessType.INIT, tid=1, ts=0.0))
+        added = tracker.observe(ev("use", AccessType.USE, tid=2, ts=gap))
+        assert len(added) == 1
+        assert tracker.candidates.max_gap(added[0]) == pytest.approx(gap)
+
+
+class TestTsvNearMiss:
+    def test_pair_added_in_both_directions(self):
+        tracker = TsvNearMissTracker(window_ms=100.0)
+        tracker.observe(ev("a", AccessType.UNSAFE_CALL, tid=1, ts=0.0))
+        added = tracker.observe(ev("b", AccessType.UNSAFE_CALL, tid=2, ts=10.0))
+        delay_sites = {p.delay_location.site for p in added}
+        assert delay_sites == {"a", "b"}
+        assert all(p.kind is CandidateKind.THREAD_SAFETY for p in added)
+
+    def test_memorder_events_ignored(self):
+        tracker = TsvNearMissTracker(window_ms=100.0)
+        assert tracker.observe(ev("a", AccessType.USE, tid=1, ts=0.0)) == []
+
+    def test_same_thread_ignored(self):
+        tracker = TsvNearMissTracker(window_ms=100.0)
+        tracker.observe(ev("a", AccessType.UNSAFE_CALL, tid=1, ts=0.0))
+        assert tracker.observe(ev("b", AccessType.UNSAFE_CALL, tid=1, ts=1.0)) == []
+
+    def test_window_respected(self):
+        tracker = TsvNearMissTracker(window_ms=10.0)
+        tracker.observe(ev("a", AccessType.UNSAFE_CALL, tid=1, ts=0.0))
+        assert tracker.observe(ev("b", AccessType.UNSAFE_CALL, tid=2, ts=50.0)) == []
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            TsvNearMissTracker(window_ms=-5.0)

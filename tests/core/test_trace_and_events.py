@@ -1,0 +1,176 @@
+"""Trace recording, censuses, and JSONL serialization."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.events import dump_events, event_from_dict, event_to_dict, load_events
+from repro.core.trace import RecordingHook, Trace
+from repro.sim.api import Simulation
+from repro.sim.instrument import AccessEvent, AccessType, Location
+
+
+def ev(site="s", access=AccessType.USE, oid=1, tid=1, ts=0.0, **kw):
+    return AccessEvent(
+        location=Location(site),
+        access_type=access,
+        object_id=oid,
+        thread_id=tid,
+        timestamp=ts,
+        **kw,
+    )
+
+
+class TestEventSerialization:
+    def test_roundtrip_minimal(self):
+        event = ev()
+        restored = event_from_dict(event_to_dict(event))
+        assert restored.location == event.location
+        assert restored.access_type == event.access_type
+        assert restored.object_id == event.object_id
+        assert restored.thread_id == event.thread_id
+        assert restored.timestamp == event.timestamp
+
+    def test_roundtrip_full(self):
+        event = ev(
+            site="a.b:1",
+            access=AccessType.UNSAFE_CALL,
+            ref_name="r",
+            member="Add",
+            duration=1.5,
+            injected_delay=3.0,
+            vc_snapshot={1: 2, 9: 4},
+        )
+        restored = event_from_dict(event_to_dict(event))
+        assert restored.ref_name == "r"
+        assert restored.member == "Add"
+        assert restored.duration == 1.5
+        assert restored.injected_delay == 3.0
+        assert restored.vc_snapshot == {1: 2, 9: 4}
+
+    def test_optional_fields_omitted_when_default(self):
+        payload = event_to_dict(ev())
+        assert "dur" not in payload
+        assert "delay" not in payload
+        assert "vc" not in payload
+
+    def test_jsonl_stream_roundtrip(self):
+        events = [ev(site="s%d" % i, ts=float(i)) for i in range(5)]
+        buffer = io.StringIO()
+        assert dump_events(events, buffer) == 5
+        buffer.seek(0)
+        restored = list(load_events(buffer))
+        assert [e.location.site for e in restored] == ["s0", "s1", "s2", "s3", "s4"]
+
+    def test_blank_lines_skipped(self):
+        buffer = io.StringIO("\n" + '{"loc":"x","type":"use","oid":1,"tid":1,"ts":0.5}' + "\n\n")
+        restored = list(load_events(buffer))
+        assert len(restored) == 1
+
+    @given(
+        site=st.text(min_size=1, max_size=20).filter(lambda s: "\n" not in s),
+        oid=st.integers(-1, 10_000),
+        tid=st.integers(1, 500),
+        ts=st.floats(min_value=0, max_value=1e6),
+        access=st.sampled_from(list(AccessType)),
+    )
+    def test_roundtrip_property(self, site, oid, tid, ts, access):
+        event = ev(site=site, access=access, oid=oid, tid=tid, ts=round(ts, 6))
+        restored = event_from_dict(event_to_dict(event))
+        assert restored.key() == event.key()
+        assert restored.timestamp == pytest.approx(event.timestamp)
+
+
+class TestTrace:
+    def _sample_trace(self):
+        trace = Trace()
+        trace.append(ev(site="init", access=AccessType.INIT, ts=2.0))
+        trace.append(ev(site="use", access=AccessType.USE, ts=1.0))
+        trace.append(ev(site="call", access=AccessType.UNSAFE_CALL, ts=3.0))
+        trace.append(ev(site="init", access=AccessType.INIT, ts=4.0))
+        return trace
+
+    def test_sorted_events(self):
+        trace = self._sample_trace()
+        assert [e.timestamp for e in trace.sorted_events()] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_memorder_vs_unsafe_partition(self):
+        trace = self._sample_trace()
+        assert len(trace.memorder_events()) == 3
+        assert len(trace.unsafe_call_events()) == 1
+
+    def test_static_sites(self):
+        trace = self._sample_trace()
+        assert trace.static_sites(memorder=True) == {Location("init"), Location("use")}
+        assert trace.static_sites(memorder=False) == {Location("call")}
+
+    def test_dynamic_instances(self):
+        trace = self._sample_trace()
+        assert trace.dynamic_instances(Location("init")) == 2
+        assert trace.dynamic_instances(Location("use")) == 1
+        assert trace.dynamic_instances(Location("missing")) == 0
+
+    def test_init_instance_counts(self):
+        trace = self._sample_trace()
+        assert trace.init_instance_counts() == [2]
+
+    def test_dump_load_roundtrip(self):
+        trace = self._sample_trace()
+        buffer = io.StringIO()
+        trace.dump(buffer)
+        buffer.seek(0)
+        restored = Trace.load(buffer)
+        assert len(restored) == 4
+        assert restored.duration_ms == pytest.approx(4.0)  # max end timestamp
+        assert restored.static_sites(memorder=True) == trace.static_sites(memorder=True)
+
+
+class TestRecordingHook:
+    def test_records_all_ops_with_clocks(self):
+        hook = RecordingHook(record_overhead_ms=0.01)
+        sim = Simulation(seed=1, hook=hook)
+        ref = sim.ref("r")
+
+        def child(sim):
+            yield from sim.use(ref, member="M", loc="t.use:1")
+
+        def main(sim):
+            yield from sim.assign(ref, sim.new("T"), loc="t.init:1")
+            t = sim.fork(child(sim), name="child")
+            yield from sim.join(t)
+            yield from sim.dispose(ref, loc="t.dispose:1")
+
+        sim.run(main(sim))
+        trace = hook.trace
+        assert len(trace) == 3
+        assert all(e.vc_snapshot is not None for e in trace.events)
+        assert trace.thread_names[1] == "main"
+        assert trace.parents[2] == 1
+        assert trace.duration_ms > 0
+
+    def test_vector_clocks_optional(self):
+        hook = RecordingHook(track_vector_clocks=False)
+        sim = Simulation(seed=1, hook=hook)
+        ref = sim.ref("r")
+
+        def main(sim):
+            yield from sim.assign(ref, sim.new("T"), loc="t.init:1")
+
+        sim.run(main(sim))
+        assert hook.trace.events[0].vc_snapshot is None
+
+    def test_recording_overhead_charged(self):
+        def run(overhead):
+            hook = RecordingHook(record_overhead_ms=overhead)
+            sim = Simulation(seed=1, hook=hook)
+            ref = sim.ref("r")
+
+            def main(sim):
+                for _ in range(10):
+                    yield from sim.assign(ref, sim.new("T"), loc="t.init:1")
+
+            return sim.run(main(sim)).virtual_time
+
+        assert run(1.0) > run(0.0) + 9.0

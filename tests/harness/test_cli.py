@@ -1,0 +1,195 @@
+"""CLI behavior (fast subcommands only)."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub = next(a for a in parser._actions if hasattr(a, "choices") and a.choices)
+        expected = {
+            "table1", "table2", "figure2", "overlap", "dynamic",
+            "table4", "table5", "table6", "table7", "stress", "all", "detect",
+        }
+        assert expected <= set(sub.choices)
+
+    def test_detect_requires_target(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["detect"])
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Waffle" in out
+
+    def test_figure2(self, capsys):
+        assert main(["figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "MemOrder exposed" in out
+
+    def test_detect_bug(self, capsys):
+        assert main(["detect", "--bug", "Bug-1", "--budget", "5", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "BUG EXPOSED" in out
+        assert "prep" in out
+
+    def test_detect_app_test_stress(self, capsys):
+        assert (
+            main(
+                [
+                    "detect",
+                    "--tool",
+                    "stress",
+                    "--app",
+                    "sshnet",
+                    "--test",
+                    "packet_counter_lock",
+                    "--budget",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "no bug exposed" in out
+
+    def test_out_file(self, tmp_path, capsys):
+        out_file = tmp_path / "results.txt"
+        main(["--out", str(out_file), "table1"])
+        capsys.readouterr()
+        assert "Table 1" in out_file.read_text()
+
+    def test_table4_restricted(self, capsys):
+        assert (
+            main(["table4", "--bugs", "Bug-1", "--attempts", "1", "--budget", "4"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "Bug-1" in out
+
+
+class TestTraceCommand:
+    def test_trace_bug(self, capsys):
+        assert main(["trace", "--bug", "Bug-11"]) == 0
+        out = capsys.readouterr().out
+        assert "candidate pairs" in out
+        assert "ChkDisposed" in out
+
+    def test_trace_saves_artifacts(self, tmp_path, capsys):
+        trace_file = tmp_path / "trace.jsonl"
+        plan_file = tmp_path / "plan.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--bug",
+                    "Bug-1",
+                    "--save-trace",
+                    str(trace_file),
+                    "--save-plan",
+                    str(plan_file),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert trace_file.exists() and trace_file.stat().st_size > 0
+        assert plan_file.exists()
+        # The saved plan round-trips through the persistence layer.
+        from repro.core.persistence import load_plan
+
+        plan = load_plan(plan_file)
+        assert plan.delay_sites
+
+    def test_trace_requires_target(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+
+class TestListingAndJson:
+    def test_apps_listing(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "netmq" in out and "Bug-11" in out
+
+    def test_apps_verbose_lists_tests(self, capsys):
+        assert main(["apps", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime_abrupt_termination" in out
+
+    def test_bugs_listing(self, capsys):
+        assert main(["bugs"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Bug-") == 18
+        assert "use_after_free" in out
+
+    def test_json_output_parses(self, capsys):
+        import json
+
+        assert main(["table2", "--apps", "nsubstitute", "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert "table2" in payload
+        (row,) = payload["table2"]
+        assert row["app"] == "NSubstitute"
+        assert row["mo_instr_sites"] > row["tsv_instr_sites"]
+
+    def test_json_table4_serializes_bug_metadata(self, capsys):
+        import json
+
+        assert main(["table4", "--bugs", "Bug-1", "--attempts", "1", "--budget", "4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (row,) = payload["table4"]
+        assert row["bug"]["bug_id"] == "Bug-1"
+        assert row["waffle_runs"] == 2
+
+
+class TestJsonConversion:
+    def test_to_jsonable_handles_rich_values(self):
+        import dataclasses
+
+        from repro.harness.cli import _to_jsonable
+        from repro.sim.instrument import Location
+
+        @dataclasses.dataclass
+        class Row:
+            name: str
+            values: list
+
+        payload = _to_jsonable(
+            {
+                "row": Row("x", [1, 2.5, None, True]),
+                "loc": Location("a.b:1"),
+                "pairs": {frozenset({"a", "b"})},
+                "tuple": (1, "two"),
+            }
+        )
+        assert payload["row"] == {"name": "x", "values": [1, 2.5, None, True]}
+        assert payload["loc"] == "a.b:1"
+        assert payload["pairs"] == [["a", "b"]]
+        assert payload["tuple"] == [1, "two"]
+
+    def test_to_jsonable_falls_back_to_str(self):
+        from repro.harness.cli import _to_jsonable
+
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        assert _to_jsonable(Opaque()) == "<opaque>"
+
+    def test_to_jsonable_nested_location_in_dataclass(self):
+        import dataclasses
+
+        from repro.harness.cli import _to_jsonable
+        from repro.sim.instrument import Location
+
+        @dataclasses.dataclass
+        class Holder:
+            where: Location
+
+        assert _to_jsonable(Holder(Location("x.y:3"))) == {"where": "x.y:3"}

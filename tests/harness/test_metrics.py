@@ -1,0 +1,109 @@
+"""Statistics helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.harness import metrics
+
+
+class TestMedianMean:
+    def test_median_odd(self):
+        assert metrics.median([3, 1, 2]) == 2
+
+    def test_median_even(self):
+        assert metrics.median([1, 2, 3, 4]) == 2.5
+
+    def test_median_single(self):
+        assert metrics.median([7]) == 7
+
+    def test_median_empty_rejected(self):
+        with pytest.raises(ValueError):
+            metrics.median([])
+
+    def test_mean(self):
+        assert metrics.mean([1, 2, 3]) == 2.0
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            metrics.mean([])
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_median_between_min_and_max(self, values):
+        m = metrics.median(values)
+        assert min(values) <= m <= max(values)
+
+
+class TestMajorityRuns:
+    def test_unanimous(self):
+        assert metrics.majority_runs_to_expose([2] * 15) == 2
+
+    def test_majority_single_value(self):
+        assert metrics.majority_runs_to_expose([2] * 11 + [3] * 4) == 2
+
+    def test_mostly_missed_reports_none(self):
+        assert metrics.majority_runs_to_expose([None] * 10 + [5] * 5) is None
+
+    def test_flaky_bug_reports_median(self):
+        runs = [3, 4, 5, 6, 7, 8, 9, 3, 4, 5, 6, 7, 8, 9, 5]
+        assert metrics.majority_runs_to_expose(runs) == 6
+
+    def test_empty(self):
+        assert metrics.majority_runs_to_expose([]) is None
+
+    def test_boundary_two_thirds(self):
+        # Exactly 10/15 successes meets the 2/3 majority.
+        assert metrics.majority_runs_to_expose([2] * 10 + [None] * 5) == 2
+        assert metrics.majority_runs_to_expose([2] * 9 + [None] * 6) is None
+
+
+class TestOverheadSlowdown:
+    def test_overhead_percent(self):
+        assert metrics.overhead_percent(150.0, 100.0) == pytest.approx(50.0)
+        assert metrics.overhead_percent(100.0, 100.0) == pytest.approx(0.0)
+
+    def test_overhead_invalid_baseline(self):
+        with pytest.raises(ValueError):
+            metrics.overhead_percent(10.0, 0.0)
+
+    def test_slowdown(self):
+        assert metrics.slowdown(250.0, 100.0) == pytest.approx(2.5)
+
+    def test_slowdown_invalid_baseline(self):
+        with pytest.raises(ValueError):
+            metrics.slowdown(10.0, -1.0)
+
+
+class TestOverlapRatio:
+    def test_disjoint_zero(self):
+        assert metrics.overlap_ratio_from_intervals([(0, 5), (10, 15)]) == pytest.approx(0.0)
+
+    def test_identical_half(self):
+        assert metrics.overlap_ratio_from_intervals([(0, 10), (0, 10)]) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert metrics.overlap_ratio_from_intervals([]) == 0.0
+
+    def test_matches_ledger_implementation(self):
+        """Both overlap implementations must agree."""
+        from repro.core.interference import ActiveDelayLedger
+
+        intervals = [(0.0, 10.0), (5.0, 12.0), (30.0, 31.0)]
+        ledger = ActiveDelayLedger()
+        for i, (start, end) in enumerate(intervals):
+            ledger.register("s%d" % i, i, start, end - start)
+        assert metrics.overlap_ratio_from_intervals(intervals) == pytest.approx(
+            ledger.overlap_ratio()
+        )
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0.1, 50)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_ratio_in_unit_interval(self, raw):
+        intervals = [(start, start + length) for start, length in raw]
+        ratio = metrics.overlap_ratio_from_intervals(intervals)
+        assert 0.0 <= ratio < 1.0

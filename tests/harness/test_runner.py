@@ -1,0 +1,137 @@
+"""Runner primitives: timeout handling and state threading."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps import get_app
+from repro.core.candidates import CandidateKind, CandidatePair, CandidateSet, GapObservation
+from repro.core.config import WaffleConfig
+from repro.core.delay_policy import DecayState
+from repro.core.detector import Workload
+from repro.harness.runner import (
+    run_baseline,
+    run_online_detection,
+    run_planned_detection,
+    run_recording,
+)
+from repro.sim.instrument import Location
+
+
+def slow_workload(duration_ms=100.0):
+    def build(sim):
+        ref = sim.ref("r")
+
+        def main(sim):
+            yield from sim.assign(ref, sim.new("T"), loc="rt.init:1")
+            for _ in range(20):
+                yield from sim.sleep(duration_ms / 20)
+                yield from sim.use(ref, member="M", loc="rt.use:1")
+
+        return main(sim)
+
+    return Workload("slow", build)
+
+
+class TestTimeouts:
+    def test_recording_respects_time_limit(self, config):
+        run, trace = run_recording(slow_workload(), config, seed=1, time_limit_ms=30.0)
+        assert run.timed_out
+        assert len(trace) < 21  # cut off mid-run
+
+    def test_baseline_not_limited(self):
+        run = run_baseline(slow_workload(), seed=1)
+        assert not run.timed_out
+        assert run.virtual_time_ms >= 100.0
+
+    def test_online_detection_time_limit(self, config):
+        decay = DecayState(config.decay_lambda)
+        candidates = CandidateSet()
+        # Seed a candidate so run 1 injects 100 ms delays, exceeding the
+        # limit quickly.
+        pair = CandidatePair(
+            kind=CandidateKind.USE_AFTER_FREE,
+            delay_location=Location("rt.use:1"),
+            other_location=Location("rt.dispose:9"),
+        )
+        candidates.add(pair)
+        decay.register("rt.use:1")
+        run, _ = run_online_detection(
+            slow_workload(), config, decay, candidates, seed=1, time_limit_ms=120.0
+        )
+        assert run.timed_out
+
+
+class TestStateThreading:
+    def test_decay_persists_between_online_runs(self, config):
+        test = get_app("sshnet").test("disconnect_during_keepalive")
+        decay = DecayState(config.decay_lambda)
+        candidates = CandidateSet()
+        run_online_detection(test, config, decay, candidates, seed=1, hook_seed=5)
+        probabilities_after_one = {
+            site: decay.probability(site) for site in decay.known_sites()
+        }
+        run_online_detection(test, config, decay, candidates, seed=2, hook_seed=6)
+        # Second run decayed at least one site further (it injected).
+        assert any(
+            decay.probability(site) < p for site, p in probabilities_after_one.items()
+        )
+
+
+class TestCandidateSetProperties:
+    sites = st.text(alphabet="abcdef.:0123456789", min_size=1, max_size=8)
+
+    @given(
+        entries=st.lists(
+            st.tuples(sites, sites, st.floats(min_value=0.0, max_value=100.0)),
+            min_size=0,
+            max_size=20,
+        )
+    )
+    def test_merge_is_superset_with_max_gaps(self, entries):
+        left = CandidateSet()
+        right = CandidateSet()
+        for index, (delay, other, gap) in enumerate(entries):
+            target = left if index % 2 == 0 else right
+            pair = CandidatePair(
+                kind=CandidateKind.USE_AFTER_FREE,
+                delay_location=Location(delay),
+                other_location=Location(other),
+            )
+            target.add(
+                pair,
+                GapObservation(
+                    gap_ms=gap,
+                    timestamp_first=0.0,
+                    timestamp_second=gap,
+                    object_id=1,
+                    thread_first=1,
+                    thread_second=2,
+                ),
+            )
+        merged = CandidateSet()
+        merged.merge(left)
+        merged.merge(right)
+        for source in (left, right):
+            for pair in source:
+                assert pair in merged
+                assert merged.max_gap(pair) >= source.max_gap(pair)
+
+    @given(
+        entries=st.lists(st.tuples(sites, sites), min_size=1, max_size=15),
+        victim_index=st.integers(min_value=0),
+    )
+    def test_remove_with_delay_location_is_complete(self, entries, victim_index):
+        candidates = CandidateSet()
+        for delay, other in entries:
+            candidates.add(
+                CandidatePair(
+                    kind=CandidateKind.USE_BEFORE_INIT,
+                    delay_location=Location(delay),
+                    other_location=Location(other),
+                )
+            )
+        victim = Location(entries[victim_index % len(entries)][0])
+        candidates.remove_with_delay_location(victim)
+        assert candidates.pairs_for_delay_location(victim) == []
+        assert victim not in candidates.delay_locations

@@ -1,0 +1,121 @@
+"""Whole-stack integration tests: the paper's headline claims, small-scale."""
+
+import pytest
+
+from repro import (
+    NullReferenceError,
+    Simulation,
+    StressRunner,
+    Tsvd,
+    Waffle,
+    WaffleBasic,
+    WaffleConfig,
+    Workload,
+)
+from repro.apps import all_bugs, bug_workload, match_bug
+from repro.core.persistence import load_session, save_session
+from repro.core.delay_policy import DecayState
+
+
+class TestHeadlineClaims:
+    """Section 6.2's summary over a 3-seed mini-campaign."""
+
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        results = {}
+        for bug in all_bugs():
+            test = bug_workload(bug.bug_id)
+            waffle_found = 0
+            basic_found = 0
+            for seed in (21, 22, 23):
+                wa = Waffle(WaffleConfig(seed=seed)).detect(test, max_detection_runs=8)
+                if wa.bug_found and bug.matches(wa.reports[0]):
+                    waffle_found += 1
+                wb = WaffleBasic(WaffleConfig(seed=seed)).detect(test, max_detection_runs=12)
+                if wb.bug_found and bug.matches(wb.reports[0]):
+                    basic_found += 1
+            results[bug.bug_id] = (waffle_found, basic_found)
+        return results
+
+    def test_waffle_exposes_all_18(self, campaign):
+        missed = [bug_id for bug_id, (wa, _) in campaign.items() if wa < 2]
+        assert not missed, missed
+
+    def test_basic_exposes_about_11(self, campaign):
+        found = [bug_id for bug_id, (_, wb) in campaign.items() if wb >= 2]
+        assert 10 <= len(found) <= 12, sorted(found)
+
+    def test_basic_misses_the_interference_bugs(self, campaign):
+        for bug_id in ("Bug-8", "Bug-10", "Bug-12", "Bug-13", "Bug-15", "Bug-16", "Bug-17"):
+            _, wb = campaign[bug_id]
+            assert wb <= 1, bug_id
+
+
+class TestPublicApi:
+    def test_quickstart_flow(self):
+        """The README quickstart, verbatim in spirit."""
+
+        def my_test(sim):
+            connection = sim.ref("connection")
+
+            def worker(sim):
+                yield from sim.sleep(3.0)
+                yield from sim.use(connection, member="Send", loc="myapp.Worker.send:10")
+
+            def main(sim):
+                yield from sim.assign(connection, sim.new("Connection"), loc="myapp.open:1")
+                thread = sim.fork(worker(sim), name="worker")
+                yield from sim.sleep(7.0)
+                yield from sim.dispose(connection, loc="myapp.close:20")
+                yield from sim.join(thread)
+
+            return main(sim)
+
+        outcome = Waffle(WaffleConfig(seed=1)).detect(Workload("myapp", my_test))
+        assert outcome.bug_found
+        assert outcome.runs_to_expose == 2
+        report = outcome.reports[0]
+        assert report.fault_site == "myapp.Worker.send:10"
+        assert "myapp" in report.summary()
+
+    def test_report_labeling_helper(self):
+        bug = all_bugs()[0]
+        outcome = Waffle(WaffleConfig(seed=2)).detect(bug_workload(bug.bug_id))
+        labeled = match_bug(outcome.reports[0], all_bugs())
+        assert labeled is bug
+
+
+class TestSessionPersistence:
+    def test_plan_survives_disk_roundtrip_and_still_detects(self, tmp_path):
+        """Split the Waffle workflow across 'processes': prepare and
+        analyze in one, persist, then run detection from the loaded
+        session -- the section 5 disk bootstrap, end to end."""
+        from repro.harness.runner import analyze_test, run_planned_detection
+
+        config = WaffleConfig(seed=5)
+        test = bug_workload("Bug-1")
+        plan = analyze_test(test, config, seed=5)
+        decay = DecayState(config.decay_lambda)
+
+        path = tmp_path / "session.json"
+        save_session(plan, decay, path)
+        loaded_plan, loaded_decay = load_session(path)
+
+        run, hook = run_planned_detection(
+            test, loaded_plan, config, loaded_decay, seed=6, hook_seed=1234
+        )
+        assert run.crashed
+        assert run.delays_injected >= 1
+
+
+class TestCrossToolConsistency:
+    def test_stress_vs_detectors_on_same_seed(self):
+        test = bug_workload("Bug-14")
+        stress = StressRunner(WaffleConfig(seed=7)).detect(test, max_detection_runs=10)
+        assert not any(r.bug_found for r in stress.runs)
+        waffle = Waffle(WaffleConfig(seed=7)).detect(test, max_detection_runs=5)
+        assert waffle.bug_found
+
+    def test_tsvd_ignores_memorder_bug_tests(self):
+        outcome = Tsvd(WaffleConfig(seed=7)).detect(bug_workload("Bug-14"), max_detection_runs=2)
+        assert not outcome.tsv_found

@@ -1,0 +1,46 @@
+"""Every example script must run cleanly end to end.
+
+Executed in-process (import-and-call) so failures give real tracebacks
+and the suite stays fast; each example's ``main()`` asserts its own
+claims internally.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(
+        "example_%s" % name, EXAMPLES_DIR / ("%s.py" % name)
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = _load(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), "example %s produced no output" % name
+
+
+def test_example_inventory():
+    expected = {
+        "quickstart",
+        "interfering_bugs",
+        "interfering_instances",
+        "variable_delays",
+        "tsvd_vs_waffle",
+        "persisted_session",
+        "real_threads",
+        "task_parallel",
+    }
+    assert set(EXAMPLES) == expected

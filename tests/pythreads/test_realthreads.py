@@ -1,0 +1,150 @@
+"""Real-threads adapter: the unchanged core over ``threading``.
+
+These tests use generous (tens of ms) wall-clock gaps so OS scheduling
+noise cannot flip orderings; the whole module still runs in about a
+second.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.vector_clock import concurrent, leq
+from repro.pythreads import RealThreadsRuntime, RealThreadsWaffle
+from repro.sim.errors import NullReferenceError, ObjectDisposedError
+from repro.sim.instrument import AccessType, InstrumentationHook
+
+
+class Recorder(InstrumentationHook):
+    def __init__(self):
+        self.events = []
+
+    def after_access(self, event):
+        self.events.append(event)
+
+
+def uaf_workload(use_at_s=0.030, dispose_at_s=0.080):
+    def workload(rt: RealThreadsRuntime):
+        conn = rt.ref("connection")
+        conn.assign(rt.new("Connection"), loc="rt.open:1")
+
+        def worker():
+            time.sleep(use_at_s)
+            conn.use(member="Send", loc="rt.send:10")
+
+        thread = rt.spawn(worker, name="sender")
+        time.sleep(dispose_at_s)
+        conn.dispose(loc="rt.close:20")
+        thread.join()
+
+    return workload
+
+
+class TestRuntime:
+    def test_events_recorded_with_wall_timestamps(self):
+        recorder = Recorder()
+        rt = RealThreadsRuntime(hook=recorder)
+        ref = rt.ref("r")
+        ref.assign(rt.new("T"), loc="rt.init:1")
+        time.sleep(0.01)
+        ref.use(member="M", loc="rt.use:2")
+        assert [e.access_type for e in recorder.events] == [AccessType.INIT, AccessType.USE]
+        assert recorder.events[1].timestamp - recorder.events[0].timestamp >= 8.0
+
+    def test_null_use_raises(self):
+        rt = RealThreadsRuntime()
+        ref = rt.ref("r")
+        with pytest.raises(NullReferenceError):
+            ref.use(member="M", loc="rt.use:1")
+
+    def test_disposed_use_raises(self):
+        rt = RealThreadsRuntime()
+        ref = rt.ref("r")
+        ref.assign(rt.new("T"), loc="rt.init:1")
+        ref.dispose(loc="rt.dispose:2")
+        with pytest.raises(ObjectDisposedError):
+            ref.use(member="M", loc="rt.use:3")
+
+    def test_worker_exceptions_captured(self):
+        rt = RealThreadsRuntime()
+        ref = rt.ref("r")
+
+        def worker():
+            ref.use(member="M", loc="rt.use:1")
+
+        rt.spawn(worker, name="boom")
+        rt.join_all()
+        assert len(rt.failures) == 1
+        assert isinstance(rt.failures[0][1], NullReferenceError)
+
+    def test_unregistered_thread_rejected(self):
+        rt = RealThreadsRuntime()
+        errors = []
+
+        def rogue():
+            ref = rt.ref("r")
+            try:
+                ref.assign(rt.new("T"), loc="rt.init:1")
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=rogue)
+        thread.start()
+        thread.join()
+        assert errors
+
+    def test_vector_clocks_track_real_forks(self):
+        rt = RealThreadsRuntime()
+        recorder = Recorder()
+        rt.hook = recorder
+        ref = rt.ref("r")
+        ref.assign(rt.new("T"), loc="rt.init:1")  # parent, pre-fork
+
+        def worker():
+            ref.use(member="M", loc="rt.use:2")
+
+        thread = rt.spawn(worker, name="child")
+        thread.join()
+        ref.use(member="M", loc="rt.post:3")  # parent, post-fork
+
+        init, child_use, parent_post = recorder.events
+        assert leq(init.vc_snapshot, child_use.vc_snapshot)  # fork-ordered
+        assert concurrent(parent_post.vc_snapshot, child_use.vc_snapshot)
+
+    def test_delay_injected_via_hook(self):
+        class DelayUse(InstrumentationHook):
+            def before_access(self, pending):
+                return 40.0 if pending.location.site == "rt.use:1" else 0.0
+
+        rt = RealThreadsRuntime(hook=DelayUse())
+        ref = rt.ref("r")
+        ref.assign(rt.new("T"), loc="rt.init:1")
+        start = time.monotonic()
+        ref.use(member="M", loc="rt.use:1")
+        assert (time.monotonic() - start) >= 0.035
+
+
+class TestRealThreadsWaffle:
+    def test_stress_never_crashes(self):
+        crashes = RealThreadsWaffle().stress(uaf_workload(), runs=3)
+        assert crashes == 0
+
+    def test_detects_real_uaf(self):
+        outcome = RealThreadsWaffle().detect(uaf_workload(), max_detection_runs=3)
+        assert outcome.bug_found
+        assert outcome.runs[0].kind == "prep"
+        assert outcome.runs[0].delays_injected == 0
+        report = outcome.reports[0]
+        assert report.fault_site == "rt.send:10"
+        assert report.delay_induced
+        # The measured gap drives the delay length: ~50 ms plus noise.
+        assert 35.0 <= outcome.plan.delay_lengths["rt.send:10"] <= 70.0
+
+    def test_plan_prunes_fork_ordered_pairs(self):
+        """The (open, send) pair is parent-child ordered; only the
+        (send, close) use-after-free pair survives analysis."""
+        outcome = RealThreadsWaffle().detect(uaf_workload(), max_detection_runs=1)
+        sites = outcome.plan.delay_sites
+        assert sites == {"rt.send:10"}
+        assert outcome.plan.stats.pruned_parent_child >= 1

@@ -1,0 +1,52 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert VirtualClock(12.5).now == 12.5
+
+    def test_advance_moves_forward(self):
+        clock = VirtualClock()
+        assert clock.advance(3.25) == 3.25
+        assert clock.now == 3.25
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.0)
+        clock.advance(2.0)
+        assert clock.now == pytest.approx(3.0)
+
+    def test_advance_zero_is_noop(self):
+        clock = VirtualClock(5.0)
+        clock.advance(0.0)
+        assert clock.now == 5.0
+
+    def test_advance_negative_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_advance_to_future(self):
+        clock = VirtualClock()
+        clock.advance_to(7.5)
+        assert clock.now == 7.5
+
+    def test_advance_to_past_is_noop(self):
+        clock = VirtualClock(10.0)
+        clock.advance_to(4.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = VirtualClock(10.0)
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_repr_mentions_time(self):
+        assert "3.5" in repr(VirtualClock(3.5))

@@ -1,0 +1,140 @@
+"""Edge cases across the simulator surface."""
+
+import pytest
+
+from repro.core.reports import BugReport
+from repro.sim.api import Simulation
+from repro.sim.errors import NullReferenceError
+
+
+class TestChannelEdges:
+    def test_close_is_idempotent(self, sim):
+        channel = sim.channel("c")
+        channel.close()
+        channel.close()
+        assert channel.closed
+
+    def test_queued_items_drained_after_close(self, sim):
+        channel = sim.channel("c")
+
+        def main(sim):
+            channel.put(1)
+            channel.put(2)
+            channel.close()
+            values = []
+            for _ in range(3):
+                values.append((yield from channel.get()))
+            return values
+
+        sim.run(main(sim))
+        assert sim.scheduler.threads[1].result == [1, 2, None]
+
+
+class TestTaskPoolEdges:
+    def test_close_drains_queued_tasks(self, sim):
+        completed = []
+
+        def task(n):
+            yield from sim.sleep(1.0)
+            completed.append(n)
+
+        def main(sim):
+            pool = sim.task_pool(workers=1, name="p")
+            handles = [pool.submit(task(i)) for i in range(4)]
+            # Close immediately: queued tasks must still run to
+            # completion before the workers exit.
+            yield from pool.close()
+            assert all(h.done for h in handles)
+
+        result = sim.run(main(sim))
+        assert not result.crashed
+        assert completed == [0, 1, 2, 3]
+
+    def test_wait_after_completion_returns_immediately(self, sim):
+        def task():
+            yield from sim.sleep(1.0)
+            return "done"
+
+        def main(sim):
+            pool = sim.task_pool(workers=1, name="p")
+            handle = pool.submit(task())
+            yield from sim.sleep(10.0)  # task long finished
+            value = yield from pool.wait(handle)
+            yield from pool.close()
+            return value
+
+        sim.run(main(sim))
+        assert sim.scheduler.threads[1].result == "done"
+
+
+class TestRefEdges:
+    def test_null_out_dispose_then_use_is_null_reference(self, sim):
+        """With null_out the reference itself is gone, so the failure is
+        the plain null-dereference flavor, not ObjectDisposed."""
+        ref = sim.ref("r")
+
+        def main(sim):
+            yield from sim.assign(ref, sim.new("T"), loc="e.init:1")
+            yield from sim.dispose(ref, loc="e.dispose:2", null_out=True)
+            yield from sim.use(ref, member="M", loc="e.use:3")
+
+        result = sim.run(main(sim))
+        error = result.first_failure()
+        assert type(error).__name__ == "NullReferenceError"
+
+    def test_heap_object_fields(self, sim):
+        obj = sim.new("T", a=1, b="x")
+        assert obj.fields == {"a": 1, "b": "x"}
+        assert "T" in repr(obj)
+        obj.disposed = True
+        assert "disposed" in repr(obj)
+
+    def test_ref_repr_and_is_null(self, sim):
+        ref = sim.ref("r")
+        assert ref.is_null
+        assert "r" in repr(ref)
+
+
+class TestEventEdges:
+    def test_set_twice_harmless(self, sim):
+        event = sim.event("e")
+        event.set()
+        event.set()
+        assert event.is_set
+
+    def test_compute_without_jitter(self, sim):
+        def main(sim):
+            yield from sim.compute(5.0, jitter=False)
+
+        result = sim.run(main(sim))
+        assert result.virtual_time == pytest.approx(5.0)
+
+
+class TestReportEdges:
+    def test_summary_without_location(self):
+        report = BugReport(
+            tool="t",
+            workload="w",
+            fault_location=None,
+            ref_name="r",
+            thread_name="th",
+            error_type="NullReferenceError",
+            fault_time_ms=1.0,
+            run_index=1,
+        )
+        assert report.fault_site == ""
+        assert "?" in report.summary()
+        assert "(no matched pair)" in report.summary()
+
+    def test_error_carries_context(self, sim):
+        ref = sim.ref("conn")
+
+        def main(sim):
+            yield from sim.use(ref, member="M", loc="e.use:1")
+
+        result = sim.run(main(sim))
+        error = result.first_failure()
+        assert error.ref_name == "conn"
+        assert error.thread_name == "main"
+        assert error.location.site == "e.use:1"
+        assert error.location.app == "e"

@@ -1,0 +1,268 @@
+"""Reference semantics and instrumented operations (INIT/DISPOSE/USE)."""
+
+import pytest
+
+from repro.sim.api import Simulation
+from repro.sim.errors import NullReferenceError, ObjectDisposedError
+from repro.sim.instrument import AccessEvent, AccessType, InstrumentationHook
+
+
+class Recorder(InstrumentationHook):
+    """Minimal event collector for assertions."""
+
+    def __init__(self):
+        self.events = []
+
+    def after_access(self, event: AccessEvent) -> None:
+        self.events.append(event)
+
+    def of_type(self, access_type):
+        return [e for e in self.events if e.access_type is access_type]
+
+
+@pytest.fixture
+def recorder():
+    return Recorder()
+
+
+@pytest.fixture
+def rsim(recorder):
+    return Simulation(seed=1, hook=recorder)
+
+
+class TestAssignSemantics:
+    def test_null_to_object_is_init(self, rsim, recorder):
+        ref = rsim.ref("r")
+
+        def main(sim):
+            obj = sim.new("T")
+            yield from sim.assign(ref, obj, loc="t.init:1")
+
+        rsim.run(main(rsim))
+        inits = recorder.of_type(AccessType.INIT)
+        assert len(inits) == 1
+        assert inits[0].location.site == "t.init:1"
+        assert inits[0].object_id == ref.value.oid
+
+    def test_object_to_null_is_dispose(self, rsim, recorder):
+        ref = rsim.ref("r")
+
+        def main(sim):
+            obj = sim.new("T")
+            yield from sim.assign(ref, obj, loc="t.init:1")
+            yield from sim.assign(ref, None, loc="t.null:2")
+
+        rsim.run(main(rsim))
+        disposes = recorder.of_type(AccessType.DISPOSE)
+        assert len(disposes) == 1
+        assert ref.value is None
+
+    def test_null_to_null_records_nothing(self, rsim, recorder):
+        ref = rsim.ref("r")
+
+        def main(sim):
+            yield from sim.assign(ref, None, loc="t.null:1")
+
+        rsim.run(main(rsim))
+        assert recorder.events == []
+
+    def test_reassignment_is_init_of_new_object(self, rsim, recorder):
+        ref = rsim.ref("r")
+
+        def main(sim):
+            yield from sim.assign(ref, sim.new("T"), loc="t.init:1")
+            yield from sim.assign(ref, sim.new("T"), loc="t.init:2")
+
+        rsim.run(main(rsim))
+        inits = recorder.of_type(AccessType.INIT)
+        assert len(inits) == 2
+        assert inits[0].object_id != inits[1].object_id
+
+
+class TestDisposeSemantics:
+    def test_explicit_dispose_marks_object(self, rsim, recorder):
+        ref = rsim.ref("r")
+
+        def main(sim):
+            yield from sim.assign(ref, sim.new("T"), loc="t.init:1")
+            yield from sim.dispose(ref, loc="t.dispose:2")
+
+        rsim.run(main(rsim))
+        assert ref.value is not None
+        assert ref.value.disposed
+        assert len(recorder.of_type(AccessType.DISPOSE)) == 1
+
+    def test_dispose_null_out_clears_reference(self, rsim):
+        ref = rsim.ref("r")
+
+        def main(sim):
+            yield from sim.assign(ref, sim.new("T"), loc="t.init:1")
+            yield from sim.dispose(ref, loc="t.dispose:2", null_out=True)
+
+        rsim.run(main(rsim))
+        assert ref.value is None
+
+    def test_dispose_through_null_ref_is_faulty_use(self, rsim):
+        ref = rsim.ref("r")
+
+        def main(sim):
+            yield from sim.dispose(ref, loc="t.dispose:1")
+
+        result = rsim.run(main(rsim))
+        assert result.crashed
+        assert isinstance(result.first_failure(), NullReferenceError)
+
+
+class TestUseSemantics:
+    def test_use_of_valid_object_succeeds(self, rsim, recorder):
+        ref = rsim.ref("r")
+
+        def main(sim):
+            obj = sim.new("T")
+            yield from sim.assign(ref, obj, loc="t.init:1")
+            got = yield from sim.use(ref, member="M", loc="t.use:2")
+            assert got is obj
+
+        result = rsim.run(main(rsim))
+        assert not result.crashed
+        uses = recorder.of_type(AccessType.USE)
+        assert len(uses) == 1
+        assert uses[0].member == "M"
+
+    def test_use_of_null_raises_null_reference(self, rsim):
+        ref = rsim.ref("r")
+
+        def main(sim):
+            yield from sim.use(ref, member="M", loc="t.use:1")
+
+        result = rsim.run(main(rsim))
+        error = result.first_failure()
+        assert isinstance(error, NullReferenceError)
+        assert error.ref_name == "r"
+        assert error.location.site == "t.use:1"
+
+    def test_use_of_disposed_raises_object_disposed(self, rsim):
+        ref = rsim.ref("r")
+
+        def main(sim):
+            yield from sim.assign(ref, sim.new("T"), loc="t.init:1")
+            yield from sim.dispose(ref, loc="t.dispose:2")
+            yield from sim.use(ref, member="M", loc="t.use:3")
+
+        result = rsim.run(main(rsim))
+        error = result.first_failure()
+        assert isinstance(error, ObjectDisposedError)
+        # ObjectDisposedError is a NullReferenceError: one oracle.
+        assert isinstance(error, NullReferenceError)
+
+    def test_faulting_use_event_has_unknown_object(self, rsim, recorder):
+        ref = rsim.ref("r")
+
+        def main(sim):
+            yield from sim.use(ref, member="M", loc="t.use:1")
+
+        rsim.run(main(rsim))
+        uses = recorder.of_type(AccessType.USE)
+        assert len(uses) == 1
+        assert uses[0].object_id == -1
+
+    def test_delayed_use_reresolves_object_id(self):
+        """A use that starts before the init but executes after it (the
+        delay-injection scenario) must record the object it actually
+        observed at execution time."""
+        ref = None
+        recorder = Recorder()
+
+        class DelayUse(Recorder):
+            def before_access(self, pending):
+                if pending.location.site == "t.use:1":
+                    return 10.0
+                return 0.0
+
+        hook = DelayUse()
+        sim = Simulation(seed=1, hook=hook)
+        ref = sim.ref("r")
+
+        def user(sim):
+            yield from sim.use(ref, member="M", loc="t.use:1")
+
+        def main(sim):
+            t = sim.fork(user(sim), name="user")
+            yield from sim.sleep(2)
+            yield from sim.assign(ref, sim.new("T"), loc="t.init:1")
+            yield from sim.join(t)
+
+        result = sim.run(main(sim))
+        assert not result.crashed
+        use = hook.of_type(AccessType.USE)[0]
+        assert use.object_id == ref.value.oid
+        assert use.injected_delay == pytest.approx(10.0)
+
+    def test_read_and_write_fields(self, rsim):
+        ref = rsim.ref("r")
+
+        def main(sim):
+            yield from sim.assign(ref, sim.new("T", x=1), loc="t.init:1")
+            yield from sim.write(ref, "x", 5, loc="t.w:2")
+            value = yield from sim.read(ref, "x", loc="t.r:3")
+            return value
+
+        rsim.run(main(rsim))
+        assert rsim.scheduler.threads[1].result == 5
+
+    def test_call_is_use_sugar(self, rsim, recorder):
+        ref = rsim.ref("r")
+
+        def main(sim):
+            yield from sim.assign(ref, sim.new("T"), loc="t.init:1")
+            yield from sim.call(ref, "DoWork", loc="t.call:2", duration=3.0)
+
+        result = rsim.run(main(rsim))
+        assert not result.crashed
+        uses = recorder.of_type(AccessType.USE)
+        assert uses[0].member == "DoWork"
+        # The call window occupies virtual time.
+        assert result.virtual_time >= 3.0
+
+
+class TestHookContract:
+    def test_bad_delay_type_rejected(self):
+        class BadHook(InstrumentationHook):
+            def before_access(self, pending):
+                return "soon"
+
+        sim = Simulation(seed=1, hook=BadHook())
+        ref = sim.ref("r")
+
+        def main(sim):
+            yield from sim.assign(ref, sim.new("T"), loc="t.init:1")
+
+        result = sim.run(main(sim))
+        assert result.crashed
+        assert isinstance(result.first_failure(), TypeError)
+
+    def test_negative_delay_clamped_to_zero(self):
+        class NegativeHook(InstrumentationHook):
+            def before_access(self, pending):
+                return -50.0
+
+        sim = Simulation(seed=1, hook=NegativeHook())
+        ref = sim.ref("r")
+
+        def main(sim):
+            yield from sim.assign(ref, sim.new("T"), loc="t.init:1")
+
+        result = sim.run(main(sim))
+        assert not result.crashed
+        assert result.virtual_time < 1.0
+
+    def test_op_count_tracked(self, rsim):
+        ref = rsim.ref("r")
+
+        def main(sim):
+            yield from sim.assign(ref, sim.new("T"), loc="t.init:1")
+            for _ in range(4):
+                yield from sim.use(ref, member="M", loc="t.use:2")
+
+        result = rsim.run(main(rsim))
+        assert result.op_count == 5

@@ -1,0 +1,441 @@
+"""Synchronization primitives: locks, events, semaphores, conditions, channels."""
+
+import pytest
+
+from repro.sim.api import Simulation
+
+
+class TestLock:
+    def test_mutual_exclusion(self, sim):
+        lock = sim.lock("l")
+        in_section = []
+        violations = []
+
+        def worker(sim, name):
+            for _ in range(3):
+                yield from lock.acquire()
+                try:
+                    if in_section:
+                        violations.append(name)
+                    in_section.append(name)
+                    yield from sim.compute(0.5)
+                    in_section.pop()
+                finally:
+                    lock.release()
+                yield from sim.sleep(0.1)
+
+        def main(sim):
+            threads = [sim.fork(worker(sim, "w%d" % i), name="w%d" % i) for i in range(3)]
+            yield from sim.join_all(threads)
+
+        result = sim.run(main(sim))
+        assert not result.crashed
+        assert violations == []
+
+    def test_uncontended_acquire_costs_nothing(self, sim):
+        lock = sim.lock("l")
+
+        def main(sim):
+            yield from lock.acquire()
+            lock.release()
+
+        result = sim.run(main(sim))
+        assert result.virtual_time == 0.0
+
+    def test_release_by_non_owner_raises(self, sim):
+        lock = sim.lock("l")
+
+        def owner(sim):
+            yield from lock.acquire()
+            yield from sim.sleep(10)
+            lock.release()
+
+        def thief(sim):
+            yield from sim.sleep(1)
+            lock.release()
+
+        def main(sim):
+            a = sim.fork(owner(sim), name="owner")
+            b = sim.fork(thief(sim), name="thief")
+            yield from sim.join(a)
+            yield from sim.join(b)
+
+        result = sim.run(main(sim))
+        assert result.crashed
+        assert isinstance(result.first_failure(), RuntimeError)
+
+    def test_not_reentrant(self, sim):
+        lock = sim.lock("l")
+
+        def main(sim):
+            yield from lock.acquire()
+            yield from lock.acquire()
+
+        result = sim.run(main(sim))
+        assert result.crashed
+
+    def test_fifo_handoff(self, sim):
+        lock = sim.lock("l")
+        order = []
+
+        def holder(sim):
+            yield from lock.acquire()
+            yield from sim.sleep(5)
+            lock.release()
+
+        def waiter(sim, name, arrive):
+            yield from sim.sleep(arrive)
+            yield from lock.acquire()
+            order.append(name)
+            lock.release()
+
+        def main(sim):
+            threads = [
+                sim.fork(holder(sim), name="holder"),
+                sim.fork(waiter(sim, "first", 1.0), name="first"),
+                sim.fork(waiter(sim, "second", 2.0), name="second"),
+            ]
+            yield from sim.join_all(threads)
+
+        sim.run(main(sim))
+        assert order == ["first", "second"]
+
+
+class TestEvent:
+    def test_wait_blocks_until_set(self, sim):
+        event = sim.event("e")
+        log = []
+
+        def waiter(sim):
+            yield from event.wait()
+            log.append(("woke", sim.now))
+
+        def main(sim):
+            t = sim.fork(waiter(sim), name="waiter")
+            yield from sim.sleep(8)
+            event.set()
+            yield from sim.join(t)
+
+        sim.run(main(sim))
+        assert log and log[0][1] == pytest.approx(8.0)
+
+    def test_wait_on_set_event_returns_immediately(self, sim):
+        event = sim.event("e")
+        event.set()
+
+        def main(sim):
+            yield from event.wait()
+
+        result = sim.run(main(sim))
+        assert result.virtual_time == 0.0
+
+    def test_set_wakes_all_waiters(self, sim):
+        event = sim.event("e")
+        woke = []
+
+        def waiter(sim, name):
+            yield from event.wait()
+            woke.append(name)
+
+        def main(sim):
+            threads = [sim.fork(waiter(sim, i), name="w%d" % i) for i in range(4)]
+            yield from sim.sleep(1)
+            event.set()
+            yield from sim.join_all(threads)
+
+        sim.run(main(sim))
+        assert sorted(woke) == [0, 1, 2, 3]
+
+    def test_clear_resets(self, sim):
+        event = sim.event("e")
+        event.set()
+        event.clear()
+        assert not event.is_set
+
+
+class TestSemaphore:
+    def test_limits_concurrency(self, sim):
+        sem = sim.semaphore(initial=2, name="s")
+        active = [0]
+        peak = [0]
+
+        def worker(sim):
+            yield from sem.acquire()
+            active[0] += 1
+            peak[0] = max(peak[0], active[0])
+            yield from sim.compute(2.0)
+            active[0] -= 1
+            sem.release()
+
+        def main(sim):
+            threads = [sim.fork(worker(sim), name="w%d" % i) for i in range(5)]
+            yield from sim.join_all(threads)
+
+        sim.run(main(sim))
+        assert peak[0] == 2
+
+    def test_negative_initial_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.semaphore(initial=-1)
+
+
+class TestCondition:
+    def test_wait_notify(self, sim):
+        lock = sim.lock("l")
+        cond = sim.condition(lock, "c")
+        state = {"ready": False, "observed_at": None}
+
+        def consumer(sim):
+            yield from lock.acquire()
+            while not state["ready"]:
+                yield from cond.wait()
+            state["observed_at"] = sim.now
+            lock.release()
+
+        def producer(sim):
+            yield from sim.sleep(6)
+            yield from lock.acquire()
+            state["ready"] = True
+            cond.notify()
+            lock.release()
+
+        def main(sim):
+            a = sim.fork(consumer(sim), name="consumer")
+            b = sim.fork(producer(sim), name="producer")
+            yield from sim.join(a)
+            yield from sim.join(b)
+
+        result = sim.run(main(sim))
+        assert not result.crashed
+        assert state["observed_at"] == pytest.approx(6.0)
+
+    def test_wait_without_lock_raises(self, sim):
+        lock = sim.lock("l")
+        cond = sim.condition(lock, "c")
+
+        def main(sim):
+            yield from cond.wait()
+
+        result = sim.run(main(sim))
+        assert result.crashed
+
+    def test_notify_all(self, sim):
+        lock = sim.lock("l")
+        cond = sim.condition(lock, "c")
+        woke = []
+
+        def waiter(sim, name):
+            yield from lock.acquire()
+            yield from cond.wait()
+            woke.append(name)
+            lock.release()
+
+        def main(sim):
+            threads = [sim.fork(waiter(sim, i), name="w%d" % i) for i in range(3)]
+            yield from sim.sleep(1)
+            yield from lock.acquire()
+            cond.notify_all()
+            lock.release()
+            yield from sim.join_all(threads)
+
+        result = sim.run(main(sim))
+        assert not result.crashed
+        assert sorted(woke) == [0, 1, 2]
+
+
+class TestChannel:
+    def test_put_then_get(self, sim):
+        channel = sim.channel("c")
+
+        def main(sim):
+            channel.put("x")
+            value = yield from channel.get()
+            return value
+
+        sim.run(main(sim))
+        assert sim.scheduler.threads[1].result == "x"
+
+    def test_get_blocks_until_put(self, sim):
+        channel = sim.channel("c")
+        got = []
+
+        def consumer(sim):
+            value = yield from channel.get()
+            got.append((value, sim.now))
+
+        def main(sim):
+            t = sim.fork(consumer(sim), name="consumer")
+            yield from sim.sleep(4)
+            channel.put(42)
+            yield from sim.join(t)
+
+        sim.run(main(sim))
+        assert got == [(42, pytest.approx(4.0))]
+
+    def test_fifo_order(self, sim):
+        channel = sim.channel("c")
+
+        def main(sim):
+            for i in range(5):
+                channel.put(i)
+            values = []
+            for _ in range(5):
+                values.append((yield from channel.get()))
+            return values
+
+        sim.run(main(sim))
+        assert sim.scheduler.threads[1].result == [0, 1, 2, 3, 4]
+
+    def test_close_releases_blocked_getters(self, sim):
+        channel = sim.channel("c")
+
+        def consumer(sim):
+            value = yield from channel.get()
+            return value
+
+        def main(sim):
+            t = sim.fork(consumer(sim), name="consumer")
+            yield from sim.sleep(2)
+            channel.close()
+            value = yield from sim.join(t)
+            return value
+
+        sim.run(main(sim))
+        assert sim.scheduler.threads[1].result is None
+
+    def test_put_after_close_raises(self, sim):
+        channel = sim.channel("c")
+        channel.close()
+
+        def main(sim):
+            channel.put(1)
+            yield from sim.sleep(0)
+
+        result = sim.run(main(sim))
+        assert result.crashed
+
+    def test_try_get_nonblocking(self, sim):
+        channel = sim.channel("c")
+        assert channel.try_get() is None
+        channel.put(7)
+        assert channel.try_get() == 7
+
+
+class TestRLock:
+    def test_reentrant_acquire_release(self, sim):
+        lock = sim.rlock("r")
+
+        def main(sim):
+            yield from lock.acquire()
+            yield from lock.acquire()
+            lock.release()
+            # Still held after one release of two.
+            assert lock.locked
+            lock.release()
+            assert not lock.locked
+
+        result = sim.run(main(sim))
+        assert not result.crashed
+
+    def test_contention_waits_for_full_release(self, sim):
+        lock = sim.rlock("r")
+        acquired_at = []
+
+        def owner(sim):
+            yield from lock.acquire()
+            yield from lock.acquire()
+            yield from sim.sleep(5)
+            lock.release()
+            yield from sim.sleep(5)
+            lock.release()
+
+        def contender(sim):
+            yield from sim.sleep(1)
+            yield from lock.acquire()
+            acquired_at.append(sim.now)
+            lock.release()
+
+        def main(sim):
+            a = sim.fork(owner(sim), name="owner")
+            b = sim.fork(contender(sim), name="contender")
+            yield from sim.join(a)
+            yield from sim.join(b)
+
+        result = sim.run(main(sim))
+        assert not result.crashed
+        assert acquired_at[0] >= 10.0
+
+    def test_release_by_non_owner_raises(self, sim):
+        lock = sim.rlock("r")
+
+        def main(sim):
+            lock.release()
+            yield from sim.sleep(0)
+
+        result = sim.run(main(sim))
+        assert result.crashed
+
+
+class TestBarrier:
+    def test_all_parties_released_together(self, sim):
+        barrier = sim.barrier(3, "b")
+        release_times = []
+
+        def party(sim, delay):
+            yield from sim.sleep(delay)
+            yield from barrier.wait()
+            release_times.append(sim.now)
+
+        def main(sim):
+            threads = [
+                sim.fork(party(sim, d), name="p%d" % i)
+                for i, d in enumerate((1.0, 4.0, 9.0))
+            ]
+            yield from sim.join_all(threads)
+
+        result = sim.run(main(sim))
+        assert not result.crashed
+        assert len(release_times) == 3
+        assert all(t >= 9.0 for t in release_times)
+
+    def test_cyclic_reuse(self, sim):
+        barrier = sim.barrier(2, "b")
+        generations = []
+
+        def party(sim, name):
+            for round_index in range(3):
+                yield from sim.sleep(1.0)
+                yield from barrier.wait()
+                generations.append((name, round_index))
+
+        def main(sim):
+            a = sim.fork(party(sim, "a"), name="a")
+            b = sim.fork(party(sim, "b"), name="b")
+            yield from sim.join(a)
+            yield from sim.join(b)
+
+        result = sim.run(main(sim))
+        assert not result.crashed
+        assert len(generations) == 6
+
+    def test_wait_returns_arrival_index(self, sim):
+        barrier = sim.barrier(2, "b")
+        indices = []
+
+        def party(sim, delay):
+            yield from sim.sleep(delay)
+            index = yield from barrier.wait()
+            indices.append(index)
+
+        def main(sim):
+            a = sim.fork(party(sim, 1.0), name="a")
+            b = sim.fork(party(sim, 2.0), name="b")
+            yield from sim.join(a)
+            yield from sim.join(b)
+
+        sim.run(main(sim))
+        assert sorted(indices) == [0, 1]
+
+    def test_invalid_parties_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.barrier(0, "b")

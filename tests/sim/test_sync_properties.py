@@ -1,0 +1,167 @@
+"""Property-based synchronization invariants (hypothesis).
+
+Random multi-threaded programs over each primitive must preserve its
+defining invariant under every seeded interleaving the scheduler
+produces.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.api import Simulation
+
+
+class TestLockMutualExclusion:
+    @given(
+        seed=st.integers(0, 500),
+        workers=st.integers(2, 4),
+        iterations=st.integers(1, 4),
+        hold=st.floats(min_value=0.1, max_value=2.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_never_two_holders(self, seed, workers, iterations, hold):
+        sim = Simulation(seed=seed)
+        lock = sim.lock("l")
+        inside = [0]
+        peak = [0]
+
+        def worker(sim_):
+            for _ in range(iterations):
+                yield from lock.acquire()
+                inside[0] += 1
+                peak[0] = max(peak[0], inside[0])
+                yield from sim.compute(hold)
+                inside[0] -= 1
+                lock.release()
+                yield from sim.sleep(0.2)
+
+        def main(sim_):
+            threads = [sim.fork(worker(sim), name="w%d" % i) for i in range(workers)]
+            yield from sim.join_all(threads)
+
+        result = sim.run(main(sim))
+        assert not result.crashed
+        assert peak[0] == 1
+
+    @given(seed=st.integers(0, 500), waiters=st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_fifo_handoff_order(self, seed, waiters):
+        sim = Simulation(seed=seed)
+        lock = sim.lock("l")
+        order = []
+
+        def holder(sim_):
+            yield from lock.acquire()
+            yield from sim.sleep(10.0)
+            lock.release()
+
+        def waiter(sim_, index):
+            yield from sim.sleep(float(index + 1))  # staggered arrival
+            yield from lock.acquire()
+            order.append(index)
+            lock.release()
+
+        def main(sim_):
+            threads = [sim.fork(holder(sim), name="holder")]
+            threads += [sim.fork(waiter(sim, i), name="w%d" % i) for i in range(waiters)]
+            yield from sim.join_all(threads)
+
+        result = sim.run(main(sim))
+        assert not result.crashed
+        assert order == sorted(order)
+
+
+class TestSemaphoreBound:
+    @given(
+        seed=st.integers(0, 500),
+        permits=st.integers(1, 3),
+        workers=st.integers(1, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_concurrency_never_exceeds_permits(self, seed, permits, workers):
+        sim = Simulation(seed=seed)
+        sem = sim.semaphore(initial=permits, name="s")
+        inside = [0]
+        peak = [0]
+
+        def worker(sim_):
+            yield from sem.acquire()
+            inside[0] += 1
+            peak[0] = max(peak[0], inside[0])
+            yield from sim.compute(1.0)
+            inside[0] -= 1
+            sem.release()
+
+        def main(sim_):
+            threads = [sim.fork(worker(sim), name="w%d" % i) for i in range(workers)]
+            yield from sim.join_all(threads)
+
+        result = sim.run(main(sim))
+        assert not result.crashed
+        assert peak[0] <= permits
+
+
+class TestChannelConservation:
+    @given(
+        seed=st.integers(0, 500),
+        producers=st.integers(1, 3),
+        items_each=st.integers(0, 6),
+        consumers=st.integers(1, 3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_item_delivered_exactly_once(self, seed, producers, items_each, consumers):
+        sim = Simulation(seed=seed)
+        channel = sim.channel("c")
+        delivered = []
+        done_producers = [0]
+
+        def producer(sim_, pid):
+            for i in range(items_each):
+                yield from sim.sleep(0.3)
+                channel.put((pid, i))
+            done_producers[0] += 1
+            if done_producers[0] == producers:
+                channel.close()
+
+        def consumer(sim_):
+            while True:
+                item = yield from channel.get()
+                if item is None:
+                    return
+                delivered.append(item)
+                yield from sim.compute(0.2)
+
+        def main(sim_):
+            threads = [sim.fork(consumer(sim), name="c%d" % i) for i in range(consumers)]
+            threads += [sim.fork(producer(sim, p), name="p%d" % p) for p in range(producers)]
+            yield from sim.join_all(threads)
+
+        result = sim.run(main(sim))
+        assert not result.crashed
+        expected = {(p, i) for p in range(producers) for i in range(items_each)}
+        assert sorted(delivered) == sorted(expected)
+        assert len(delivered) == len(set(delivered))
+
+
+class TestEventLatch:
+    @given(seed=st.integers(0, 500), waiters=st.integers(1, 6), set_at=st.floats(0.5, 10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_no_waiter_proceeds_before_set(self, seed, waiters, set_at):
+        sim = Simulation(seed=seed)
+        event = sim.event("e")
+        wake_times = []
+
+        def waiter(sim_):
+            yield from event.wait()
+            wake_times.append(sim.now)
+
+        def main(sim_):
+            threads = [sim.fork(waiter(sim), name="w%d" % i) for i in range(waiters)]
+            yield from sim.sleep(set_at)
+            event.set()
+            yield from sim.join_all(threads)
+
+        result = sim.run(main(sim))
+        assert not result.crashed
+        assert len(wake_times) == waiters
+        assert all(t >= set_at - 1e-9 for t in wake_times)

@@ -1,0 +1,262 @@
+"""Task pools and async-local storage (the section 4.1 task extension)."""
+
+import pytest
+
+from repro.core import Waffle, WaffleConfig, Workload
+from repro.core.vector_clock import TLS_KEY, ThreadVectorClock, concurrent, leq
+from repro.sim.api import Simulation
+from repro.sim.errors import NullReferenceError
+
+
+class TestTaskPoolBasics:
+    def test_submit_and_wait_returns_result(self, sim):
+        def task():
+            yield from sim.sleep(1.0)
+            return 42
+
+        def main(sim):
+            pool = sim.task_pool(workers=2, name="p")
+            handle = pool.submit(task(), name="t")
+            value = yield from pool.wait(handle)
+            yield from pool.close()
+            return value
+
+        sim.run(main(sim))
+        assert sim.scheduler.threads[1].result == 42
+
+    def test_tasks_run_concurrently_across_workers(self, sim):
+        order = []
+
+        def task(name, duration):
+            yield from sim.sleep(duration)
+            order.append((name, sim.now))
+
+        def main(sim):
+            pool = sim.task_pool(workers=2, name="p")
+            slow = pool.submit(task("slow", 10.0))
+            fast = pool.submit(task("fast", 1.0))
+            yield from pool.wait_all([slow, fast])
+            yield from pool.close()
+
+        sim.run(main(sim))
+        assert [name for name, _ in order] == ["fast", "slow"]
+
+    def test_single_worker_serializes(self, sim):
+        order = []
+
+        def task(name, duration):
+            yield from sim.sleep(duration)
+            order.append(name)
+
+        def main(sim):
+            pool = sim.task_pool(workers=1, name="p")
+            a = pool.submit(task("a", 5.0))
+            b = pool.submit(task("b", 1.0))
+            yield from pool.wait_all([a, b])
+            yield from pool.close()
+
+        sim.run(main(sim))
+        assert order == ["a", "b"]  # FIFO despite b being shorter
+
+    def test_awaited_exception_reraised_in_waiter(self, sim):
+        def bad_task():
+            yield from sim.sleep(1.0)
+            raise ValueError("task boom")
+
+        def main(sim):
+            pool = sim.task_pool(workers=1, name="p")
+            handle = pool.submit(bad_task())
+            try:
+                yield from pool.wait(handle)
+            except ValueError as exc:
+                return "caught:%s" % exc
+            finally:
+                yield from pool.close()
+
+        result = sim.run(main(sim))
+        assert not result.crashed
+        assert sim.scheduler.threads[1].result == "caught:task boom"
+
+    def test_unobserved_exception_crashes_run(self, sim):
+        def bad_task():
+            yield from sim.sleep(1.0)
+            raise ValueError("unobserved")
+
+        def main(sim):
+            pool = sim.task_pool(workers=1, name="p")
+            pool.submit(bad_task())
+            yield from sim.sleep(50.0)
+
+        result = sim.run(main(sim))
+        assert result.crashed
+        assert isinstance(result.first_failure(), ValueError)
+
+    def test_submit_after_close_rejected(self, sim):
+        def main(sim):
+            pool = sim.task_pool(workers=1, name="p")
+            yield from pool.close()
+            pool.submit(iter(()))
+
+        result = sim.run(main(sim))
+        assert result.crashed
+        assert isinstance(result.first_failure(), RuntimeError)
+
+    def test_zero_workers_rejected(self, sim):
+        def main(sim):
+            sim.task_pool(workers=0, name="p")
+            yield from sim.sleep(0)
+
+        result = sim.run(main(sim))
+        assert result.crashed
+
+
+class TestAsyncLocalStorage:
+    def test_context_propagates_submitter_to_task(self, sim):
+        observed = []
+
+        def child_task(pool):
+            observed.append(pool.alocal_get("request_id"))
+            yield from sim.sleep(0)
+
+        def main(sim):
+            pool = sim.task_pool(workers=2, name="p")
+            sim.itls_set("request_id", "req-7")
+            handle = pool.submit(child_task(pool))
+            yield from pool.wait(handle)
+            yield from pool.close()
+
+        sim.run(main(sim))
+        assert observed == ["req-7"]
+
+    def test_context_propagates_task_to_task(self, sim):
+        observed = []
+
+        def parent_task(pool):
+            pool.alocal_set("trace", "inner")
+            handle = pool.submit(child_task(pool))
+            yield from pool.wait(handle)
+
+        def child_task(pool):
+            observed.append(pool.alocal_get("trace"))
+            yield from sim.sleep(0)
+
+        def main(sim):
+            pool = sim.task_pool(workers=2, name="p")
+            handle = pool.submit(parent_task(pool))
+            yield from pool.wait(handle)
+            yield from pool.close()
+
+        sim.run(main(sim))
+        assert observed == ["inner"]
+
+    def test_sibling_tasks_isolated(self, sim):
+        observed = []
+
+        def writer(pool):
+            pool.alocal_set("private", "mine")
+            yield from sim.sleep(2.0)
+
+        def reader(pool):
+            yield from sim.sleep(4.0)
+            observed.append(pool.alocal_get("private", "absent"))
+
+        def main(sim):
+            pool = sim.task_pool(workers=2, name="p")
+            a = pool.submit(writer(pool))
+            b = pool.submit(reader(pool))
+            yield from pool.wait_all([a, b])
+            yield from pool.close()
+
+        sim.run(main(sim))
+        assert observed == ["absent"]
+
+    def test_worker_context_restored_between_tasks(self, sim):
+        """A task's context must not leak into the next task the same
+        worker picks up."""
+        observed = []
+
+        def first(pool):
+            pool.alocal_set("leak", "oops")
+            yield from sim.sleep(1.0)
+
+        def second(pool):
+            observed.append(pool.alocal_get("leak", "clean"))
+            yield from sim.sleep(0)
+
+        def main(sim):
+            pool = sim.task_pool(workers=1, name="p")
+            a = pool.submit(first(pool))
+            yield from pool.wait(a)
+            b = pool.submit(second(pool))
+            yield from pool.wait(b)
+            yield from pool.close()
+
+        sim.run(main(sim))
+        assert observed == ["clean"]
+
+
+class TestVectorClocksOverTasks:
+    def test_submission_order_is_happens_before(self, sim):
+        snaps = {}
+
+        def task(pool, name):
+            snaps[name] = sim.itls_get(TLS_KEY).snapshot()
+            yield from sim.sleep(0)
+
+        def main(sim):
+            sim.itls_set(TLS_KEY, ThreadVectorClock(sim.current_thread.tid))
+            pool = sim.task_pool(workers=2, name="p")
+            snaps["pre"] = sim.itls_get(TLS_KEY).snapshot()
+            a = pool.submit(task(pool, "a"))
+            b = pool.submit(task(pool, "b"))
+            yield from pool.wait_all([a, b])
+            yield from pool.close()
+
+        sim.run(main(sim))
+        # Pre-submission state happens-before both tasks...
+        assert leq(snaps["pre"], snaps["a"])
+        assert leq(snaps["pre"], snaps["b"])
+        # ... and the two sibling tasks are mutually concurrent,
+        # regardless of which pool worker ran them.
+        assert concurrent(snaps["a"], snaps["b"])
+
+
+class TestWaffleOverTasks:
+    def _workload(self):
+        def build(sim):
+            handler = sim.ref("handler")
+
+            def pump_task():
+                yield from sim.sleep(3.0)
+                yield from sim.use(handler, member="OnEvent", loc="tk.pump:1")
+
+            def ordered_task():
+                yield from sim.sleep(0.5)
+                yield from sim.use(handler, member="Read", loc="tk.ordered:1")
+
+            def main(sim):
+                pool = sim.task_pool(workers=2, name="p")
+                racy = pool.submit(pump_task(), name="pump")
+                yield from sim.sleep(1.0)
+                yield from sim.assign(handler, sim.new("Handler"), loc="tk.init:1")
+                ordered = pool.submit(ordered_task(), name="ordered")
+                yield from pool.wait_all([racy, ordered])
+                yield from pool.close()
+
+            return main(sim)
+
+        return Workload("tasks", build)
+
+    def test_waffle_exposes_task_race(self):
+        outcome = Waffle(WaffleConfig(seed=1)).detect(self._workload(), max_detection_runs=5)
+        assert outcome.bug_found
+        assert outcome.runs_to_expose == 2
+        assert outcome.reports[0].fault_site == "tk.pump:1"
+
+    def test_task_submission_order_pruned(self):
+        """The post-init task's use is ordered by submission: the
+        async-local vector clocks prune it; only the racy pre-init
+        task's pair survives into the plan."""
+        outcome = Waffle(WaffleConfig(seed=1)).detect(self._workload(), max_detection_runs=2)
+        assert outcome.plan.delay_sites == {"tk.init:1"}
+        assert outcome.plan.stats.pruned_parent_child >= 1

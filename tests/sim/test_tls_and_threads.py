@@ -1,0 +1,173 @@
+"""Thread-local storage, inheritance at fork, and thread metadata."""
+
+import pytest
+
+from repro.sim.api import Simulation
+from repro.sim.thread import ThreadState
+from repro.sim.tls import Inheritable, InheritableTlsMap, TlsMap
+
+
+class TestTlsMap:
+    def test_get_set_pop(self):
+        tls = TlsMap()
+        assert tls.get("k") is None
+        assert tls.get("k", 7) == 7
+        tls.set("k", 1)
+        assert "k" in tls
+        assert tls.get("k") == 1
+        assert tls.pop("k") == 1
+        assert "k" not in tls
+
+    def test_len(self):
+        tls = TlsMap()
+        tls.set("a", 1)
+        tls.set("b", 2)
+        assert len(tls) == 2
+
+
+class _CountingInheritable(Inheritable):
+    def __init__(self, generation=0):
+        self.generation = generation
+        self.children = 0
+
+    def inherit_to(self, parent_thread, child_thread):
+        self.children += 1
+        return _CountingInheritable(self.generation + 1)
+
+
+class TestInheritableTls:
+    def test_plain_values_shared_by_reference(self, sim):
+        shared = {"x": 1}
+        observed = []
+
+        def child(sim):
+            observed.append(sim.itls_get("conf"))
+            yield from sim.sleep(0)
+
+        def main(sim):
+            sim.itls_set("conf", shared)
+            t = sim.fork(child(sim), name="child")
+            yield from sim.join(t)
+
+        sim.run(main(sim))
+        assert observed[0] is shared
+
+    def test_inheritable_protocol_invoked_at_fork(self, sim):
+        observed = []
+
+        def child(sim):
+            observed.append(sim.itls_get("clock"))
+            yield from sim.sleep(0)
+
+        def main(sim):
+            root_value = _CountingInheritable()
+            sim.itls_set("clock", root_value)
+            t = sim.fork(child(sim), name="child")
+            yield from sim.join(t)
+            observed.append(root_value)
+
+        sim.run(main(sim))
+        child_value, root_value = observed
+        assert child_value.generation == 1
+        assert root_value.children == 1
+
+    def test_inheritance_is_transitive(self, sim):
+        generations = []
+
+        def grandchild(sim):
+            generations.append(sim.itls_get("clock").generation)
+            yield from sim.sleep(0)
+
+        def child(sim):
+            generations.append(sim.itls_get("clock").generation)
+            t = sim.fork(grandchild(sim), name="grandchild")
+            yield from sim.join(t)
+
+        def main(sim):
+            sim.itls_set("clock", _CountingInheritable())
+            t = sim.fork(child(sim), name="child")
+            yield from sim.join(t)
+
+        sim.run(main(sim))
+        assert generations == [1, 2]
+
+    def test_plain_tls_not_inherited(self, sim):
+        observed = []
+
+        def child(sim):
+            observed.append(sim.tls_get("private", "absent"))
+            yield from sim.sleep(0)
+
+        def main(sim):
+            sim.tls_set("private", "secret")
+            t = sim.fork(child(sim), name="child")
+            yield from sim.join(t)
+
+        sim.run(main(sim))
+        assert observed == ["absent"]
+
+    def test_sibling_isolation(self, sim):
+        """A value inherited by one child must not leak mutations of the
+        *map* into its sibling."""
+        observed = []
+
+        def child_a(sim):
+            sim.itls_set("extra", "from-a")
+            yield from sim.sleep(1)
+
+        def child_b(sim):
+            yield from sim.sleep(2)
+            observed.append(sim.itls_get("extra", "absent"))
+
+        def main(sim):
+            a = sim.fork(child_a(sim), name="a")
+            b = sim.fork(child_b(sim), name="b")
+            yield from sim.join(a)
+            yield from sim.join(b)
+
+        sim.run(main(sim))
+        assert observed == ["absent"]
+
+
+class TestThreadMetadata:
+    def test_parent_links(self, sim):
+        links = {}
+
+        def child(sim):
+            thread = sim.current_thread
+            links[thread.name] = thread.parent.name if thread.parent else None
+            yield from sim.sleep(0)
+
+        def main(sim):
+            thread = sim.current_thread
+            links[thread.name] = thread.parent.name if thread.parent else None
+            t = sim.fork(child(sim), name="child")
+            yield from sim.join(t)
+
+        sim.run(main(sim), )
+        assert links == {"main": None, "child": "main"}
+
+    def test_thread_states_terminal(self, sim):
+        def main(sim):
+            yield from sim.sleep(1)
+
+        sim.run(main(sim))
+        thread = sim.scheduler.threads[1]
+        assert thread.state is ThreadState.DONE
+        assert thread.state.is_terminal
+        assert not thread.is_alive
+
+    def test_spawn_and_end_times(self, sim):
+        def child(sim):
+            yield from sim.sleep(5)
+
+        def main(sim):
+            yield from sim.sleep(2)
+            t = sim.fork(child(sim), name="child")
+            yield from sim.join(t)
+            return t
+
+        sim.run(main(sim))
+        child_thread = sim.scheduler.threads[2]
+        assert child_thread.spawn_time == pytest.approx(2.0)
+        assert child_thread.end_time == pytest.approx(7.0)

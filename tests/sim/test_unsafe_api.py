@@ -1,0 +1,176 @@
+"""Thread-unsafe collections and TSV call-window overlap detection."""
+
+import pytest
+
+from repro.sim.api import Simulation
+from repro.sim.instrument import AccessType, InstrumentationHook
+from repro.sim.unsafe_api import ActiveCallTable, UnsafeDict, UnsafeList
+from repro.sim.instrument import Location
+
+
+class TestUnsafeDict:
+    def test_add_get_remove(self):
+        d = UnsafeDict()
+        d.apply("add", "k", 1)
+        assert d.apply("get", "k") == 1
+        assert d.apply("remove", "k") == 1
+        assert d.apply("get", "k") is None
+
+    def test_set_alias(self):
+        d = UnsafeDict()
+        d.apply("set", "k", 2)
+        assert d.apply("get", "k") == 2
+
+    def test_clear_and_enumerate(self):
+        d = UnsafeDict()
+        d.apply("add", "a", 1)
+        d.apply("add", "b", 2)
+        assert sorted(d.apply("enumerate")) == [("a", 1), ("b", 2)]
+        d.apply("clear")
+        assert d.apply("enumerate") == []
+
+    def test_unknown_api_rejected(self):
+        with pytest.raises(ValueError):
+            UnsafeDict().apply("frobnicate")
+
+
+class TestUnsafeList:
+    def test_append_pop(self):
+        items = UnsafeList()
+        items.apply("append", "x")
+        items.apply("add", "y")
+        assert items.apply("pop") == "y"
+        assert items.apply("pop") == "x"
+        assert items.apply("pop") is None
+
+    def test_get_bounds(self):
+        items = UnsafeList()
+        items.apply("append", "x")
+        assert items.apply("get", 0) == "x"
+        assert items.apply("get", 5) is None
+        assert items.apply("get", -1) is None
+
+    def test_insert_remove_enumerate(self):
+        items = UnsafeList()
+        items.apply("append", "b")
+        items.apply("insert", 0, "a")
+        assert items.apply("enumerate") == ["a", "b"]
+        items.apply("remove", "a")
+        items.apply("remove", "zz")  # absent: no-op
+        assert items.apply("enumerate") == ["b"]
+
+    def test_clear(self):
+        items = UnsafeList()
+        items.apply("append", 1)
+        items.apply("clear")
+        assert items.apply("enumerate") == []
+
+
+class TestActiveCallTable:
+    def test_overlap_same_object_different_threads(self):
+        table = ActiveCallTable()
+        loc_a, loc_b = Location("a"), Location("b")
+        assert table.begin(1, 10, loc_a, now=0.0, end_time=5.0) is None
+        hit = table.begin(1, 11, loc_b, now=2.0, end_time=6.0)
+        assert hit is not None
+        assert {hit.location_a, hit.location_b} == {loc_a, loc_b}
+
+    def test_no_overlap_same_thread(self):
+        table = ActiveCallTable()
+        table.begin(1, 10, Location("a"), now=0.0, end_time=5.0)
+        assert table.begin(1, 10, Location("b"), now=2.0, end_time=6.0) is None
+
+    def test_no_overlap_different_objects(self):
+        table = ActiveCallTable()
+        table.begin(1, 10, Location("a"), now=0.0, end_time=5.0)
+        assert table.begin(2, 11, Location("b"), now=2.0, end_time=6.0) is None
+
+    def test_expired_windows_pruned(self):
+        table = ActiveCallTable()
+        table.begin(1, 10, Location("a"), now=0.0, end_time=1.0)
+        assert table.begin(1, 11, Location("b"), now=5.0, end_time=6.0) is None
+
+    def test_end_removes_call(self):
+        table = ActiveCallTable()
+        loc = Location("a")
+        table.begin(1, 10, loc, now=0.0, end_time=100.0)
+        table.end(1, 10, loc)
+        assert table.begin(1, 11, Location("b"), now=1.0, end_time=2.0) is None
+
+
+class TestSimulatedUnsafeCalls:
+    def test_spaced_calls_no_tsv(self, sim):
+        table = sim.unsafe_dict()
+
+        def worker(sim, key, start):
+            yield from sim.sleep(start)
+            yield from sim.unsafe_call(table, "add", key, 1, loc="t.add:%s" % key, duration=1.0)
+
+        def main(sim):
+            a = sim.fork(worker(sim, "a", 0.0), name="a")
+            b = sim.fork(worker(sim, "b", 10.0), name="b")
+            yield from sim.join(a)
+            yield from sim.join(b)
+
+        result = sim.run(main(sim))
+        assert result.tsv_occurrences == []
+        assert table.apply("get", "a") == 1
+
+    def test_overlapping_calls_record_tsv(self, sim):
+        table = sim.unsafe_dict()
+
+        def worker(sim, key, start):
+            yield from sim.sleep(start)
+            yield from sim.unsafe_call(table, "add", key, 1, loc="t.add:%s" % key, duration=5.0)
+
+        def main(sim):
+            a = sim.fork(worker(sim, "a", 0.0), name="a")
+            b = sim.fork(worker(sim, "b", 2.0), name="b")
+            yield from sim.join(a)
+            yield from sim.join(b)
+
+        result = sim.run(main(sim))
+        assert len(result.tsv_occurrences) == 1
+
+    def test_delay_can_create_overlap(self):
+        """The Figure 2 TSV condition: a delay of the right length makes
+        two naturally-separated windows overlap."""
+
+        class DelayFirst(InstrumentationHook):
+            def before_access(self, pending):
+                return 9.0 if pending.location.site == "t.add:a" else 0.0
+
+        sim = Simulation(seed=1, hook=DelayFirst())
+        table = sim.unsafe_dict()
+
+        def worker(sim, key, start):
+            yield from sim.sleep(start)
+            yield from sim.unsafe_call(table, "add", key, 1, loc="t.add:%s" % key, duration=3.0)
+
+        def main(sim):
+            a = sim.fork(worker(sim, "a", 0.0), name="a")
+            b = sim.fork(worker(sim, "b", 10.0), name="b")
+            yield from sim.join(a)
+            yield from sim.join(b)
+
+        result = sim.run(main(sim))
+        assert len(result.tsv_occurrences) >= 1
+
+    def test_unsafe_call_event_classification(self):
+        events = []
+
+        class Collect(InstrumentationHook):
+            def after_access(self, event):
+                events.append(event)
+
+        sim = Simulation(seed=1, hook=Collect())
+        table = sim.unsafe_dict()
+
+        def main(sim):
+            yield from sim.unsafe_call(table, "add", "k", 1, loc="t.add:1", duration=0.5)
+
+        sim.run(main(sim))
+        assert len(events) == 1
+        assert events[0].access_type is AccessType.UNSAFE_CALL
+        assert not events[0].access_type.is_memorder
+        assert events[0].duration == 0.5
