@@ -1,0 +1,85 @@
+"""Measure the harness speedup from --jobs + the run cache.
+
+Runs a fixed Table 4 subset three ways and writes ``BENCH_harness.json``
+at the repo root:
+
+* ``serial_cold_s``  -- the seed sequential path (no cache, no pool);
+* ``warm_cache_s``   -- same cells with ``jobs=4`` and a warm cache
+  (every unit memoized, so this is the steady-state cost of
+  regenerating a table after any unrelated change);
+* ``cold_cache_s``   -- the one-time cost of populating the cache.
+
+All three produce bit-identical rows (asserted here and in
+``tests/harness/test_parallel.py``). The acceptance bar is
+``serial_cold_s / warm_cache_s >= 2``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_harness.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+from repro.harness import experiments
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: A fixed, representative Table 4 subset: a sparse app bug (Bug-1), a
+#: dense-app bug (Bug-10) and a Figure 4b bug (Bug-11).
+BUGS = ["Bug-1", "Bug-10", "Bug-11"]
+ATTEMPTS = 3
+BUDGET = 20
+JOBS = 4
+
+
+def _run(jobs: int, cache_dir):
+    start = time.perf_counter()
+    rows = experiments.table4_detection(
+        attempts=ATTEMPTS,
+        budget=BUDGET,
+        bugs=BUGS,
+        base_seed=0,
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
+    return time.perf_counter() - start, rows
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="waffle-bench-cache-") as cache_dir:
+        serial_cold_s, serial_rows = _run(jobs=1, cache_dir=None)
+        cold_cache_s, cold_rows = _run(jobs=JOBS, cache_dir=cache_dir)
+        warm_cache_s, warm_rows = _run(jobs=JOBS, cache_dir=cache_dir)
+
+    if not (repr(serial_rows) == repr(cold_rows) == repr(warm_rows)):
+        print("FATAL: serial/parallel/cached rows differ", file=sys.stderr)
+        return 1
+
+    speedup = serial_cold_s / warm_cache_s if warm_cache_s > 0 else float("inf")
+    payload = {
+        "benchmark": "table4_detection subset",
+        "bugs": BUGS,
+        "attempts": ATTEMPTS,
+        "budget": BUDGET,
+        "jobs": JOBS,
+        "serial_cold_s": round(serial_cold_s, 4),
+        "cold_cache_s": round(cold_cache_s, 4),
+        "warm_cache_s": round(warm_cache_s, 4),
+        "speedup_warm_vs_serial": round(speedup, 2),
+        "rows_identical": True,
+    }
+    out = REPO_ROOT / "BENCH_harness.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print("wrote %s" % out)
+    return 0 if speedup >= 2.0 else 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Harness-level perf: warm-cache regeneration must beat cold serial.
+
+The parallel+cache layer exists so iterating on one table does not
+re-simulate every cell. This benchmark times a fixed Table 4 subset on
+the seed sequential path and again with ``jobs=4`` over a warm cache,
+asserts the >= 2x acceptance bar, asserts bit-identical rows, and saves
+the timings as an artifact (``benchmarks/results/harness_speed.txt``).
+``benchmarks/bench_harness.py`` emits the same numbers as
+``BENCH_harness.json`` for CI-free consumption.
+"""
+
+import json
+import time
+
+from repro.harness import experiments
+
+from conftest import run_once
+
+BUGS = ["Bug-1", "Bug-10", "Bug-11"]
+ATTEMPTS = 3
+BUDGET = 20
+
+
+def test_warm_cache_speedup(benchmark, artifact, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    kwargs = dict(attempts=ATTEMPTS, budget=BUDGET, bugs=BUGS, base_seed=0)
+
+    start = time.perf_counter()
+    serial_rows = experiments.table4_detection(jobs=1, **kwargs)
+    serial_cold_s = time.perf_counter() - start
+
+    # Populate, then measure the steady state under the benchmark timer.
+    experiments.table4_detection(jobs=4, cache_dir=cache_dir, **kwargs)
+    start = time.perf_counter()
+    warm_rows = run_once(
+        benchmark, experiments.table4_detection, jobs=4, cache_dir=cache_dir, **kwargs
+    )
+    warm_cache_s = time.perf_counter() - start
+
+    assert repr(serial_rows) == repr(warm_rows)
+    speedup = serial_cold_s / warm_cache_s if warm_cache_s > 0 else float("inf")
+    artifact(
+        "harness_speed",
+        json.dumps(
+            {
+                "serial_cold_s": round(serial_cold_s, 4),
+                "warm_cache_s": round(warm_cache_s, 4),
+                "speedup": round(speedup, 2),
+            },
+            indent=2,
+        ),
+    )
+    assert speedup >= 2.0, "warm-cache table4 should be >= 2x faster (got %.2fx)" % speedup

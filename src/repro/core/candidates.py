@@ -91,6 +91,11 @@ class CandidateSet:
     def __init__(self) -> None:
         self._pairs: Dict[Tuple[str, str, str], CandidatePair] = {}
         self._gaps: Dict[Tuple[str, str, str], List[GapObservation]] = {}
+        #: Site-keyed indices so the per-access hot path (is this
+        #: location a delay location? which pairs watch it?) is a dict
+        #: lookup instead of a scan over all of S.
+        self._by_delay: Dict[str, Dict[Tuple[str, str, str], CandidatePair]] = {}
+        self._by_other: Dict[str, Dict[Tuple[str, str, str], CandidatePair]] = {}
         #: Pairs removed by pruning/inference, kept for statistics.
         self.pruned_parent_child: int = 0
         self.pruned_hb_inference: int = 0
@@ -109,28 +114,51 @@ class CandidateSet:
         key = pair.key()
         is_new = key not in self._pairs
         self._pairs[key] = pair
+        if is_new:
+            self._by_delay.setdefault(pair.delay_location.site, {})[key] = pair
+            self._by_other.setdefault(pair.other_location.site, {})[key] = pair
         if observation is not None:
             self._gaps.setdefault(key, []).append(observation)
         return is_new
 
     def remove(self, pair: CandidatePair) -> None:
-        self._pairs.pop(pair.key(), None)
-        self._gaps.pop(pair.key(), None)
+        key = pair.key()
+        removed = self._pairs.pop(key, None)
+        self._gaps.pop(key, None)
+        if removed is not None:
+            self._unindex(removed, key)
+
+    def _unindex(self, pair: CandidatePair, key: Tuple[str, str, str]) -> None:
+        for index, site in (
+            (self._by_delay, pair.delay_location.site),
+            (self._by_other, pair.other_location.site),
+        ):
+            bucket = index.get(site)
+            if bucket is not None:
+                bucket.pop(key, None)
+                if not bucket:
+                    del index[site]
 
     def remove_with_delay_location(self, location: Location) -> List[CandidatePair]:
         """Drop every pair whose delay location is ``location`` (the
         Tsvd rule when a location's injection probability reaches 0)."""
-        doomed = [p for p in self._pairs.values() if p.delay_location == location]
+        doomed = list(self._by_delay.get(location.site, {}).values())
         for pair in doomed:
             self.remove(pair)
         return doomed
 
+    def has_delay_location(self, location: Location) -> bool:
+        """O(1) hot-path check: is any pair injecting at ``location``?"""
+        return location.site in self._by_delay
+
     def pairs_for_delay_location(self, location: Location) -> List[CandidatePair]:
-        return [p for p in self._pairs.values() if p.delay_location == location]
+        bucket = self._by_delay.get(location.site)
+        return list(bucket.values()) if bucket else []
 
     def pairs_watching(self, location: Location) -> List[CandidatePair]:
         """Pairs whose *other* location is ``location``."""
-        return [p for p in self._pairs.values() if p.other_location == location]
+        bucket = self._by_other.get(location.site)
+        return list(bucket.values()) if bucket else []
 
     def observations(self, pair: CandidatePair) -> List[GapObservation]:
         return list(self._gaps.get(pair.key(), ()))
@@ -143,7 +171,7 @@ class CandidateSet:
     @property
     def delay_locations(self) -> Set[Location]:
         """The injection sites: every pair's l1 (Table 2, "Injection Sites")."""
-        return {p.delay_location for p in self._pairs.values()}
+        return {Location(site) for site in self._by_delay}
 
     @property
     def locations(self) -> Set[Location]:
@@ -155,7 +183,7 @@ class CandidateSet:
 
     def merge(self, other: "CandidateSet") -> None:
         for pair in other:
-            self._pairs[pair.key()] = pair
+            self.add(pair)
             for obs in other.observations(pair):
                 self._gaps.setdefault(pair.key(), []).append(obs)
 

@@ -55,29 +55,46 @@ class NearMissTracker:
         #: Per-object recent-event windows (object id -> deque).
         self._recent: Dict[int, Deque[AccessEvent]] = {}
 
+    #: Shared empty result so delay-free streams allocate nothing.
+    _NO_PAIRS: List[CandidatePair] = []
+
     def observe(self, event: AccessEvent) -> List[CandidatePair]:
         """Feed one event (in timestamp order); returns pairs (re)added."""
-        if not event.access_type.is_memorder:
-            return []
-        if event.object_id < 0:
+        if event.access_type is AccessType.UNSAFE_CALL:
+            return self._NO_PAIRS
+        object_id = event.object_id
+        if object_id < 0:
             # A faulting access through a null reference carries no
             # object identity; it cannot participate in near-miss
             # matching (the bug already manifested anyway).
-            return []
-        window = self._recent.setdefault(event.object_id, deque())
-        horizon = event.timestamp - self.window_ms
+            return self._NO_PAIRS
+        recent = self._recent
+        window = recent.get(object_id)
+        if window is None:
+            window = recent[object_id] = deque()
+        timestamp = event.timestamp
+        horizon = timestamp - self.window_ms
         while window and window[0].timestamp < horizon:
             window.popleft()
 
+        if not window:
+            window.append(event)
+            return self._NO_PAIRS
+
+        thread_id = event.thread_id
+        access_type = event.access_type
+        order_filter = self.order_filter
+        candidates = self.candidates
+        on_pair = self.on_pair
         added: List[CandidatePair] = []
         for earlier in window:
-            if earlier.thread_id == event.thread_id:
+            if earlier.thread_id == thread_id:
                 continue
-            kind = CandidateKind.from_access_pair(earlier.access_type, event.access_type)
+            kind = CandidateKind.from_access_pair(earlier.access_type, access_type)
             if kind is None:
                 continue
-            if self.order_filter is not None and self.order_filter(earlier, event):
-                self.candidates.pruned_parent_child += 1
+            if order_filter is not None and order_filter(earlier, event):
+                candidates.pruned_parent_child += 1
                 continue
             pair = CandidatePair(
                 kind=kind,
@@ -85,16 +102,16 @@ class NearMissTracker:
                 other_location=event.location,
             )
             observation = GapObservation(
-                gap_ms=event.timestamp - earlier.timestamp,
+                gap_ms=timestamp - earlier.timestamp,
                 timestamp_first=earlier.timestamp,
-                timestamp_second=event.timestamp,
-                object_id=event.object_id,
+                timestamp_second=timestamp,
+                object_id=object_id,
                 thread_first=earlier.thread_id,
-                thread_second=event.thread_id,
+                thread_second=thread_id,
             )
-            is_new = self.candidates.add(pair, observation)
-            if self.on_pair is not None:
-                self.on_pair(pair, is_new)
+            is_new = candidates.add(pair, observation)
+            if on_pair is not None:
+                on_pair(pair, is_new)
             added.append(pair)
 
         window.append(event)
@@ -102,8 +119,9 @@ class NearMissTracker:
 
     def observe_all(self, events) -> CandidateSet:
         """Feed a whole (sorted) event sequence; returns the candidate set."""
+        observe = self.observe
         for event in events:
-            self.observe(event)
+            observe(event)
         return self.candidates
 
 
@@ -129,8 +147,11 @@ class TsvNearMissTracker:
 
     def observe(self, event: AccessEvent) -> List[CandidatePair]:
         if event.access_type is not AccessType.UNSAFE_CALL:
-            return []
-        window = self._recent.setdefault(event.object_id, deque())
+            return NearMissTracker._NO_PAIRS
+        recent = self._recent
+        window = recent.get(event.object_id)
+        if window is None:
+            window = recent[event.object_id] = deque()
         horizon = event.timestamp - self.window_ms
         while window and window[0].timestamp < horizon:
             window.popleft()
@@ -165,6 +186,7 @@ class TsvNearMissTracker:
         return added
 
     def observe_all(self, events) -> CandidateSet:
+        observe = self.observe
         for event in events:
-            self.observe(event)
+            observe(event)
         return self.candidates

@@ -13,6 +13,7 @@ CLI workflows and for tests that assert the bootstrap is lossless.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Tuple, Union
 
@@ -63,6 +64,26 @@ def load_session(path: PathLike) -> Tuple[InjectionPlan, DecayState]:
         InjectionPlan.from_dict(payload["plan"]),
         DecayState.from_dict(payload["decay"]),
     )
+
+
+def save_record(payload: dict, path: PathLike) -> None:
+    """Persist an arbitrary JSON-safe record with the format version.
+
+    Backs the harness trace/plan cache: entries are written atomically
+    (temp file + rename) so concurrent workers racing on the same cache
+    key never observe a torn file.
+    """
+    target = Path(path)
+    body = json.dumps({"version": FORMAT_VERSION, "record": payload}, sort_keys=True)
+    tmp = target.with_name(target.name + ".tmp.%d" % os.getpid())
+    tmp.write_text(body)
+    os.replace(tmp, target)
+
+
+def load_record(path: PathLike) -> dict:
+    payload = json.loads(Path(path).read_text())
+    _check_version(payload)
+    return payload["record"]
 
 
 def _check_version(payload: dict) -> None:

@@ -74,7 +74,7 @@ class InjectionEngine:
     def decide(self, pending: PendingAccess) -> float:
         """Return the delay to inject before ``pending`` (0 for none)."""
         site = pending.location.site
-        if not self.candidates.pairs_for_delay_location(pending.location):
+        if not self.candidates.has_delay_location(pending.location):
             return 0.0
         probability = self.decay.register(site)
         if probability <= 0.0:

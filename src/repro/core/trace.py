@@ -27,16 +27,43 @@ class Trace:
         self.parents: Dict[int, Optional[int]] = {}
         #: Virtual end-to-end duration of the recorded run.
         self.duration_ms: float = 0.0
+        self._sorted: Optional[List[AccessEvent]] = None
 
     def __len__(self) -> int:
         return len(self.events)
 
     def append(self, event: AccessEvent) -> None:
         self.events.append(event)
+        self._sorted = None
 
     def sorted_events(self) -> List[AccessEvent]:
-        """Events in timestamp order (stable on event id for ties)."""
-        return sorted(self.events, key=lambda e: (e.timestamp, e.event_id))
+        """Events in timestamp order (stable on event id for ties).
+
+        The simulator appends events as virtual time advances, so the
+        list is almost always already ordered: verify with one linear
+        scan and only fall back to a real sort when it is not. The
+        result is cached until the next :meth:`append`.
+        """
+        cached = self._sorted
+        if cached is not None:
+            return cached
+        events = self.events
+        is_sorted = True
+        prev_ts = float("-inf")
+        prev_id = -1
+        for event in events:
+            ts = event.timestamp
+            if ts < prev_ts or (ts == prev_ts and event.event_id < prev_id):
+                is_sorted = False
+                break
+            prev_ts = ts
+            prev_id = event.event_id
+        if is_sorted:
+            ordered = list(events)
+        else:
+            ordered = sorted(events, key=lambda e: (e.timestamp, e.event_id))
+        self._sorted = ordered
+        return ordered
 
     def memorder_events(self) -> List[AccessEvent]:
         return [e for e in self.events if e.access_type.is_memorder]

@@ -1,9 +1,14 @@
 """Experiment harness: per-table drivers, metrics, renderers, CLI."""
 
 from . import experiments, metrics, tables
+from .cache import CacheStats, PlanCache, PrepResult, config_hash, open_cache
+from .parallel import map_units, resolve_jobs
 from .runner import (
     SingleRun,
     analyze_test,
+    baseline_run,
+    online_pair,
+    prepare_test,
     run_baseline,
     run_online_detection,
     run_planned_detection,
@@ -15,8 +20,18 @@ __all__ = [
     "experiments",
     "metrics",
     "tables",
+    "CacheStats",
+    "PlanCache",
+    "PrepResult",
+    "config_hash",
+    "open_cache",
+    "map_units",
+    "resolve_jobs",
     "SingleRun",
     "analyze_test",
+    "baseline_run",
+    "online_pair",
+    "prepare_test",
     "run_baseline",
     "run_online_detection",
     "run_planned_detection",

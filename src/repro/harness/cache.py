@@ -1,0 +1,189 @@
+"""Content-addressed trace/plan cache for the experiment harness.
+
+Every run primitive in this reproduction is a deterministic function of
+its inputs: the simulator is virtual-time with seeded RNGs, so a
+preparation run, a baseline run or a whole detection session is fully
+determined by (workload identity, configuration, seed). That makes
+memoization sound: a cache hit returns *bit-identical* results to
+re-execution, which is the correctness anchor the equivalence tests
+guard.
+
+Entries are keyed by a SHA-256 digest over a canonical JSON encoding of
+(kind, test id, config hash, seed, extras) and stored as one JSON file
+per entry via :mod:`repro.core.persistence`. Any change to a config
+field -- delay lengths, windows, design-point flags -- changes the
+config hash and therefore invalidates the entry; bumping
+``persistence.FORMAT_VERSION`` invalidates everything.
+
+Cached kinds:
+
+* ``baseline``  -- one uninstrumented run (:class:`SingleRun` fields);
+* ``prep``      -- a preparation run: run stats, the analyzed
+  :class:`~repro.core.analyzer.InjectionPlan`, and the trace censuses
+  Table 2 / section 3.3 need (site counts, init-instance counts), so
+  the trace is recorded once and the plan reused across tables;
+* ``online_pair`` -- the two-run WaffleBasic/Tsvd unit shared by
+  Tables 5/6 and the overlap census;
+* ``detect``    -- one full detection attempt of one tool on one
+  workload (matched? runs-to-expose, total time);
+* ``perf``      -- one single-detection-run probe (Table 7's ablation
+  slowdowns).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..core.analyzer import InjectionPlan
+from ..core.config import WaffleConfig
+from ..core.persistence import load_record, save_record
+
+#: Environment variable consulted for a default cache directory.
+CACHE_DIR_ENV = "WAFFLE_CACHE_DIR"
+
+
+def config_hash(config: WaffleConfig, include_seed: bool = False) -> str:
+    """Stable digest of every config field (optionally minus the seed).
+
+    The seed is usually part of the cache key explicitly (run seeds are
+    varied independently of the config), so by default it is excluded
+    here; pass ``include_seed=True`` when the config's own seed drives
+    the computation (whole detection sessions).
+    """
+    payload = dataclasses.asdict(config)
+    if not include_seed:
+        payload.pop("seed", None)
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss counters, exposed for tests and the CLI."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+
+class PlanCache:
+    """File-backed memo table for deterministic harness work units.
+
+    A small in-process dict fronts the files so repeated lookups within
+    one experiment (e.g. the same preparation trace consulted by
+    Table 2 and Table 6) do not re-read or re-parse JSON.
+    """
+
+    def __init__(self, directory: os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+        self._memo: Dict[str, Any] = {}
+
+    # -- Generic machinery ------------------------------------------------
+
+    def _digest(self, kind: str, key: Dict[str, Any]) -> str:
+        blob = json.dumps({"kind": kind, **key}, sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+    def _path(self, kind: str, digest: str) -> Path:
+        return self.directory / ("%s-%s.json" % (kind, digest))
+
+    def get(self, kind: str, key: Dict[str, Any]) -> Optional[dict]:
+        digest = self._digest(kind, key)
+        if digest in self._memo:
+            self.stats.hits += 1
+            return self._memo[digest]
+        path = self._path(kind, digest)
+        if path.exists():
+            try:
+                record = load_record(path)
+            except (ValueError, KeyError, json.JSONDecodeError):
+                # Stale format or torn write: treat as a miss.
+                self.stats.misses += 1
+                return None
+            self._memo[digest] = record
+            self.stats.hits += 1
+            return record
+        self.stats.misses += 1
+        return None
+
+    def put(self, kind: str, key: Dict[str, Any], payload: dict) -> None:
+        digest = self._digest(kind, key)
+        self._memo[digest] = payload
+        save_record(payload, self._path(kind, digest))
+        self.stats.writes += 1
+
+
+def open_cache(cache_dir: Optional[os.PathLike]) -> Optional[PlanCache]:
+    """A :class:`PlanCache` for ``cache_dir``, the ``WAFFLE_CACHE_DIR``
+    environment default, or None when caching is disabled."""
+    if cache_dir is None:
+        cache_dir = os.environ.get(CACHE_DIR_ENV) or None
+    if cache_dir is None:
+        return None
+    return PlanCache(cache_dir)
+
+
+# ----------------------------------------------------------------------
+# Typed views over the generic records
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class PrepResult:
+    """Everything a preparation run yields, across all consuming tables.
+
+    ``run`` carries the prep run's measurements (Table 5's R#1 column),
+    ``plan`` the analyzed injection plan, and the remaining fields the
+    trace censuses: unique static sites per instrumentation class and
+    the TSV injection-site count (Table 2), plus init-site dynamic
+    instance counts (section 3.3).
+    """
+
+    run: "SingleRunLike"
+    plan: InjectionPlan
+    mo_sites: int
+    tsv_sites: int
+    tsv_injection_sites: int
+    init_instance_counts: List[int]
+    event_count: int
+
+
+# The harness's SingleRun is a plain dataclass of primitives; importing
+# it here would be circular (runner imports this module), so the cache
+# ships dicts and lets the runner reconstruct.
+SingleRunLike = Any
+
+
+def run_to_dict(run: Any) -> dict:
+    return dataclasses.asdict(run)
+
+
+def prep_to_record(prep: PrepResult) -> dict:
+    return {
+        "run": run_to_dict(prep.run),
+        "plan": prep.plan.to_dict(),
+        "mo_sites": prep.mo_sites,
+        "tsv_sites": prep.tsv_sites,
+        "tsv_injection_sites": prep.tsv_injection_sites,
+        "init_instance_counts": list(prep.init_instance_counts),
+        "event_count": prep.event_count,
+    }
+
+
+def prep_from_record(record: dict, run_factory) -> PrepResult:
+    return PrepResult(
+        run=run_factory(**record["run"]),
+        plan=InjectionPlan.from_dict(record["plan"]),
+        mo_sites=record["mo_sites"],
+        tsv_sites=record["tsv_sites"],
+        tsv_injection_sites=record["tsv_injection_sites"],
+        init_instance_counts=list(record["init_instance_counts"]),
+        event_count=record["event_count"],
+    )

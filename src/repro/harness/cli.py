@@ -70,63 +70,88 @@ def cmd_table1(args) -> None:
 
 
 def cmd_table2(args) -> None:
-    rows = experiments.table2_sites(apps=args.apps, seed=args.seed)
+    rows = experiments.table2_sites(
+        apps=args.apps, seed=args.seed, jobs=args.jobs, cache_dir=args.cache_dir
+    )
     _emit_rows("table2", rows, tables.render_table2(rows), args)
 
 
 def cmd_figure2(args) -> None:
-    points = experiments.figure2_timing_conditions(seed=args.seed)
+    points = experiments.figure2_timing_conditions(seed=args.seed, jobs=args.jobs)
     _emit_rows("figure2", points, tables.render_figure2(points), args)
 
 
 def cmd_figure5(args) -> None:
-    points = experiments.figure5_interference_window(seed=args.seed)
+    points = experiments.figure5_interference_window(seed=args.seed, jobs=args.jobs)
     _emit_rows("figure5", points, tables.render_figure5(points), args)
 
 
 def cmd_overlap(args) -> None:
-    rows = experiments.overlap_ratios(apps=args.apps, seed=args.seed)
+    rows = experiments.overlap_ratios(
+        apps=args.apps, seed=args.seed, jobs=args.jobs, cache_dir=args.cache_dir
+    )
     _emit_rows("overlap", rows, tables.render_overlap(rows), args)
 
 
 def cmd_dynamic(args) -> None:
-    rows, overall = experiments.dynamic_instances(apps=args.apps, seed=args.seed)
+    rows, overall = experiments.dynamic_instances(
+        apps=args.apps, seed=args.seed, jobs=args.jobs, cache_dir=args.cache_dir
+    )
     _emit(tables.render_dynamic_instances(rows, overall), args.out)
 
 
 def cmd_table4(args) -> None:
     rows = experiments.table4_detection(
-        attempts=args.attempts, budget=args.budget, bugs=args.bugs, base_seed=args.seed
+        attempts=args.attempts,
+        budget=args.budget,
+        bugs=args.bugs,
+        base_seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
     _emit_rows("table4", rows, tables.render_table4(rows), args)
 
 
 def cmd_table5(args) -> None:
-    rows = experiments.table5_overhead(apps=args.apps, seed=args.seed)
+    rows = experiments.table5_overhead(
+        apps=args.apps, seed=args.seed, jobs=args.jobs, cache_dir=args.cache_dir
+    )
     _emit_rows("table5", rows, tables.render_table5(rows), args)
 
 
 def cmd_table6(args) -> None:
-    rows = experiments.table6_delays(apps=args.apps, seed=args.seed)
+    rows = experiments.table6_delays(
+        apps=args.apps, seed=args.seed, jobs=args.jobs, cache_dir=args.cache_dir
+    )
     _emit_rows("table6", rows, tables.render_table6(rows), args)
 
 
 def cmd_table7(args) -> None:
     rows = experiments.table7_ablations(
-        attempts=args.attempts, budget=args.budget, base_seed=args.seed
+        attempts=args.attempts,
+        budget=args.budget,
+        base_seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
     _emit_rows("table7", rows, tables.render_table7(rows), args)
 
 
 def cmd_related(args) -> None:
     rows = experiments.related_tools_comparison(
-        bugs=args.bugs, budget=args.budget, base_seed=args.seed
+        bugs=args.bugs,
+        budget=args.budget,
+        base_seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
     _emit_rows("related", rows, tables.render_related_tools(rows), args)
 
 
 def cmd_stress(args) -> None:
-    rows = experiments.stress_control(runs=args.budget, bugs=args.bugs, base_seed=args.seed)
+    rows = experiments.stress_control(
+        runs=args.budget, bugs=args.bugs, base_seed=args.seed, jobs=args.jobs
+    )
     _emit_rows("stress", rows, tables.render_stress(rows), args)
 
 
@@ -268,6 +293,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=argparse.SUPPRESS,
         help="emit machine-readable JSON instead of rendered tables",
     )
+    shared.add_argument(
+        "--jobs",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="worker processes for experiment cells (1 = serial, 0 = all CPUs); "
+        "results are bit-identical at any value",
+    )
+    shared.add_argument(
+        "--cache-dir",
+        type=str,
+        default=argparse.SUPPRESS,
+        help="content-addressed run cache directory (also via WAFFLE_CACHE_DIR); "
+        "prep traces are recorded once and their plans reused across tables",
+    )
     parser = argparse.ArgumentParser(
         prog="waffle-repro",
         parents=[shared],
@@ -339,6 +378,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.out = None
     if not hasattr(args, "json"):
         args.json = False
+    if not hasattr(args, "jobs"):
+        args.jobs = 1
+    if not hasattr(args, "cache_dir"):
+        args.cache_dir = None
     if args.command in ("detect", "trace") and not args.bug and not (args.app and args.test):
         parser.error("%s requires --bug or both --app and --test" % args.command)
     args.func(args)

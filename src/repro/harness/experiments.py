@@ -4,6 +4,16 @@ Every function returns plain dataclasses so the renderers in
 :mod:`repro.harness.tables`, the pytest benchmarks and the CLI can share
 results. Paper-reported values are carried alongside measured ones so
 EXPERIMENTS.md tables can be regenerated mechanically.
+
+Each driver decomposes into independent *cells* -- one (app, test,
+seed) or (bug, tool, seed) unit implemented as a module-level worker
+function -- mapped through :func:`repro.harness.parallel.map_units`.
+Cells take only picklable arguments (names, configs, seeds, a cache
+directory) so ``jobs > 1`` fans them out over a process pool; results
+merge in submission order, so parallel runs are bit-identical to serial
+ones. ``cache_dir`` enables the content-addressed trace/plan cache
+(:mod:`repro.harness.cache`): preparation traces are recorded once and
+their plans reused across tables instead of re-executed per driver.
 """
 
 from __future__ import annotations
@@ -11,24 +21,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..apps import all_apps, all_bugs, bug_workload
+from ..apps import all_apps, all_bugs, bug_workload, get_app, get_bug
 from ..apps.base import Application, AppTestCase, KnownBug
-from ..baselines import ALL_ABLATIONS, DESIGN_POINT_LABELS, StressRunner, Tsvd, WaffleBasic
-from ..core.candidates import CandidateSet
+from ..baselines import ALL_ABLATIONS, DESIGN_POINT_LABELS, StressRunner, WaffleBasic
 from ..core.config import DEFAULT_CONFIG, WaffleConfig
 from ..core.delay_policy import DecayState
 from ..core.detector import DetectionOutcome, Waffle
-from ..core.nearmiss import TsvNearMissTracker
 from ..sim.api import Simulation
 from ..sim.errors import NullReferenceError
 from ..sim.instrument import InstrumentationHook
 from . import metrics
+from .cache import PlanCache, config_hash, open_cache, run_to_dict
+from .parallel import map_units
 from .runner import (
+    SingleRun,
     analyze_test,
-    run_baseline,
-    run_online_detection,
+    baseline_run,
+    online_pair,
+    prepare_test,
     run_planned_detection,
-    run_recording,
     test_time_limit,
 )
 
@@ -38,6 +49,77 @@ def _apps(subset: Optional[Sequence[str]] = None) -> List[Application]:
     if subset is None:
         return list(registry.values())
     return [registry[name] for name in subset]
+
+
+def _app_test_units(apps: Optional[Sequence[str]]) -> List[Tuple[str, str]]:
+    """Flatten the selected apps into (app_name, test_name) cells."""
+    units: List[Tuple[str, str]] = []
+    for app in _apps(apps):
+        for test in app.multithreaded_tests:
+            units.append((app.name, test.name))
+    return units
+
+
+def _test_id(app_name: str, test_name: str) -> str:
+    return "%s:%s" % (app_name, test_name)
+
+
+def _merge_per_app(
+    apps: Optional[Sequence[str]],
+    units: Sequence[Tuple[str, str]],
+    results: Sequence,
+) -> Dict[str, List]:
+    """Group per-test cell results back into per-app lists, preserving
+    the per-app test order the serial loops used."""
+    grouped: Dict[str, List] = {app.name: [] for app in _apps(apps)}
+    for (app_name, _), result in zip(units, results):
+        grouped[app_name].append(result)
+    return grouped
+
+
+def _planned_run_cached(
+    test: AppTestCase,
+    plan,
+    config: WaffleConfig,
+    seed: int,
+    hook_seed: int,
+    time_limit_ms: Optional[float],
+    plan_limit: Optional[float],
+    cache: Optional[PlanCache],
+    test_id: str,
+) -> SingleRun:
+    """One planned detection run, memoized.
+
+    The plan is itself a deterministic function of (test, config, seed,
+    plan_limit), so the cache key covers the run without serializing the
+    plan. ``plan_limit`` records the time limit the *preparation* run
+    used (Tables 5 and 6 differ here).
+    """
+    key = None
+    if cache is not None:
+        key = {
+            "test": test_id,
+            "config": config_hash(config),
+            "seed": seed,
+            "hook_seed": hook_seed,
+            "limit": time_limit_ms,
+            "plan_limit": plan_limit,
+        }
+        record = cache.get("planned", key)
+        if record is not None:
+            return SingleRun(**record)
+    run, _ = run_planned_detection(
+        test,
+        plan,
+        config,
+        DecayState(config.decay_lambda),
+        seed=seed,
+        hook_seed=hook_seed,
+        time_limit_ms=time_limit_ms,
+    )
+    if cache is not None and key is not None:
+        cache.put("planned", key, run_to_dict(run))
+    return run
 
 
 # ======================================================================
@@ -54,38 +136,57 @@ class Table2Row:
     mo_injection_sites: float
 
 
+def _table2_cell(
+    app_name: str,
+    test_name: str,
+    config: WaffleConfig,
+    seed: int,
+    cache_dir: Optional[str],
+) -> Tuple[int, int, int, int]:
+    """Site censuses of one test: (mo_instr, tsv_instr, mo_inject, tsv_inject)."""
+    test = get_app(app_name).test(test_name)
+    prep = prepare_test(
+        test,
+        config,
+        seed=seed,
+        cache=open_cache(cache_dir),
+        test_id=_test_id(app_name, test_name),
+    )
+    return (
+        prep.mo_sites,
+        prep.tsv_sites,
+        len(prep.plan.candidates.delay_locations),
+        prep.tsv_injection_sites,
+    )
+
+
 def table2_sites(
     config: WaffleConfig = DEFAULT_CONFIG,
     apps: Optional[Sequence[str]] = None,
     seed: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> List[Table2Row]:
     """Average unique static instrumentation and injection sites per
     test input, for the TSV (Tsvd) and MemOrder (Waffle) surfaces."""
+    units = _app_test_units(apps)
+    cells = map_units(
+        _table2_cell,
+        [(app, test, config, seed, cache_dir) for app, test in units],
+        jobs,
+    )
+    grouped = _merge_per_app(apps, units, cells)
     rows: List[Table2Row] = []
     for app in _apps(apps):
-        tsv_instr: List[int] = []
-        mo_instr: List[int] = []
-        tsv_inject: List[int] = []
-        mo_inject: List[int] = []
-        for test in app.multithreaded_tests:
-            _, trace = run_recording(test, config, seed=seed)
-            mo_instr.append(len(trace.static_sites(memorder=True)))
-            tsv_instr.append(len(trace.static_sites(memorder=False)))
-            from ..core.analyzer import analyze_trace
-
-            plan = analyze_trace(trace, config)
-            mo_inject.append(len(plan.candidates.delay_locations))
-            tsv_tracker = TsvNearMissTracker(config.near_miss_window_ms)
-            tsv_tracker.observe_all(trace.sorted_events())
-            tsv_inject.append(len(tsv_tracker.candidates.delay_locations))
+        per_test = grouped[app.name]
         count = max(1, len(app.multithreaded_tests))
         rows.append(
             Table2Row(
                 app=app.display_name,
-                tsv_instr_sites=sum(tsv_instr) / count,
-                mo_instr_sites=sum(mo_instr) / count,
-                tsv_injection_sites=sum(tsv_inject) / count,
-                mo_injection_sites=sum(mo_inject) / count,
+                tsv_instr_sites=sum(c[1] for c in per_test) / count,
+                mo_instr_sites=sum(c[0] for c in per_test) / count,
+                tsv_injection_sites=sum(c[3] for c in per_test) / count,
+                mo_injection_sites=sum(c[2] for c in per_test) / count,
             )
         )
     return rows
@@ -153,23 +254,25 @@ def _figure2_memorder_scenario(sim: Simulation) -> object:
     return root()
 
 
+def _figure2_cell(delay: float, seed: int) -> Figure2Point:
+    sim = Simulation(seed=seed, hook=_FixedDelayAt("fig2.call1", float(delay)))
+    result = sim.run(_figure2_tsv_scenario(sim))
+    tsv_exposed = bool(result.tsv_occurrences)
+
+    sim = Simulation(seed=seed, hook=_FixedDelayAt("fig2.use", float(delay)))
+    result = sim.run(_figure2_memorder_scenario(sim))
+    memorder_exposed = result.crashed and isinstance(
+        result.first_failure(), NullReferenceError
+    )
+    return Figure2Point(float(delay), tsv_exposed, memorder_exposed)
+
+
 def figure2_timing_conditions(
     delays_ms: Sequence[float] = (0, 2, 4, 6, 8, 9, 11, 12, 14, 16, 20, 30),
     seed: int = 0,
+    jobs: int = 1,
 ) -> List[Figure2Point]:
-    points: List[Figure2Point] = []
-    for delay in delays_ms:
-        sim = Simulation(seed=seed, hook=_FixedDelayAt("fig2.call1", float(delay)))
-        result = sim.run(_figure2_tsv_scenario(sim))
-        tsv_exposed = bool(result.tsv_occurrences)
-
-        sim = Simulation(seed=seed, hook=_FixedDelayAt("fig2.use", float(delay)))
-        result = sim.run(_figure2_memorder_scenario(sim))
-        memorder_exposed = result.crashed and isinstance(
-            result.first_failure(), NullReferenceError
-        )
-        points.append(Figure2Point(float(delay), tsv_exposed, memorder_exposed))
-    return points
+    return map_units(_figure2_cell, [(delay, seed) for delay in delays_ms], jobs)
 
 
 # ======================================================================
@@ -184,10 +287,43 @@ class OverlapRow:
     wafflebasic_overlap: float
 
 
+def _overlap_cell(
+    app_name: str,
+    test_name: str,
+    config: WaffleConfig,
+    seed: int,
+    cache_dir: Optional[str],
+) -> Tuple[float, float]:
+    """(tsvd_overlap, wafflebasic_overlap) of one test's delayed run."""
+    test = get_app(app_name).test(test_name)
+    cache = open_cache(cache_dir)
+    test_id = _test_id(app_name, test_name)
+    base = baseline_run(test, seed=seed, cache=cache, test_id=test_id).virtual_time_ms
+    limit = test_time_limit(base)
+    overlaps: Dict[bool, float] = {}
+    for tsv_mode in (True, False):
+        last_overlap = 0.0
+        for run in online_pair(
+            test,
+            config,
+            seed=seed,
+            time_limit_ms=limit,
+            tsv_mode=tsv_mode,
+            cache=cache,
+            test_id=test_id,
+        ):
+            if run.delays_injected:
+                last_overlap = run.overlap_ratio
+        overlaps[tsv_mode] = last_overlap
+    return overlaps[True], overlaps[False]
+
+
 def overlap_ratios(
     config: WaffleConfig = DEFAULT_CONFIG,
     apps: Optional[Sequence[str]] = None,
     seed: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> List[OverlapRow]:
     """Average delay-overlap ratio per app for Tsvd vs WaffleBasic.
 
@@ -195,35 +331,23 @@ def overlap_ratios(
     the second run actually injects); the overlap ratio of the delayed
     run is averaged across tests.
     """
+    units = _app_test_units(apps)
+    cells = map_units(
+        _overlap_cell,
+        [(app, test, config, seed, cache_dir) for app, test in units],
+        jobs,
+    )
+    grouped = _merge_per_app(apps, units, cells)
     rows: List[OverlapRow] = []
     for app in _apps(apps):
-        per_tool: Dict[str, List[float]] = {"tsvd": [], "basic": []}
-        for test in app.multithreaded_tests:
-            base = run_baseline(test, seed=seed).virtual_time_ms
-            limit = test_time_limit(base)
-            for tool, tsv_mode in (("tsvd", True), ("basic", False)):
-                decay = DecayState(config.decay_lambda)
-                candidates = CandidateSet()
-                last_overlap = 0.0
-                for attempt in (1, 2):
-                    run, _ = run_online_detection(
-                        test,
-                        config,
-                        decay,
-                        candidates,
-                        seed=seed + attempt,
-                        hook_seed=seed * 7919 + attempt,
-                        tsv_mode=tsv_mode,
-                        time_limit_ms=limit,
-                    )
-                    if run.delays_injected:
-                        last_overlap = run.overlap_ratio
-                per_tool[tool].append(last_overlap)
+        per_test = grouped[app.name]
+        tsvd = [c[0] for c in per_test]
+        basic = [c[1] for c in per_test]
         rows.append(
             OverlapRow(
                 app=app.display_name,
-                tsvd_overlap=metrics.mean(per_tool["tsvd"]) if per_tool["tsvd"] else 0.0,
-                wafflebasic_overlap=metrics.mean(per_tool["basic"]) if per_tool["basic"] else 0.0,
+                tsvd_overlap=metrics.mean(tsvd) if tsvd else 0.0,
+                wafflebasic_overlap=metrics.mean(basic) if basic else 0.0,
             )
         )
     return rows
@@ -236,21 +360,47 @@ class DynamicInstanceRow:
     init_sites: int
 
 
+def _dynamic_cell(
+    app_name: str,
+    test_name: str,
+    config: WaffleConfig,
+    seed: int,
+    cache_dir: Optional[str],
+) -> List[int]:
+    test = get_app(app_name).test(test_name)
+    prep = prepare_test(
+        test,
+        config,
+        seed=seed,
+        cache=open_cache(cache_dir),
+        test_id=_test_id(app_name, test_name),
+    )
+    return prep.init_instance_counts
+
+
 def dynamic_instances(
     config: WaffleConfig = DEFAULT_CONFIG,
     apps: Optional[Sequence[str]] = None,
     seed: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> Tuple[List[DynamicInstanceRow], float]:
     """Median dynamic instances of initialization sites (section 3.3:
     'the median number of dynamic instances for all object
     initialization operations is 2')."""
+    units = _app_test_units(apps)
+    cells = map_units(
+        _dynamic_cell,
+        [(app, test, config, seed, cache_dir) for app, test in units],
+        jobs,
+    )
+    grouped = _merge_per_app(apps, units, cells)
     rows: List[DynamicInstanceRow] = []
     all_counts: List[int] = []
     for app in _apps(apps):
         counts: List[int] = []
-        for test in app.multithreaded_tests:
-            _, trace = run_recording(test, config, seed=seed)
-            counts.extend(trace.init_instance_counts())
+        for per_test in grouped[app.name]:
+            counts.extend(per_test)
         all_counts.extend(counts)
         rows.append(
             DynamicInstanceRow(
@@ -287,17 +437,77 @@ def _detect_attempts(
     attempts: int,
     budget: int,
     base_seed: int,
+    cache: Optional[PlanCache] = None,
+    tool_label: Optional[str] = None,
+    test_id: Optional[str] = None,
 ) -> Tuple[List[Optional[int]], List[float]]:
     runs: List[Optional[int]] = []
     times: List[float] = []
     for attempt in range(1, attempts + 1):
         config = DEFAULT_CONFIG.with_seed(base_seed + attempt)
-        outcome: DetectionOutcome = tool_factory(config).detect(test, max_detection_runs=budget)
-        matched = outcome.bug_found and bug.matches(outcome.reports[0])
-        runs.append(outcome.runs_to_expose if matched else None)
-        if matched:
-            times.append(outcome.total_time_ms)
+        key = None
+        entry = None
+        if cache is not None and tool_label is not None:
+            key = {
+                "tool": tool_label,
+                "bug": bug.bug_id,
+                "test": test_id if test_id is not None else test.name,
+                "budget": budget,
+                "config": config_hash(config, include_seed=True),
+            }
+            entry = cache.get("detect", key)
+        if entry is None:
+            outcome: DetectionOutcome = tool_factory(config).detect(
+                test, max_detection_runs=budget
+            )
+            matched = outcome.bug_found and bug.matches(outcome.reports[0])
+            entry = {
+                "matched": matched,
+                "runs": outcome.runs_to_expose if matched else None,
+                "time_ms": outcome.total_time_ms,
+            }
+            if cache is not None and key is not None:
+                cache.put("detect", key, entry)
+        runs.append(entry["runs"] if entry["matched"] else None)
+        if entry["matched"]:
+            times.append(entry["time_ms"])
     return runs, times
+
+
+def _table4_cell(
+    bug_id: str,
+    attempts: int,
+    budget: int,
+    base_seed: int,
+    cache_dir: Optional[str],
+) -> Table4Row:
+    bug = get_bug(bug_id)
+    test = bug_workload(bug_id)
+    cache = open_cache(cache_dir)
+    test_id = _test_id(bug.app, bug.test_name)
+    baseline = baseline_run(test, seed=base_seed, cache=cache, test_id=test_id).virtual_time_ms
+
+    waffle_runs, waffle_times = _detect_attempts(
+        Waffle, bug, test, attempts, budget, base_seed, cache, "waffle", test_id
+    )
+    basic_runs, basic_times = _detect_attempts(
+        WaffleBasic, bug, test, attempts, budget, base_seed, cache, "wafflebasic", test_id
+    )
+
+    return Table4Row(
+        bug=bug,
+        baseline_ms=baseline,
+        basic_runs=metrics.majority_runs_to_expose(basic_runs),
+        waffle_runs=metrics.majority_runs_to_expose(waffle_runs),
+        basic_slowdown=(
+            metrics.median([t / baseline for t in basic_times]) if basic_times else None
+        ),
+        waffle_slowdown=(
+            metrics.median([t / baseline for t in waffle_times]) if waffle_times else None
+        ),
+        basic_attempt_runs=basic_runs,
+        waffle_attempt_runs=waffle_runs,
+    )
 
 
 def table4_detection(
@@ -305,39 +515,17 @@ def table4_detection(
     budget: int = 50,
     bugs: Optional[Sequence[str]] = None,
     base_seed: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> List[Table4Row]:
     """Per-bug detection runs and end-to-end slowdowns, Waffle vs
     WaffleBasic, with the paper's 15-attempt majority convention."""
-    rows: List[Table4Row] = []
     selected = [b for b in all_bugs() if bugs is None or b.bug_id in bugs]
-    for bug in selected:
-        test = bug_workload(bug.bug_id)
-        baseline = run_baseline(test, seed=base_seed).virtual_time_ms
-
-        waffle_runs, waffle_times = _detect_attempts(
-            Waffle, bug, test, attempts, budget, base_seed
-        )
-        basic_runs, basic_times = _detect_attempts(
-            WaffleBasic, bug, test, attempts, budget, base_seed
-        )
-
-        rows.append(
-            Table4Row(
-                bug=bug,
-                baseline_ms=baseline,
-                basic_runs=metrics.majority_runs_to_expose(basic_runs),
-                waffle_runs=metrics.majority_runs_to_expose(waffle_runs),
-                basic_slowdown=(
-                    metrics.median([t / baseline for t in basic_times]) if basic_times else None
-                ),
-                waffle_slowdown=(
-                    metrics.median([t / baseline for t in waffle_times]) if waffle_times else None
-                ),
-                basic_attempt_runs=basic_runs,
-                waffle_attempt_runs=waffle_runs,
-            )
-        )
-    return rows
+    return map_units(
+        _table4_cell,
+        [(bug.bug_id, attempts, budget, base_seed, cache_dir) for bug in selected],
+        jobs,
+    )
 
 
 # ======================================================================
@@ -362,10 +550,83 @@ class Table5Row:
         return self.tests > 0 and self.basic_timeouts > self.tests / 2
 
 
+@dataclass
+class _Table5Cell:
+    """Per-test measurements merged into Table5Row averages."""
+
+    base: float
+    basic_pcts: Dict[int, Optional[float]]
+    basic_timed_out: bool
+    waffle_pcts: Dict[int, Optional[float]]
+    waffle_timeouts: int
+
+
+def _table5_cell(
+    app_name: str,
+    test_name: str,
+    config: WaffleConfig,
+    seed: int,
+    cache_dir: Optional[str],
+) -> _Table5Cell:
+    test = get_app(app_name).test(test_name)
+    cache = open_cache(cache_dir)
+    test_id = _test_id(app_name, test_name)
+    base = baseline_run(test, seed=seed, cache=cache, test_id=test_id).virtual_time_ms
+    limit = test_time_limit(base)
+
+    # WaffleBasic run 1 and run 2.
+    basic_pcts: Dict[int, Optional[float]] = {1: None, 2: None}
+    timed_out = False
+    for run_index, run in enumerate(
+        online_pair(test, config, seed=seed, time_limit_ms=limit, cache=cache, test_id=test_id),
+        start=1,
+    ):
+        if run.timed_out:
+            timed_out = True
+        else:
+            basic_pcts[run_index] = metrics.overhead_percent(run.virtual_time_ms, base)
+
+    # Waffle preparation + first detection run.
+    waffle_pcts: Dict[int, Optional[float]] = {1: None, 2: None}
+    waffle_timeouts = 0
+    prep = prepare_test(
+        test, config, seed=seed, time_limit_ms=limit, cache=cache, test_id=test_id
+    )
+    if prep.run.timed_out:
+        waffle_timeouts += 1
+    else:
+        waffle_pcts[1] = metrics.overhead_percent(prep.run.virtual_time_ms, base)
+        detect = _planned_run_cached(
+            test,
+            prep.plan,
+            config,
+            seed=seed + 1,
+            hook_seed=seed * 7919 + 1,
+            time_limit_ms=limit,
+            plan_limit=limit,
+            cache=cache,
+            test_id=test_id,
+        )
+        if detect.timed_out:
+            waffle_timeouts += 1
+        else:
+            waffle_pcts[2] = metrics.overhead_percent(detect.virtual_time_ms, base)
+
+    return _Table5Cell(
+        base=base,
+        basic_pcts=basic_pcts,
+        basic_timed_out=timed_out,
+        waffle_pcts=waffle_pcts,
+        waffle_timeouts=waffle_timeouts,
+    )
+
+
 def table5_overhead(
     config: WaffleConfig = DEFAULT_CONFIG,
     apps: Optional[Sequence[str]] = None,
     seed: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> List[Table5Row]:
     """Average Run#1/Run#2 overheads per app for both tools.
 
@@ -375,65 +636,25 @@ def table5_overhead(
     and R#2 columns). Tests whose run exceeds the per-test timeout are
     counted as timeouts and excluded from the percentage averages.
     """
+    units = _app_test_units(apps)
+    cells = map_units(
+        _table5_cell,
+        [(app, test, config, seed, cache_dir) for app, test in units],
+        jobs,
+    )
+    grouped = _merge_per_app(apps, units, cells)
     rows: List[Table5Row] = []
     for app in _apps(apps):
-        bases: List[float] = []
-        basic_pcts: Dict[int, List[float]] = {1: [], 2: []}
-        waffle_pcts: Dict[int, List[float]] = {1: [], 2: []}
-        basic_timeouts = 0
-        waffle_timeouts = 0
-        for test in app.multithreaded_tests:
-            base = run_baseline(test, seed=seed).virtual_time_ms
-            bases.append(base)
-            limit = test_time_limit(base)
-
-            # WaffleBasic run 1 and run 2.
-            decay = DecayState(config.decay_lambda)
-            candidates = CandidateSet()
-            timed_out = False
-            for run_index in (1, 2):
-                run, _ = run_online_detection(
-                    test,
-                    config,
-                    decay,
-                    candidates,
-                    seed=seed + run_index,
-                    hook_seed=seed * 7919 + run_index,
-                    time_limit_ms=limit,
-                )
-                if run.timed_out:
-                    timed_out = True
-                else:
-                    basic_pcts[run_index].append(
-                        metrics.overhead_percent(run.virtual_time_ms, base)
-                    )
-            if timed_out:
-                basic_timeouts += 1
-
-            # Waffle preparation + first detection run.
-            prep, trace = run_recording(test, config, seed=seed, time_limit_ms=limit)
-            from ..core.analyzer import analyze_trace
-
-            plan = analyze_trace(trace, config)
-            if prep.timed_out:
-                waffle_timeouts += 1
-            else:
-                waffle_pcts[1].append(metrics.overhead_percent(prep.virtual_time_ms, base))
-                detect, _ = run_planned_detection(
-                    test,
-                    plan,
-                    config,
-                    DecayState(config.decay_lambda),
-                    seed=seed + 1,
-                    hook_seed=seed * 7919 + 1,
-                    time_limit_ms=limit,
-                )
-                if detect.timed_out:
-                    waffle_timeouts += 1
-                else:
-                    waffle_pcts[2].append(
-                        metrics.overhead_percent(detect.virtual_time_ms, base)
-                    )
+        per_test: List[_Table5Cell] = grouped[app.name]
+        bases = [c.base for c in per_test]
+        basic_pcts = {
+            index: [c.basic_pcts[index] for c in per_test if c.basic_pcts[index] is not None]
+            for index in (1, 2)
+        }
+        waffle_pcts = {
+            index: [c.waffle_pcts[index] for c in per_test if c.waffle_pcts[index] is not None]
+            for index in (1, 2)
+        }
 
         def avg(values: List[float]) -> Optional[float]:
             return metrics.mean(values) if values else None
@@ -446,8 +667,8 @@ def table5_overhead(
                 basic_run2_pct=avg(basic_pcts[2]),
                 waffle_run1_pct=avg(waffle_pcts[1]),
                 waffle_run2_pct=avg(waffle_pcts[2]),
-                basic_timeouts=basic_timeouts,
-                waffle_timeouts=waffle_timeouts,
+                basic_timeouts=sum(1 for c in per_test if c.basic_timed_out),
+                waffle_timeouts=sum(c.waffle_timeouts for c in per_test),
                 tests=len(app.multithreaded_tests),
             )
         )
@@ -474,67 +695,77 @@ class Table6Row:
         return self.tests > 0 and self.basic_timeouts > self.tests / 2
 
 
+def _table6_cell(
+    app_name: str,
+    test_name: str,
+    config: WaffleConfig,
+    seed: int,
+    cache_dir: Optional[str],
+) -> Tuple[int, float, int, float, bool]:
+    """(basic_delays, basic_ms, waffle_delays, waffle_ms, basic_timed_out)."""
+    test = get_app(app_name).test(test_name)
+    cache = open_cache(cache_dir)
+    test_id = _test_id(app_name, test_name)
+    base = baseline_run(test, seed=seed, cache=cache, test_id=test_id).virtual_time_ms
+    limit = test_time_limit(base)
+
+    basic_delays = 0
+    basic_duration = 0.0
+    timed_out = False
+    for run_index, run in enumerate(
+        online_pair(test, config, seed=seed, time_limit_ms=limit, cache=cache, test_id=test_id),
+        start=1,
+    ):
+        if run.timed_out:
+            timed_out = True
+        if run_index == 2:
+            basic_delays += run.delays_injected
+            basic_duration += run.total_delay_ms
+
+    plan = analyze_test(test, config, seed=seed, cache=cache, test_id=test_id)
+    detect = _planned_run_cached(
+        test,
+        plan,
+        config,
+        seed=seed + 1,
+        hook_seed=seed * 7919 + 1,
+        time_limit_ms=limit,
+        plan_limit=None,
+        cache=cache,
+        test_id=test_id,
+    )
+    return basic_delays, basic_duration, detect.delays_injected, detect.total_delay_ms, timed_out
+
+
 def table6_delays(
     config: WaffleConfig = DEFAULT_CONFIG,
     apps: Optional[Sequence[str]] = None,
     seed: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> List[Table6Row]:
     """Cumulative number and duration of injected delays across all
     test inputs, one detection run per input (Basic: its second run,
     when persisted state makes injection meaningful; Waffle: its first
     detection run after the preparation run)."""
+    units = _app_test_units(apps)
+    cells = map_units(
+        _table6_cell,
+        [(app, test, config, seed, cache_dir) for app, test in units],
+        jobs,
+    )
+    grouped = _merge_per_app(apps, units, cells)
     rows: List[Table6Row] = []
     for app in _apps(apps):
-        basic_delays = 0
-        basic_duration = 0.0
-        waffle_delays = 0
-        waffle_duration = 0.0
-        basic_timeouts = 0
-        for test in app.multithreaded_tests:
-            base = run_baseline(test, seed=seed).virtual_time_ms
-            limit = test_time_limit(base)
-
-            decay = DecayState(config.decay_lambda)
-            candidates = CandidateSet()
-            timed_out = False
-            for run_index in (1, 2):
-                run, _ = run_online_detection(
-                    test,
-                    config,
-                    decay,
-                    candidates,
-                    seed=seed + run_index,
-                    hook_seed=seed * 7919 + run_index,
-                    time_limit_ms=limit,
-                )
-                if run.timed_out:
-                    timed_out = True
-                if run_index == 2:
-                    basic_delays += run.delays_injected
-                    basic_duration += run.total_delay_ms
-            if timed_out:
-                basic_timeouts += 1
-
-            plan = analyze_test(test, config, seed=seed)
-            detect, _ = run_planned_detection(
-                test,
-                plan,
-                config,
-                DecayState(config.decay_lambda),
-                seed=seed + 1,
-                hook_seed=seed * 7919 + 1,
-                time_limit_ms=limit,
-            )
-            waffle_delays += detect.delays_injected
-            waffle_duration += detect.total_delay_ms
+        per_test = grouped[app.name]
         rows.append(
             Table6Row(
                 app=app.display_name,
-                basic_delays=basic_delays,
-                basic_duration_ms=basic_duration,
-                waffle_delays=waffle_delays,
-                waffle_duration_ms=waffle_duration,
-                basic_timeouts=basic_timeouts,
+                basic_delays=sum(c[0] for c in per_test),
+                basic_duration_ms=sum(c[1] for c in per_test),
+                waffle_delays=sum(c[2] for c in per_test),
+                waffle_duration_ms=sum(c[3] for c in per_test),
+                basic_timeouts=sum(1 for c in per_test if c[4]),
                 tests=len(app.multithreaded_tests),
             )
         )
@@ -554,39 +785,126 @@ class Table7Row:
     slowdown_over_waffle: float
 
 
+def _ablation_factory(design_point: Optional[str]):
+    """Tool factory + cache label for an ablation (None = full Waffle)."""
+    if design_point is None:
+        return Waffle, "waffle"
+    factory = ALL_ABLATIONS[design_point]
+    return (lambda cfg, factory=factory: factory(cfg)), "ablation:" + design_point
+
+
+def _table7_found_cell(
+    design_point: Optional[str],
+    bug_id: str,
+    attempts: int,
+    budget: int,
+    base_seed: int,
+    cache_dir: Optional[str],
+) -> bool:
+    """Does this (possibly ablated) tool find the bug by majority?"""
+    factory, label = _ablation_factory(design_point)
+    bug = get_bug(bug_id)
+    test = bug_workload(bug_id)
+    runs, _ = _detect_attempts(
+        factory,
+        bug,
+        test,
+        attempts,
+        budget,
+        base_seed,
+        open_cache(cache_dir),
+        label,
+        _test_id(bug.app, bug.test_name),
+    )
+    return metrics.majority_runs_to_expose(runs) is not None
+
+
+def _table7_perf_cell(
+    design_point: Optional[str],
+    app_name: str,
+    base_seed: int,
+    cache_dir: Optional[str],
+) -> Tuple[float, int]:
+    """(total detection-run virtual time, test count) for one app."""
+    factory, label = _ablation_factory(design_point)
+    driver = factory(DEFAULT_CONFIG)
+    # Re-seed without disturbing the driver's (possibly ablated) flags.
+    driver.config = driver.config.with_seed(base_seed)
+    cache = open_cache(cache_dir)
+    total = 0.0
+    count = 0
+    for test in get_app(app_name).multithreaded_tests:
+        key = None
+        entry = None
+        if cache is not None:
+            key = {
+                "tool": label,
+                "test": _test_id(app_name, test.name),
+                "config": config_hash(driver.config, include_seed=True),
+            }
+            entry = cache.get("perf", key)
+        if entry is None:
+            outcome = driver.detect(test, max_detection_runs=1)
+            detect_runs = [r for r in outcome.runs if r.kind == "detect"]
+            entry = {"vt": detect_runs[-1].virtual_time_ms if detect_runs else None}
+            if cache is not None and key is not None:
+                cache.put("perf", key, entry)
+        if entry["vt"] is not None:
+            total += entry["vt"]
+            count += 1
+    return total, count
+
+
+def _ablation_perf(
+    design_point: Optional[str],
+    apps: Optional[Sequence[str]],
+    base_seed: int,
+    jobs: int,
+    cache_dir: Optional[str],
+) -> float:
+    """Average detection-run virtual time across all test inputs for a
+    driver, capped at one detection run per test."""
+    cells = map_units(
+        _table7_perf_cell,
+        [(design_point, app.name, base_seed, cache_dir) for app in _apps(apps)],
+        jobs,
+    )
+    total = sum(c[0] for c in cells)
+    count = sum(c[1] for c in cells)
+    return total / count if count else 0.0
+
+
 def table7_ablations(
     attempts: int = 5,
     budget: int = 15,
     base_seed: int = 0,
     apps_for_perf: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> List[Table7Row]:
     """Bugs missed and detection-run slowdown for each single-design-
     point ablation, relative to full Waffle."""
-    config = DEFAULT_CONFIG
     bugs = all_bugs()
 
     # Reference: bugs Waffle itself finds, and its detection-run times.
-    waffle_found: Dict[str, bool] = {}
-    for bug in bugs:
-        test = bug_workload(bug.bug_id)
-        runs, _ = _detect_attempts(Waffle, bug, test, attempts, budget, base_seed)
-        waffle_found[bug.bug_id] = metrics.majority_runs_to_expose(runs) is not None
-
-    waffle_perf = _ablation_perf(Waffle(config), config, apps_for_perf, base_seed)
+    found_flags = map_units(
+        _table7_found_cell,
+        [(None, bug.bug_id, attempts, budget, base_seed, cache_dir) for bug in bugs],
+        jobs,
+    )
+    waffle_found = {bug.bug_id: flag for bug, flag in zip(bugs, found_flags)}
+    waffle_perf = _ablation_perf(None, apps_for_perf, base_seed, jobs, cache_dir)
 
     rows: List[Table7Row] = []
-    for point, factory in ALL_ABLATIONS.items():
-        missed = 0
-        for bug in bugs:
-            if not waffle_found[bug.bug_id]:
-                continue
-            test = bug_workload(bug.bug_id)
-            runs, _ = _detect_attempts(
-                lambda cfg, factory=factory: factory(cfg), bug, test, attempts, budget, base_seed
-            )
-            if metrics.majority_runs_to_expose(runs) is None:
-                missed += 1
-        ablated_perf = _ablation_perf(factory(config), config, apps_for_perf, base_seed)
+    for point in ALL_ABLATIONS:
+        found_bugs = [bug for bug in bugs if waffle_found[bug.bug_id]]
+        flags = map_units(
+            _table7_found_cell,
+            [(point, bug.bug_id, attempts, budget, base_seed, cache_dir) for bug in found_bugs],
+            jobs,
+        )
+        missed = sum(1 for flag in flags if not flag)
+        ablated_perf = _ablation_perf(point, apps_for_perf, base_seed, jobs, cache_dir)
         rows.append(
             Table7Row(
                 design_point=point,
@@ -596,28 +914,6 @@ def table7_ablations(
             )
         )
     return rows
-
-
-def _ablation_perf(
-    driver,
-    config: WaffleConfig,
-    apps: Optional[Sequence[str]],
-    seed: int,
-) -> float:
-    """Average detection-run virtual time across all test inputs for a
-    driver, capped at one detection run per test."""
-    total = 0.0
-    count = 0
-    # Re-seed without disturbing the driver's (possibly ablated) flags.
-    driver.config = driver.config.with_seed(seed)
-    for app in _apps(apps):
-        for test in app.multithreaded_tests:
-            outcome = driver.detect(test, max_detection_runs=1)
-            detect_runs = [r for r in outcome.runs if r.kind == "detect"]
-            if detect_runs:
-                total += detect_runs[-1].virtual_time_ms
-                count += 1
-    return total / count if count else 0.0
 
 
 # ======================================================================
@@ -632,28 +928,31 @@ class StressRow:
     spontaneous_manifestations: int
 
 
+def _stress_cell(bug_id: str, runs: int, base_seed: int) -> StressRow:
+    test = bug_workload(bug_id)
+    runner = StressRunner(DEFAULT_CONFIG.with_seed(base_seed))
+    outcome = runner.detect(test, max_detection_runs=runs)
+    return StressRow(
+        bug_id=bug_id,
+        runs=len(outcome.runs),
+        spontaneous_manifestations=runner.spontaneous_manifestations(outcome),
+    )
+
+
 def stress_control(
     runs: int = 50,
     bugs: Optional[Sequence[str]] = None,
     base_seed: int = 0,
+    jobs: int = 1,
 ) -> List[StressRow]:
     """Re-run each bug-triggering input ``runs`` times without delays;
     the paper's control says no bug ever manifests."""
-    rows: List[StressRow] = []
-    for bug in all_bugs():
-        if bugs is not None and bug.bug_id not in bugs:
-            continue
-        test = bug_workload(bug.bug_id)
-        runner = StressRunner(DEFAULT_CONFIG.with_seed(base_seed))
-        outcome = runner.detect(test, max_detection_runs=runs)
-        rows.append(
-            StressRow(
-                bug_id=bug.bug_id,
-                runs=len(outcome.runs),
-                spontaneous_manifestations=runner.spontaneous_manifestations(outcome),
-            )
-        )
-    return rows
+    selected = [b for b in all_bugs() if bugs is None or b.bug_id in bugs]
+    return map_units(
+        _stress_cell,
+        [(bug.bug_id, runs, base_seed) for bug in selected],
+        jobs,
+    )
 
 
 # ======================================================================
@@ -671,10 +970,42 @@ class RelatedToolsRow:
     slowdowns: Dict[str, Optional[float]] = field(default_factory=dict)
 
 
+def _related_cell(
+    bug_id: str,
+    budget: int,
+    base_seed: int,
+    cache_dir: Optional[str],
+) -> RelatedToolsRow:
+    from ..baselines.related import RELATED_TOOLS
+    from ..baselines.stress import baseline_time_ms
+
+    tool_factories = dict(RELATED_TOOLS)
+    tool_factories["waffle"] = Waffle
+
+    bug = get_bug(bug_id)
+    test = bug_workload(bug_id)
+    cache = open_cache(cache_dir)
+    test_id = _test_id(bug.app, bug.test_name)
+    baseline = baseline_time_ms(test, seed=base_seed)
+    row = RelatedToolsRow(bug_id=bug.bug_id, app=bug.app)
+    for name, factory in tool_factories.items():
+        runs, times = _detect_attempts(
+            factory, bug, test, 1, budget, base_seed - 1, cache, "related:" + name, test_id
+        )
+        matched = runs[0] is not None
+        row.runs[name] = runs[0]
+        row.slowdowns[name] = (
+            times[0] / baseline if matched and baseline > 0 else None
+        )
+    return row
+
+
 def related_tools_comparison(
     bugs: Optional[Sequence[str]] = None,
     budget: int = 60,
     base_seed: int = 1,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> List[RelatedToolsRow]:
     """Extension experiment: quantify Table 1's qualitative matrix.
 
@@ -686,30 +1017,12 @@ def related_tools_comparison(
     |S| candidates on the dense apps, and the sampling tools miss the
     long-gap bugs outright.
     """
-    from ..baselines.related import RELATED_TOOLS
-    from ..baselines.stress import baseline_time_ms
-    from ..core.detector import Waffle as _Waffle
-
-    tool_factories = dict(RELATED_TOOLS)
-    tool_factories["waffle"] = _Waffle
-
-    rows: List[RelatedToolsRow] = []
-    for bug in all_bugs():
-        if bugs is not None and bug.bug_id not in bugs:
-            continue
-        test = bug_workload(bug.bug_id)
-        baseline = baseline_time_ms(test, seed=base_seed)
-        row = RelatedToolsRow(bug_id=bug.bug_id, app=bug.app)
-        for name, factory in tool_factories.items():
-            config = DEFAULT_CONFIG.with_seed(base_seed)
-            outcome = factory(config).detect(test, max_detection_runs=budget)
-            matched = outcome.bug_found and bug.matches(outcome.reports[0])
-            row.runs[name] = outcome.runs_to_expose if matched else None
-            row.slowdowns[name] = (
-                outcome.total_time_ms / baseline if matched and baseline > 0 else None
-            )
-        rows.append(row)
-    return rows
+    selected = [b for b in all_bugs() if bugs is None or b.bug_id in bugs]
+    return map_units(
+        _related_cell,
+        [(bug.bug_id, budget, base_seed, cache_dir) for bug in selected],
+        jobs,
+    )
 
 
 # ======================================================================
@@ -742,11 +1055,57 @@ class _TwoSiteDelays(InstrumentationHook):
         return 0.0
 
 
+def _figure5_cell(
+    interferer_at: float,
+    target_delay_ms: float,
+    interferer_delay_ms: float,
+    seed: int,
+) -> Figure5Point:
+    sim = Simulation(
+        seed=seed, hook=_TwoSiteDelays(target_delay_ms, interferer_delay_ms)
+    )
+    ref = sim.ref("fig5_obj")
+    scratch = sim.ref("fig5_scratch")
+    gate = sim.event("fig5.gate")
+
+    def user():
+        yield from sim.sleep(5.0)
+        yield from sim.use(ref, member="Touch", loc="fig5.use")
+
+    def disposer(at=interferer_at):
+        yield from sim.sleep(at)
+        yield from sim.use(scratch, member="Prep", loc="fig5.interferer")
+        yield from gate.wait()  # slack absorbs early delays
+        yield from sim.sleep(0.5)
+        yield from sim.dispose(ref, loc="fig5.dispose")
+
+    def timer():
+        yield from sim.sleep(9.5)
+        gate.set()
+
+    def root():
+        yield from sim.assign(ref, sim.new("fig5.Obj"), loc="fig5.init")
+        yield from sim.assign(scratch, sim.new("fig5.Scratch"), loc="fig5.scratch_init")
+        threads = [
+            sim.fork(user(), name="fig5-user"),
+            sim.fork(disposer(), name="fig5-disposer"),
+            sim.fork(timer(), name="fig5-timer"),
+        ]
+        yield from sim.join_all(threads)
+
+    result = sim.run(root())
+    exposed = result.crashed and isinstance(result.first_failure(), NullReferenceError)
+    use_lands_at = 5.0 + target_delay_ms
+    overlaps = interferer_at + interferer_delay_ms + 0.5 > use_lands_at
+    return Figure5Point(interferer_at, overlaps, exposed)
+
+
 def figure5_interference_window(
     interferer_times_ms: Sequence[float] = (0.0, 1.0, 2.0, 6.0, 7.0, 8.0),
     target_delay_ms: float = 20.0,
     interferer_delay_ms: float = 20.0,
     seed: int = 0,
+    jobs: int = 1,
 ) -> List[Figure5Point]:
     """Quantify Figure 5: an equal-length delay at l* on the disposer's
     thread cancels the reordering delay at l1 *only when it runs late
@@ -763,43 +1122,11 @@ def figure5_interference_window(
     that the two delay windows still overlap at the use's landing, the
     disposal is pushed past the use and the bug is hidden.
     """
-    points: List[Figure5Point] = []
-    for interferer_at in interferer_times_ms:
-        sim = Simulation(
-            seed=seed, hook=_TwoSiteDelays(target_delay_ms, interferer_delay_ms)
-        )
-        ref = sim.ref("fig5_obj")
-        scratch = sim.ref("fig5_scratch")
-        gate = sim.event("fig5.gate")
-
-        def user():
-            yield from sim.sleep(5.0)
-            yield from sim.use(ref, member="Touch", loc="fig5.use")
-
-        def disposer(at=interferer_at):
-            yield from sim.sleep(at)
-            yield from sim.use(scratch, member="Prep", loc="fig5.interferer")
-            yield from gate.wait()  # slack absorbs early delays
-            yield from sim.sleep(0.5)
-            yield from sim.dispose(ref, loc="fig5.dispose")
-
-        def timer():
-            yield from sim.sleep(9.5)
-            gate.set()
-
-        def root():
-            yield from sim.assign(ref, sim.new("fig5.Obj"), loc="fig5.init")
-            yield from sim.assign(scratch, sim.new("fig5.Scratch"), loc="fig5.scratch_init")
-            threads = [
-                sim.fork(user(), name="fig5-user"),
-                sim.fork(disposer(), name="fig5-disposer"),
-                sim.fork(timer(), name="fig5-timer"),
-            ]
-            yield from sim.join_all(threads)
-
-        result = sim.run(root())
-        exposed = result.crashed and isinstance(result.first_failure(), NullReferenceError)
-        use_lands_at = 5.0 + target_delay_ms
-        overlaps = interferer_at + interferer_delay_ms + 0.5 > use_lands_at
-        points.append(Figure5Point(interferer_at, overlaps, exposed))
-    return points
+    return map_units(
+        _figure5_cell,
+        [
+            (interferer_at, target_delay_ms, interferer_delay_ms, seed)
+            for interferer_at in interferer_times_ms
+        ],
+        jobs,
+    )

@@ -1,0 +1,73 @@
+"""Process-pool fan-out for the experiment harness.
+
+The experiment drivers decompose each table into independent *work
+units* -- one (app, test, seed) or (bug, tool, seed) cell -- and run
+them through :func:`map_units`. Because every unit is a deterministic
+function of its picklable arguments (the simulator is virtual-time with
+seeded RNGs), results are merged in *submission* order regardless of
+completion order, so ``--jobs N`` produces bit-identical tables to a
+serial run. The equivalence tests in ``tests/harness/test_parallel.py``
+guard this property.
+
+Work-unit functions must be module-level (picklable by reference) and
+must take only picklable arguments: app/test/bug *names* rather than
+objects, the frozen :class:`~repro.core.config.WaffleConfig`, plain
+seeds, and an optional cache directory string. Workers rebuild
+registries and caches on their side.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+#: Sentinel for "use one worker per unit, capped by the machine".
+AUTO_JOBS = 0
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: None/1 -> serial, 0 -> cpu count."""
+    if jobs is None:
+        return 1
+    if jobs == AUTO_JOBS:
+        return os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def map_units(
+    fn: Callable[..., Any],
+    arg_tuples: Sequence[Tuple],
+    jobs: Optional[int] = 1,
+) -> List[Any]:
+    """Map ``fn`` over argument tuples, serially or via a process pool.
+
+    Results come back in submission order independent of completion
+    order, which keeps downstream merging deterministic. ``jobs <= 1``
+    (or a single unit) bypasses the pool entirely so the serial path is
+    byte-for-byte the pre-parallel code path.
+    """
+    jobs = resolve_jobs(jobs)
+    units = list(arg_tuples)
+    if jobs <= 1 or len(units) <= 1:
+        return [fn(*args) for args in units]
+    workers = min(jobs, len(units))
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        futures = [executor.submit(fn, *args) for args in units]
+        return [future.result() for future in futures]
+
+
+def chunked(items: Iterable[Any], size: int) -> List[List[Any]]:
+    """Split ``items`` into consecutive chunks of at most ``size``."""
+    if size <= 0:
+        raise ValueError("chunk size must be positive")
+    out: List[List[Any]] = []
+    chunk: List[Any] = []
+    for item in items:
+        chunk.append(item)
+        if len(chunk) == size:
+            out.append(chunk)
+            chunk = []
+    if chunk:
+        out.append(chunk)
+    return out

@@ -41,7 +41,7 @@ class AccessType(enum.Enum):
         return self is not AccessType.UNSAFE_CALL
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Location:
     """A unique *static* program location.
 
@@ -71,7 +71,7 @@ def _next_event_id() -> int:
     return next(_event_seq)
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessEvent:
     """One dynamic instrumented operation.
 
@@ -105,7 +105,7 @@ class AccessEvent:
         return (self.location.site, self.access_type.value, self.object_id, self.thread_id)
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingAccess:
     """The *intent* to perform an operation, shown to hooks beforehand.
 
