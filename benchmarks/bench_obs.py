@@ -1,0 +1,111 @@
+"""Guard the telemetry-disabled hot path against overhead creep.
+
+The observability instrumentation (``repro.obs``) is designed to cost
+one ``is not None`` branch per guarded site when no session is
+configured. This benchmark enforces that budget: it times the same
+serial table4 subset as ``bench_harness.py`` with telemetry disabled
+(min over several repetitions, one untimed warm-up) and fails if the
+result exceeds the ``serial_cold_s`` baseline recorded in
+``BENCH_harness.json`` by more than 3%.
+
+CI runs ``bench_harness.py`` immediately before this script, so the
+baseline is always a fresh measurement from the same machine and
+process generation; when the file is missing the baseline is measured
+here instead. The telemetry-*enabled* time is also recorded (it pays
+for event buffering and JSONL flushing) but only reported, not gated.
+
+Writes ``BENCH_obs.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+from repro import obs
+from repro.harness import experiments
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# Mirror bench_harness.py's serial_cold workload exactly.
+BUGS = ["Bug-1", "Bug-10", "Bug-11"]
+ATTEMPTS = 3
+BUDGET = 20
+REPS = 5
+MAX_OVERHEAD = 0.03
+
+
+def _cells():
+    return experiments.table4_detection(
+        attempts=ATTEMPTS, budget=BUDGET, bugs=BUGS, base_seed=0, jobs=1, cache_dir=None
+    )
+
+
+def _timed():
+    start = time.perf_counter()
+    rows = _cells()
+    return time.perf_counter() - start, rows
+
+
+def _min_of_reps(reps: int = REPS) -> float:
+    return min(_timed()[0] for _ in range(reps))
+
+
+def main() -> int:
+    assert obs.session() is None, "telemetry must start disabled"
+    _cells()  # untimed warm-up (imports, code objects, allocator)
+
+    bench_path = REPO_ROOT / "BENCH_harness.json"
+    if bench_path.exists():
+        baseline_s = json.loads(bench_path.read_text())["serial_cold_s"]
+        baseline_source = "BENCH_harness.json"
+    else:
+        baseline_s = _min_of_reps()
+        baseline_source = "measured here (BENCH_harness.json missing)"
+
+    disabled_s = _min_of_reps()
+
+    with tempfile.TemporaryDirectory(prefix="waffle-bench-obs-") as obs_dir:
+        obs.configure(obs_dir)
+        try:
+            enabled_s = _min_of_reps(reps=2)
+            obs.flush()
+        finally:
+            obs.disable()
+
+    overhead = disabled_s / baseline_s - 1.0
+    payload = {
+        "benchmark": "obs disabled-path overhead (table4_detection subset, serial)",
+        "baseline_source": baseline_source,
+        "baseline_serial_s": round(baseline_s, 4),
+        "disabled_min_s": round(disabled_s, 4),
+        "enabled_min_s": round(enabled_s, 4),
+        "reps": REPS,
+        "disabled_overhead_pct": round(100.0 * overhead, 2),
+        "enabled_overhead_pct": round(100.0 * (enabled_s / baseline_s - 1.0), 2),
+        "max_overhead_pct": 100.0 * MAX_OVERHEAD,
+        "within_budget": overhead <= MAX_OVERHEAD,
+    }
+    out = REPO_ROOT / "BENCH_obs.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print("wrote %s" % out)
+    if overhead > MAX_OVERHEAD:
+        print(
+            "FAIL: telemetry-disabled path is %.2f%% over the baseline (budget %.0f%%)"
+            % (100.0 * overhead, 100.0 * MAX_OVERHEAD),
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

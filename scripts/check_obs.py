@@ -1,0 +1,109 @@
+"""CI gate for an obs directory written via --obs-dir.
+
+Asserts the telemetry contract end to end, from files alone:
+
+* every ``telemetry-*.jsonl`` line parses and carries a known ``type``;
+* every skip event carries a valid reason tag;
+* every ``summary-*.json`` parses and contains the required counters
+  (sessions pre-register them, so the *names* must be present even at
+  value 0);
+* decision events reconcile with run summaries and merged counters
+  (via :func:`repro.obs.report.reconcile`).
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_obs.py <obs-dir>
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.report import load_obs_dir, reconcile
+from repro.obs.telemetry import SKIP_REASONS
+
+REQUIRED_COUNTERS = (
+    "inject.considered",
+    "inject.injected",
+    "inject.skipped.decay",
+    "inject.skipped.interference",
+    "inject.skipped.budget",
+    "nearmiss.pairs_observed",
+    "candidates.added",
+    "cache.hits",
+    "cache.misses",
+    "sched.runs",
+    "sched.context_switches",
+    "telemetry.runs_recorded",
+)
+
+KNOWN_TYPES = {"meta", "inject", "span", "run"}
+
+
+def check(obs_dir: Path) -> list:
+    problems = []
+    summaries = sorted(obs_dir.glob("summary-*.json"))
+    events = sorted(obs_dir.glob("telemetry-*.jsonl"))
+    if not summaries:
+        problems.append("no summary-*.json files in %s" % obs_dir)
+    if not events:
+        problems.append("no telemetry-*.jsonl files in %s" % obs_dir)
+
+    for path in summaries:
+        try:
+            payload = json.loads(path.read_text())
+            counters = payload["record"]["metrics"]["counters"]
+        except (ValueError, KeyError) as exc:
+            problems.append("%s: unreadable summary (%s)" % (path.name, exc))
+            continue
+        for name in REQUIRED_COUNTERS:
+            if name not in counters:
+                problems.append("%s: missing counter %r" % (path.name, name))
+
+    for path in events:
+        for line_no, line in enumerate(path.read_text().splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                problems.append("%s:%d: bad JSON (%s)" % (path.name, line_no, exc))
+                continue
+            kind = record.get("type")
+            if kind not in KNOWN_TYPES:
+                problems.append("%s:%d: unknown type %r" % (path.name, line_no, kind))
+            elif kind == "inject" and record.get("action") == "skip":
+                if record.get("reason") not in SKIP_REASONS:
+                    problems.append(
+                        "%s:%d: skip event without a valid reason" % (path.name, line_no)
+                    )
+
+    data = load_obs_dir(obs_dir)
+    problems.extend(data.parse_errors)
+    problems.extend(reconcile(data))
+    return problems
+
+
+def main(argv) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    obs_dir = Path(argv[1])
+    problems = check(obs_dir)
+    if problems:
+        print("obs check FAILED (%d problem(s)):" % len(problems))
+        for problem in problems:
+            print("  " + str(problem))
+        return 1
+    data = load_obs_dir(obs_dir)
+    print(
+        "obs check OK: %d process(es), %d runs, %d decision events, %d spans"
+        % (data.processes, len(data.runs), len(data.inject_events), len(data.spans))
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

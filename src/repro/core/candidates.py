@@ -99,6 +99,13 @@ class CandidateSet:
         #: Pairs removed by pruning/inference, kept for statistics.
         self.pruned_parent_child: int = 0
         self.pruned_hb_inference: int = 0
+        #: Lifetime churn: pairs ever added/removed (telemetry; a pair
+        #: re-added after removal counts again).
+        self.added_total: int = 0
+        self.removed_total: int = 0
+        from .. import obs
+
+        self._obs = obs.session()
 
     def __len__(self) -> int:
         return len(self._pairs)
@@ -117,6 +124,9 @@ class CandidateSet:
         if is_new:
             self._by_delay.setdefault(pair.delay_location.site, {})[key] = pair
             self._by_other.setdefault(pair.other_location.site, {})[key] = pair
+            self.added_total += 1
+            if self._obs is not None:
+                self._obs.c_cand_added.inc()
         if observation is not None:
             self._gaps.setdefault(key, []).append(observation)
         return is_new
@@ -127,6 +137,9 @@ class CandidateSet:
         self._gaps.pop(key, None)
         if removed is not None:
             self._unindex(removed, key)
+            self.removed_total += 1
+            if self._obs is not None:
+                self._obs.c_cand_removed.inc()
 
     def _unindex(self, pair: CandidatePair, key: Tuple[str, str, str]) -> None:
         for index, site in (

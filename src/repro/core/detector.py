@@ -11,9 +11,11 @@ described in section 5.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, List, Optional
 
+from .. import obs
 from ..sim.api import Simulation
 from ..sim.errors import NullReferenceError
 from ..sim.scheduler import RunResult
@@ -71,6 +73,8 @@ class RunRecord:
     timed_out: bool = False
     bug_found: bool = False
     skipped_interference: int = 0
+    skipped_decay: int = 0
+    skipped_budget: int = 0
 
 
 @dataclass
@@ -132,7 +136,11 @@ class ToolDriver:
 
     # -- Common helpers -------------------------------------------------
 
-    def _simulate(self, workload: Workload, hook, seed: int) -> RunResult:
+    def _simulate(
+        self, workload: Workload, hook, seed: int, kind: Optional[str] = None
+    ) -> RunResult:
+        session = obs.session()
+        started = time.perf_counter()
         sim = Simulation(
             seed=seed,
             hook=hook,
@@ -140,7 +148,30 @@ class ToolDriver:
             stop_on_failure=True,
             name=workload.name,
         )
-        return sim.run(workload.build(sim), name="main")
+        result = sim.run(workload.build(sim), name="main")
+        if session is not None:
+            obs.collect_run_telemetry(
+                session,
+                kind if kind is not None else self._run_kind(hook),
+                workload.name,
+                seed,
+                (time.perf_counter() - started) * 1000.0,
+                result,
+                hook=hook,
+                scheduler=sim.scheduler,
+            )
+        return result
+
+    @staticmethod
+    def _run_kind(hook) -> str:
+        """Classify a run by its hook when the caller gave no kind."""
+        if isinstance(hook, RecordingHook):
+            return "prep"
+        if isinstance(hook, PlannedInjectionHook):
+            return "detect"
+        if isinstance(hook, OnlineInjectionHook):
+            return "online"
+        return "baseline"
 
     def _record(
         self,
@@ -164,6 +195,8 @@ class ToolDriver:
             skipped_interference=(
                 hook.engine.skipped_interference if hook and hook.engine else 0
             ),
+            skipped_decay=hook.engine.skipped_decay if hook and hook.engine else 0,
+            skipped_budget=hook.engine.skipped_budget if hook and hook.engine else 0,
         )
 
     def _memorder_failure(self, result: RunResult) -> Optional[BaseException]:

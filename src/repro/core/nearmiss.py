@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional
 
+from .. import obs
 from ..sim.instrument import AccessEvent, AccessType
 from .candidates import CandidateKind, CandidatePair, CandidateSet, GapObservation
 
@@ -54,6 +55,11 @@ class NearMissTracker:
         self.on_pair = on_pair
         #: Per-object recent-event windows (object id -> deque).
         self._recent: Dict[int, Deque[AccessEvent]] = {}
+        #: Near-miss matches emitted over the tracker's lifetime (every
+        #: (re)added pair vs. first-time-seen pairs only).
+        self.pairs_observed: int = 0
+        self.pairs_new: int = 0
+        self._obs = obs.session()
 
     #: Shared empty result so delay-free streams allocate nothing.
     _NO_PAIRS: List[CandidatePair] = []
@@ -95,6 +101,8 @@ class NearMissTracker:
                 continue
             if order_filter is not None and order_filter(earlier, event):
                 candidates.pruned_parent_child += 1
+                if self._obs is not None:
+                    self._obs.c_pruned_parent_child.inc()
                 continue
             pair = CandidatePair(
                 kind=kind,
@@ -110,6 +118,13 @@ class NearMissTracker:
                 thread_second=thread_id,
             )
             is_new = candidates.add(pair, observation)
+            self.pairs_observed += 1
+            if is_new:
+                self.pairs_new += 1
+            if self._obs is not None:
+                self._obs.c_pairs_observed.inc()
+                if is_new:
+                    self._obs.c_pairs_new.inc()
             if on_pair is not None:
                 on_pair(pair, is_new)
             added.append(pair)
@@ -144,6 +159,9 @@ class TsvNearMissTracker:
         self.candidates = candidates if candidates is not None else CandidateSet()
         self.on_pair = on_pair
         self._recent: Dict[int, Deque[AccessEvent]] = {}
+        self.pairs_observed: int = 0
+        self.pairs_new: int = 0
+        self._obs = obs.session()
 
     def observe(self, event: AccessEvent) -> List[CandidatePair]:
         if event.access_type is not AccessType.UNSAFE_CALL:
@@ -178,6 +196,13 @@ class TsvNearMissTracker:
                     other_location=other_loc,
                 )
                 is_new = self.candidates.add(pair, observation)
+                self.pairs_observed += 1
+                if is_new:
+                    self.pairs_new += 1
+                if self._obs is not None:
+                    self._obs.c_pairs_observed.inc()
+                    if is_new:
+                        self._obs.c_pairs_new.inc()
                 if self.on_pair is not None:
                     self.on_pair(pair, is_new)
                 added.append(pair)

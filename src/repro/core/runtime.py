@@ -23,6 +23,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
+from .. import obs
 from ..sim.instrument import AccessEvent, AccessType, InstrumentationHook, PendingAccess
 from .analyzer import InjectionPlan
 from .candidates import CandidatePair, CandidateSet
@@ -68,34 +69,87 @@ class InjectionEngine:
         self.interference = interference
         self.rng = rng
         self.ledger = ActiveDelayLedger()
+        #: Decision accounting, always on (plain int adds): every skip
+        #: is attributed to exactly one reason tag so runs are
+        #: explainable from emitted data (docs/OBSERVABILITY.md).
+        self.considered: int = 0
         #: Delays whose injection was skipped by the interference guard.
         self.skipped_interference: int = 0
+        #: Skips where the probability-decay draw failed.
+        self.skipped_decay: int = 0
+        #: Skips where the location's injection budget was exhausted
+        #: (decayed to probability 0 and retired) or its length was 0.
+        self.skipped_budget: int = 0
+        self._obs = obs.session()
+        self.obs_run_seq = self._obs.next_run_seq() if self._obs is not None else 0
+
+    @property
+    def skipped_total(self) -> int:
+        return self.skipped_decay + self.skipped_interference + self.skipped_budget
 
     def decide(self, pending: PendingAccess) -> float:
         """Return the delay to inject before ``pending`` (0 for none)."""
         site = pending.location.site
         if not self.candidates.has_delay_location(pending.location):
             return 0.0
+        ses = self._obs
+        self.considered += 1
         probability = self.decay.register(site)
         if probability <= 0.0:
             # Retired location: drop its pairs from S (Tsvd rule).
             self.candidates.remove_with_delay_location(pending.location)
+            self.skipped_budget += 1
+            if ses is not None:
+                ses.c_considered.inc()
+                ses.c_skip["budget"].inc()
+                ses.inject_event(
+                    self.obs_run_seq, "skip", site, pending.timestamp,
+                    reason="budget", detail="retired",
+                )
             return 0.0
         if self.rng.random() >= probability:
+            self.skipped_decay += 1
+            if ses is not None:
+                ses.c_considered.inc()
+                ses.c_skip["decay"].inc()
+                ses.inject_event(
+                    self.obs_run_seq, "skip", site, pending.timestamp,
+                    reason="decay", detail="p=%.3f" % probability,
+                )
             return 0.0
         now = pending.timestamp
         if self.interference is not None and self.config.interference_control:
             active = self.ledger.active_sites(now)
             if active and self.interference.conflicts_with_any(site, active):
                 self.skipped_interference += 1
+                if ses is not None:
+                    ses.c_considered.inc()
+                    ses.c_skip["interference"].inc()
+                    ses.inject_event(
+                        self.obs_run_seq, "skip", site, now,
+                        reason="interference",
+                        detail=",".join(sorted(set(active))),
+                    )
                 return 0.0
         length = self.delay_policy.length_for(site)
         if length <= 0.0:
+            self.skipped_budget += 1
+            if ses is not None:
+                ses.c_considered.inc()
+                ses.c_skip["budget"].inc()
+                ses.inject_event(
+                    self.obs_run_seq, "skip", site, now,
+                    reason="budget", detail="zero_length",
+                )
             return 0.0
         self.ledger.register(site, pending.thread_id, now, length)
         remaining = self.decay.decay(site)
         if remaining <= 0.0:
             self.candidates.remove_with_delay_location(pending.location)
+        if ses is not None:
+            ses.c_considered.inc()
+            ses.c_injected.inc()
+            ses.inject_event(self.obs_run_seq, "inject", site, now, length_ms=length)
         return length
 
 
@@ -393,6 +447,8 @@ class OnlineInjectionHook(_BaseInjectionHook):
                     if pair.other_location == event.location:
                         self.engine.candidates.remove(pair)
                         self.engine.candidates.pruned_hb_inference += 1
+                        if self.engine._obs is not None:
+                            self.engine._obs.c_pruned_hb.inc()
         for site in stale:
             self._windows.pop(site, None)
 

@@ -39,6 +39,7 @@ import os
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from .. import obs
 from ..core.analyzer import InjectionPlan
 from ..core.config import WaffleConfig
 from ..core.persistence import load_record, save_record
@@ -70,6 +71,18 @@ class CacheStats:
     misses: int = 0
     writes: int = 0
 
+    def absorb(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.writes += other.writes
+
+
+#: Process-wide totals across every cache instance, so the CLI can print
+#: one end-of-run summary line without threading cache objects through
+#: each experiment. (Pool workers accumulate their own copy; their
+#: numbers surface through the obs telemetry files instead.)
+GLOBAL_STATS = CacheStats()
+
 
 class PlanCache:
     """File-backed memo table for deterministic harness work units.
@@ -84,6 +97,7 @@ class PlanCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
         self._memo: Dict[str, Any] = {}
+        self._obs = obs.session()
 
     # -- Generic machinery ------------------------------------------------
 
@@ -94,10 +108,22 @@ class PlanCache:
     def _path(self, kind: str, digest: str) -> Path:
         return self.directory / ("%s-%s.json" % (kind, digest))
 
+    def _hit(self) -> None:
+        self.stats.hits += 1
+        GLOBAL_STATS.hits += 1
+        if self._obs is not None:
+            self._obs.c_cache_hits.inc()
+
+    def _miss(self) -> None:
+        self.stats.misses += 1
+        GLOBAL_STATS.misses += 1
+        if self._obs is not None:
+            self._obs.c_cache_misses.inc()
+
     def get(self, kind: str, key: Dict[str, Any]) -> Optional[dict]:
         digest = self._digest(kind, key)
         if digest in self._memo:
-            self.stats.hits += 1
+            self._hit()
             return self._memo[digest]
         path = self._path(kind, digest)
         if path.exists():
@@ -105,12 +131,12 @@ class PlanCache:
                 record = load_record(path)
             except (ValueError, KeyError, json.JSONDecodeError):
                 # Stale format or torn write: treat as a miss.
-                self.stats.misses += 1
+                self._miss()
                 return None
             self._memo[digest] = record
-            self.stats.hits += 1
+            self._hit()
             return record
-        self.stats.misses += 1
+        self._miss()
         return None
 
     def put(self, kind: str, key: Dict[str, Any], payload: dict) -> None:
@@ -118,6 +144,9 @@ class PlanCache:
         self._memo[digest] = payload
         save_record(payload, self._path(kind, digest))
         self.stats.writes += 1
+        GLOBAL_STATS.writes += 1
+        if self._obs is not None:
+            self._obs.c_cache_writes.inc()
 
 
 def open_cache(cache_dir: Optional[os.PathLike]) -> Optional[PlanCache]:

@@ -14,14 +14,17 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 from typing import Any, List, Optional
 
+from .. import obs
 from ..apps import all_bugs, bug_workload, get_app
 from ..baselines import StressRunner, WaffleBasic
 from ..core.config import DEFAULT_CONFIG
 from ..core.detector import Waffle
 from . import experiments, tables
+from .cache import GLOBAL_STATS
 
 
 def _emit(text: str, out: Optional[str]) -> None:
@@ -260,6 +263,19 @@ def cmd_trace(args) -> None:
         print("  wrote injection plan to %s" % args.save_plan)
 
 
+def cmd_obs(args) -> None:
+    """Aggregate an obs directory: digest report or Chrome trace export."""
+    from ..obs.report import load_obs_dir, render_report, write_chrome_trace
+
+    data = load_obs_dir(args.obs_path)
+    if args.action == "chrome":
+        out = args.trace_out or os.path.join(args.obs_path, "trace.json")
+        count = write_chrome_trace(data, out)
+        print("wrote %d trace events to %s (open in chrome://tracing or Perfetto)" % (count, out))
+        return
+    _emit(render_report(data, max_runs=args.max_runs), args.out)
+
+
 def cmd_all(args) -> None:
     for command in (
         cmd_table1,
@@ -306,6 +322,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=argparse.SUPPRESS,
         help="content-addressed run cache directory (also via WAFFLE_CACHE_DIR); "
         "prep traces are recorded once and their plans reused across tables",
+    )
+    shared.add_argument(
+        "--obs-dir",
+        type=str,
+        default=argparse.SUPPRESS,
+        help="enable run telemetry and write it here (also via WAFFLE_OBS_DIR); "
+        "inspect with 'obs report <dir>' afterwards",
     )
     parser = argparse.ArgumentParser(
         prog="waffle-repro",
@@ -366,7 +389,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--test", type=str, default=None)
     p.add_argument("--budget", type=int, default=50)
     p.set_defaults(func=cmd_detect)
+
+    p = sub.add_parser(
+        "obs",
+        help="aggregate a telemetry directory written via --obs-dir",
+        parents=[shared],
+    )
+    p.add_argument("action", choices=["report", "chrome"], help="digest or trace_event export")
+    p.add_argument("obs_path", type=str, help="the obs directory to aggregate")
+    p.add_argument("--max-runs", type=int, default=20, help="rows in the slowest-runs table")
+    p.add_argument(
+        "--trace-out", type=str, default=None, help="chrome: output path (default <dir>/trace.json)"
+    )
+    p.set_defaults(func=cmd_obs)
     return parser
+
+
+def _cache_summary_line(hits0: int = 0, misses0: int = 0, writes0: int = 0) -> Optional[str]:
+    """End-of-run cache effectiveness for this invocation: the delta of
+    the process-wide totals against the counts observed at entry (so
+    embedders calling main() repeatedly don't see stale numbers)."""
+    hits = GLOBAL_STATS.hits - hits0
+    misses = GLOBAL_STATS.misses - misses0
+    writes = GLOBAL_STATS.writes - writes0
+    lookups = hits + misses
+    if lookups == 0 and writes == 0:
+        return None
+    rate = 100.0 * hits / lookups if lookups else 0.0
+    return "cache: %d hits / %d misses (%.1f%% hit rate), %d writes" % (
+        hits,
+        misses,
+        rate,
+        writes,
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -382,9 +437,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.jobs = 1
     if not hasattr(args, "cache_dir"):
         args.cache_dir = None
+    if not hasattr(args, "obs_dir"):
+        args.obs_dir = None
     if args.command in ("detect", "trace") and not args.bug and not (args.app and args.test):
         parser.error("%s requires --bug or both --app and --test" % args.command)
+    if args.obs_dir:
+        # The environment variable is what --jobs pool workers inherit;
+        # configure() activates telemetry in this process right away.
+        os.environ[obs.OBS_DIR_ENV] = args.obs_dir
+        obs.configure(args.obs_dir)
+    hits0, misses0, writes0 = GLOBAL_STATS.hits, GLOBAL_STATS.misses, GLOBAL_STATS.writes
     args.func(args)
+    summary = _cache_summary_line(hits0, misses0, writes0)
+    if summary is not None:
+        print(summary)
+    if args.obs_dir:
+        obs.flush()
+        print("telemetry written to %s (inspect with: obs report %s)" % (args.obs_dir, args.obs_dir))
     return 0
 
 

@@ -346,8 +346,12 @@ def overlap_ratios(
         rows.append(
             OverlapRow(
                 app=app.display_name,
-                tsvd_overlap=metrics.mean(tsvd) if tsvd else 0.0,
-                wafflebasic_overlap=metrics.mean(basic) if basic else 0.0,
+                tsvd_overlap=metrics.mean(tsvd, context="overlap/tsvd: %s" % app.name) if tsvd else 0.0,
+                wafflebasic_overlap=(
+                    metrics.mean(basic, context="overlap/wafflebasic: %s" % app.name)
+                    if basic
+                    else 0.0
+                ),
             )
         )
     return rows
@@ -405,7 +409,9 @@ def dynamic_instances(
         rows.append(
             DynamicInstanceRow(
                 app=app.display_name,
-                median_init_instances=metrics.median(counts) if counts else 0.0,
+                median_init_instances=(
+                    metrics.median(counts, context="dynamic: %s" % app.name) if counts else 0.0
+                ),
                 init_sites=len(counts),
             )
         )
@@ -500,10 +506,20 @@ def _table4_cell(
         basic_runs=metrics.majority_runs_to_expose(basic_runs),
         waffle_runs=metrics.majority_runs_to_expose(waffle_runs),
         basic_slowdown=(
-            metrics.median([t / baseline for t in basic_times]) if basic_times else None
+            metrics.median(
+                [t / baseline for t in basic_times],
+                context="table4/wafflebasic: %s" % bug_id,
+            )
+            if basic_times
+            else None
         ),
         waffle_slowdown=(
-            metrics.median([t / baseline for t in waffle_times]) if waffle_times else None
+            metrics.median(
+                [t / baseline for t in waffle_times],
+                context="table4/waffle: %s" % bug_id,
+            )
+            if waffle_times
+            else None
         ),
         basic_attempt_runs=basic_runs,
         waffle_attempt_runs=waffle_runs,
@@ -657,12 +673,16 @@ def table5_overhead(
         }
 
         def avg(values: List[float]) -> Optional[float]:
-            return metrics.mean(values) if values else None
+            return metrics.mean(values, context="table5: %s" % app.name) if values else None
 
         rows.append(
             Table5Row(
                 app=app.display_name,
-                baseline_ms=metrics.mean(bases) if bases else 0.0,
+                baseline_ms=(
+                    metrics.mean(bases, context="table5/baseline: %s" % app.name)
+                    if bases
+                    else 0.0
+                ),
                 basic_run1_pct=avg(basic_pcts[1]),
                 basic_run2_pct=avg(basic_pcts[2]),
                 waffle_run1_pct=avg(waffle_pcts[1]),

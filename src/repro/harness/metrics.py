@@ -11,9 +11,18 @@ from __future__ import annotations
 from typing import Iterable, Optional, Sequence
 
 
-def median(values: Sequence[float]) -> float:
+def _empty(stat: str, context: Optional[str]) -> ValueError:
+    """An empty-sequence error that names the offending experiment cell
+    (e.g. ``mean of empty sequence (table5: mqttnet/PublishRoundtrip)``)
+    instead of making the operator reverse-engineer a bare ValueError."""
+    if context:
+        return ValueError("%s of empty sequence (%s)" % (stat, context))
+    return ValueError("%s of empty sequence" % stat)
+
+
+def median(values: Sequence[float], context: Optional[str] = None) -> float:
     if not values:
-        raise ValueError("median of empty sequence")
+        raise _empty("median", context)
     ordered = sorted(values)
     mid = len(ordered) // 2
     if len(ordered) % 2:
@@ -21,9 +30,9 @@ def median(values: Sequence[float]) -> float:
     return (ordered[mid - 1] + ordered[mid]) / 2.0
 
 
-def mean(values: Sequence[float]) -> float:
+def mean(values: Sequence[float], context: Optional[str] = None) -> float:
     if not values:
-        raise ValueError("mean of empty sequence")
+        raise _empty("mean", context)
     return sum(values) / len(values)
 
 

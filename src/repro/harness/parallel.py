@@ -19,11 +19,36 @@ registries and caches on their side.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
+from .. import obs
+
 #: Sentinel for "use one worker per unit, capped by the machine".
 AUTO_JOBS = 0
+
+
+def _call_unit(fn: Callable[..., Any], args: Tuple) -> Any:
+    """Execute one work unit, wrapped in per-cell telemetry when active.
+
+    Module-level so the process pool can pickle it by reference; in a
+    worker process the session comes from the inherited
+    ``WAFFLE_OBS_DIR`` environment variable.
+    """
+    session = obs.session()
+    if session is None:
+        return fn(*args)
+    started = time.perf_counter()
+    with session.tracer.span("cell", category="harness", unit=fn.__name__):
+        result = fn(*args)
+    session.c_cells.inc()
+    session.h_cell_wall_ms.observe((time.perf_counter() - started) * 1000.0)
+    # Flush per cell: pool workers exit without running atexit hooks, so
+    # this is what lands their telemetry on disk. Cells are coarse
+    # enough that one append + summary rewrite per cell is noise.
+    session.flush()
+    return result
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -50,10 +75,10 @@ def map_units(
     jobs = resolve_jobs(jobs)
     units = list(arg_tuples)
     if jobs <= 1 or len(units) <= 1:
-        return [fn(*args) for args in units]
+        return [_call_unit(fn, args) for args in units]
     workers = min(jobs, len(units))
     with ProcessPoolExecutor(max_workers=workers) as executor:
-        futures = [executor.submit(fn, *args) for args in units]
+        futures = [executor.submit(_call_unit, fn, args) for args in units]
         return [future.result() for future in futures]
 
 

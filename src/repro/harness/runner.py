@@ -7,9 +7,11 @@ code composes runs instead of re-implementing tool loops.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from .. import obs
 from ..apps.base import AppTestCase
 from ..core.analyzer import InjectionPlan, analyze_trace
 from ..core.candidates import CandidateSet
@@ -39,6 +41,20 @@ def test_time_limit(baseline_ms: float) -> float:
     return max(TIMEOUT_FLOOR_MS, TIMEOUT_FACTOR * baseline_ms)
 
 
+def _record_run(session, kind, test, seed, started, result, hook=None, sim=None) -> None:
+    """Per-run telemetry summary (only called when a session is active)."""
+    obs.collect_run_telemetry(
+        session,
+        kind,
+        test.name,
+        seed,
+        (time.perf_counter() - started) * 1000.0,
+        result,
+        hook=hook,
+        scheduler=sim.scheduler if sim is not None else None,
+    )
+
+
 @dataclass
 class SingleRun:
     """One measured run of one test."""
@@ -56,8 +72,12 @@ def run_baseline(test: AppTestCase, seed: int = 0) -> SingleRun:
     """Uninstrumented execution: the 'Base' column."""
     global BASELINE_RUNS
     BASELINE_RUNS += 1
+    session = obs.session()
+    started = time.perf_counter()
     sim = Simulation(seed=seed, hook=NoopHook(), time_limit_ms=600_000.0)
     result = sim.run(test.build(sim))
+    if session is not None:
+        _record_run(session, "baseline", test, seed, started, result, sim=sim)
     return SingleRun(
         virtual_time_ms=result.virtual_time,
         op_count=result.op_count,
@@ -75,6 +95,8 @@ def run_recording(
     """A Waffle preparation run: delay-free, full tracing."""
     global RECORDING_RUNS
     RECORDING_RUNS += 1
+    session = obs.session()
+    started = time.perf_counter()
     hook = RecordingHook(
         record_overhead_ms=config.record_overhead_ms,
         track_vector_clocks=config.parent_child_analysis,
@@ -85,6 +107,8 @@ def run_recording(
         time_limit_ms=time_limit_ms if time_limit_ms is not None else 600_000.0,
     )
     result = sim.run(test.build(sim))
+    if session is not None:
+        _record_run(session, "prep", test, seed, started, result, hook=hook, sim=sim)
     run = SingleRun(
         virtual_time_ms=result.virtual_time,
         op_count=result.op_count,
@@ -104,6 +128,8 @@ def run_planned_detection(
     time_limit_ms: Optional[float] = None,
 ) -> Tuple[SingleRun, PlannedInjectionHook]:
     """One Waffle detection run bootstrapped from a plan."""
+    session = obs.session()
+    started = time.perf_counter()
     hook = PlannedInjectionHook(
         plan, config, decay, seed=hook_seed if hook_seed is not None else seed
     )
@@ -113,6 +139,8 @@ def run_planned_detection(
         time_limit_ms=time_limit_ms if time_limit_ms is not None else 600_000.0,
     )
     result = sim.run(test.build(sim))
+    if session is not None:
+        _record_run(session, "detect", test, seed, started, result, hook=hook, sim=sim)
     run = SingleRun(
         virtual_time_ms=result.virtual_time,
         op_count=result.op_count,
@@ -136,6 +164,8 @@ def run_online_detection(
     time_limit_ms: Optional[float] = None,
 ) -> Tuple[SingleRun, OnlineInjectionHook]:
     """One WaffleBasic (or Tsvd) run; state persists via the arguments."""
+    session = obs.session()
+    started = time.perf_counter()
     hook = OnlineInjectionHook(
         config,
         decay,
@@ -153,6 +183,8 @@ def run_online_detection(
         time_limit_ms=time_limit_ms if time_limit_ms is not None else 600_000.0,
     )
     result = sim.run(test.build(sim))
+    if session is not None:
+        _record_run(session, "online", test, seed, started, result, hook=hook, sim=sim)
     run = SingleRun(
         virtual_time_ms=result.virtual_time,
         op_count=result.op_count,

@@ -1,0 +1,133 @@
+"""Run-telemetry subsystem: metrics, tracing, explainable injections.
+
+Waffle's behavior is driven by decisions that used to be invisible at
+runtime -- which near-misses became candidates, why a planned delay was
+skipped (probability decay vs. the interference set of section 4.4),
+what each preparation/detection run actually did. This package makes
+every run explainable from emitted data instead of reruns:
+
+* :mod:`repro.obs.metrics` -- counters/gauges/histograms with a
+  zero-allocation no-op path when telemetry is disabled;
+* :mod:`repro.obs.tracing` -- wall-clock spans (JSONL) plus a Chrome
+  ``trace_event`` export of virtual-time schedules;
+* :mod:`repro.obs.telemetry` -- the per-process session and the
+  per-run :class:`~repro.obs.telemetry.RunTelemetry` summary;
+* :mod:`repro.obs.report` -- ``repro obs report``: aggregate an obs
+  directory into a human-readable digest.
+
+Activation model
+----------------
+Telemetry is **off by default** and controlled by one process-global
+session. ``configure(obs_dir)`` (or the ``WAFFLE_OBS_DIR`` environment
+variable, consulted at import) enables it; instrumented constructors
+call :func:`session` once and keep the result, so a disabled process
+pays only a handful of ``is None`` checks per *run*, not per event --
+the bound guarded by ``benchmarks/bench_obs.py``.
+
+The environment variable is also the propagation channel to
+``--jobs`` process-pool workers: they inherit it, auto-configure on
+import, and flush their own telemetry files at exit, which
+``repro obs report`` merges.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from typing import Optional
+
+from .metrics import (  # noqa: F401  (public re-exports)
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .telemetry import SKIP_REASONS, RunTelemetry, TelemetrySession, collect_run_telemetry  # noqa: F401
+from .tracing import NULL_SPAN, Span, SpanTracer  # noqa: F401
+
+#: Environment variable holding the default obs directory. Setting it
+#: enables telemetry for this process and every child it spawns.
+OBS_DIR_ENV = "WAFFLE_OBS_DIR"
+
+_session: Optional[TelemetrySession] = None
+_atexit_registered = False
+
+
+def session() -> Optional[TelemetrySession]:
+    """The active session, or None when telemetry is disabled.
+
+    Hot-path contract: bind the result once per constructed object and
+    branch on ``is not None``; do not call this per event.
+    """
+    return _session
+
+
+def active() -> bool:
+    return _session is not None
+
+
+def configure(obs_dir: os.PathLike, chrome: bool = True) -> TelemetrySession:
+    """Enable telemetry, flushing any previous session first.
+
+    Must run before the instrumented objects (engines, trackers,
+    caches, schedulers) are constructed -- they bind the session at
+    construction time.
+    """
+    global _session, _atexit_registered
+    if _session is not None:
+        _session.flush()
+    _session = TelemetrySession(obs_dir, chrome=chrome)
+    if not _atexit_registered:
+        atexit.register(_flush_at_exit)
+        _atexit_registered = True
+    return _session
+
+
+def disable() -> None:
+    """Flush and drop the active session (used by tests and the CLI)."""
+    global _session
+    if _session is not None:
+        _session.flush()
+    _session = None
+
+
+def flush() -> None:
+    if _session is not None:
+        _session.flush()
+
+
+def _flush_at_exit() -> None:
+    # Worker processes in the harness pool exit without an explicit
+    # flush call; this hook is what lands their telemetry on disk.
+    try:
+        flush()
+    except Exception:
+        pass
+
+
+def _configure_from_env() -> None:
+    obs_dir = os.environ.get(OBS_DIR_ENV)
+    if obs_dir:
+        configure(obs_dir)
+
+
+def _reset_after_fork() -> None:
+    # A forked pool worker inherits the parent's session object --
+    # including its buffered (unflushed) events and its file token.
+    # Drop it without flushing (those events are the parent's to write)
+    # and open a fresh session keyed by the child's own pid.
+    global _session
+    if _session is None:
+        return
+    directory, chrome = _session.directory, _session.chrome
+    _session = None
+    _session = TelemetrySession(directory, chrome=chrome)
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reset_after_fork)
+
+_configure_from_env()

@@ -1,0 +1,230 @@
+"""Lightweight metrics primitives: counters, gauges, histograms.
+
+The registry is the numeric half of the run-telemetry subsystem
+(:mod:`repro.obs`). Design constraints, in order:
+
+1. **Zero cost when telemetry is disabled.** Instrumented code holds a
+   reference to the active :class:`~repro.obs.telemetry.TelemetrySession`
+   (or None); with no session the hot paths never touch this module.
+   For call sites that want an instrument unconditionally, the shared
+   :data:`NULL_COUNTER` / :data:`NULL_GAUGE` / :data:`NULL_HISTOGRAM`
+   singletons provide allocation-free no-ops.
+2. **Cheap when enabled.** An increment is one attribute add on a
+   ``__slots__`` object; histograms use a precomputed bucket scan.
+3. **Process-local.** The harness fans experiment cells out over a
+   process pool; each worker owns its own registry and flushes it to
+   the obs directory, and :mod:`repro.obs.report` merges the snapshots
+   (counters/histograms sum, gauges keep the latest value).
+
+Metric names are dotted strings (``inject.skipped.decay``); the
+canonical name list lives in docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds (milliseconds-oriented).
+DEFAULT_BUCKETS: Tuple[float, ...] = (1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1_000.0, 5_000.0, 10_000.0)
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (e.g. the virtual time of the latest run)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Cumulative-bucket distribution with count/sum/min/max.
+
+    ``buckets`` are inclusive upper bounds; values above the last bound
+    land in the implicit overflow bucket.
+    """
+
+    __slots__ = ("name", "buckets", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, buckets: Optional[Sequence[float]] = None):
+        self.name = name
+        self.buckets: Tuple[float, ...] = tuple(buckets) if buckets else DEFAULT_BUCKETS
+        self.bucket_counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    name = "null"
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    name = "null"
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    name = "null"
+    count = 0
+    sum = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+#: Shared no-op instruments: safe to hand out from a disabled registry
+#: without allocating anything per call site.
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Name -> instrument map with create-or-return semantics.
+
+    A disabled registry (``enabled=False``) hands back the shared null
+    singletons, so code can bind instruments once at construction time
+    and stay no-op without re-checking a flag.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER  # type: ignore[return-value]
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE  # type: ignore[return-value]
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM  # type: ignore[return-value]
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, buckets)
+        return instrument
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump of every instrument's current state."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "sum": h.sum,
+                    "min": h.min if h.count else None,
+                    "max": h.max if h.count else None,
+                    "buckets": list(h.buckets),
+                    "bucket_counts": list(h.bucket_counts),
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+
+def merge_snapshots(snapshots: Sequence[dict]) -> dict:
+    """Merge per-process snapshots: counters and histograms sum, gauges
+    keep the last non-default value seen (processes report independent
+    instants; "latest wins" is the only coherent cross-process gauge)."""
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, dict] = {}
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            gauges[name] = value
+        for name, hist in snap.get("histograms", {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = {
+                    "count": hist["count"],
+                    "sum": hist["sum"],
+                    "min": hist["min"],
+                    "max": hist["max"],
+                    "buckets": list(hist["buckets"]),
+                    "bucket_counts": list(hist["bucket_counts"]),
+                }
+                continue
+            merged["count"] += hist["count"]
+            merged["sum"] += hist["sum"]
+            for bound_key in ("min", "max"):
+                values = [v for v in (merged[bound_key], hist[bound_key]) if v is not None]
+                if bound_key == "min":
+                    merged[bound_key] = min(values) if values else None
+                else:
+                    merged[bound_key] = max(values) if values else None
+            if merged["buckets"] == hist["buckets"]:
+                merged["bucket_counts"] = [
+                    a + b for a, b in zip(merged["bucket_counts"], hist["bucket_counts"])
+                ]
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}

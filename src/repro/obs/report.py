@@ -1,0 +1,257 @@
+"""Aggregate an obs directory into a human-readable run digest.
+
+``repro obs report <dir>`` reads every ``telemetry-*.jsonl`` and
+``summary-*.json`` the telemetry sessions wrote (one pair per
+participating process -- the CLI process plus any ``--jobs`` workers),
+merges the metrics, reconciles injection-decision events against the
+per-run summaries, and renders a digest that answers the debugging
+questions the subsystem exists for: how many delays were planned,
+injected, and skipped -- and *why* -- plus cache effectiveness and
+where the wall time went.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List
+
+from .metrics import merge_snapshots
+from .telemetry import SKIP_REASONS
+from .tracing import chrome_trace_events
+
+
+@dataclass
+class ObsData:
+    """Everything parsed out of one obs directory."""
+
+    directory: str
+    processes: int = 0
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    runs: List[dict] = field(default_factory=list)
+    inject_events: List[dict] = field(default_factory=list)
+    spans: List[dict] = field(default_factory=list)
+    parse_errors: List[str] = field(default_factory=list)
+
+
+def load_obs_dir(directory: os.PathLike) -> ObsData:
+    """Parse and merge every telemetry file under ``directory``."""
+    root = Path(directory)
+    data = ObsData(directory=str(root))
+    snapshots: List[dict] = []
+    for path in sorted(root.glob("summary-*.json")):
+        try:
+            payload = json.loads(path.read_text())
+            snapshots.append(payload["record"]["metrics"])
+            data.processes += 1
+        except (ValueError, KeyError) as exc:
+            data.parse_errors.append("%s: %s" % (path.name, exc))
+    for path in sorted(root.glob("telemetry-*.jsonl")):
+        for line_no, line in enumerate(path.read_text().splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                data.parse_errors.append("%s:%d: %s" % (path.name, line_no, exc))
+                continue
+            kind = record.get("type")
+            if kind == "run":
+                data.runs.append(record)
+            elif kind == "inject":
+                data.inject_events.append(record)
+            elif kind == "span":
+                data.spans.append(record)
+    data.metrics = merge_snapshots(snapshots)
+    return data
+
+
+def reconcile(data: ObsData) -> List[str]:
+    """Cross-check decision events against run summaries and counters.
+
+    Returns a list of discrepancy descriptions (empty = consistent).
+    Only runs that have matching per-decision events are checked; a
+    summary alone (e.g. from a process whose events were disabled) is
+    not an inconsistency.
+    """
+    problems: List[str] = []
+    counters = data.metrics.get("counters", {})
+    total_skips = sum(counters.get("inject.skipped.%s" % r, 0) for r in SKIP_REASONS)
+    skip_events = [e for e in data.inject_events if e.get("action") == "skip"]
+    untagged = [e for e in skip_events if e.get("reason") not in SKIP_REASONS]
+    if untagged:
+        problems.append("%d skip events missing a valid reason tag" % len(untagged))
+    if data.inject_events and len(skip_events) != total_skips:
+        problems.append(
+            "skip events (%d) != skip counters (%d)" % (len(skip_events), total_skips)
+        )
+    run_totals = {
+        run["run_seq"]: run
+        for run in data.runs
+        if run.get("considered", 0) or run.get("injected", 0)
+    }
+    events_by_run: Dict[int, List[dict]] = {}
+    for event in data.inject_events:
+        events_by_run.setdefault(event.get("run", 0), []).append(event)
+    for run_seq, events in events_by_run.items():
+        run = run_totals.get(run_seq)
+        if run is None:
+            continue
+        injected = sum(1 for e in events if e["action"] == "inject")
+        skipped = sum(1 for e in events if e["action"] == "skip")
+        expected_skips = (
+            run.get("skipped_decay", 0)
+            + run.get("skipped_interference", 0)
+            + run.get("skipped_budget", 0)
+        )
+        if injected != run.get("injected", 0) or skipped != expected_skips:
+            problems.append(
+                "run %d (%s): events inject/skip %d/%d vs summary %d/%d"
+                % (run_seq, run.get("test", "?"), injected, skipped,
+                   run.get("injected", 0), expected_skips)
+            )
+    return problems
+
+
+def _fmt_count(value: float) -> str:
+    if value >= 1_000_000:
+        return "%.1fM" % (value / 1_000_000)
+    if value >= 10_000:
+        return "%.1fk" % (value / 1_000)
+    return "%d" % value
+
+
+def render_report(data: ObsData, max_runs: int = 20) -> str:
+    """The human-readable digest behind ``repro obs report``."""
+    counters = data.metrics.get("counters", {})
+    gauges = data.metrics.get("gauges", {})
+    histograms = data.metrics.get("histograms", {})
+
+    lines: List[str] = []
+    lines.append("Telemetry digest — %s" % data.directory)
+    lines.append(
+        "processes: %d   runs recorded: %d   decision events: %d   spans: %d"
+        % (data.processes, len(data.runs), len(data.inject_events), len(data.spans))
+    )
+    if data.parse_errors:
+        lines.append("PARSE ERRORS (%d):" % len(data.parse_errors))
+        lines.extend("  " + err for err in data.parse_errors[:10])
+
+    considered = counters.get("inject.considered", 0)
+    injected = counters.get("inject.injected", 0)
+    skips = {r: counters.get("inject.skipped.%s" % r, 0) for r in SKIP_REASONS}
+    lines.append("")
+    lines.append("injection decisions")
+    lines.append(
+        "  considered %s   injected %s   skipped %s (decay %s, interference %s, budget %s)"
+        % (
+            _fmt_count(considered),
+            _fmt_count(injected),
+            _fmt_count(sum(skips.values())),
+            _fmt_count(skips["decay"]),
+            _fmt_count(skips["interference"]),
+            _fmt_count(skips["budget"]),
+        )
+    )
+
+    lines.append("candidate pipeline")
+    lines.append(
+        "  near-misses observed %s (%s new pairs)   candidates +%s / -%s"
+        "   pruned: parent-child %s, hb-inference %s"
+        % (
+            _fmt_count(counters.get("nearmiss.pairs_observed", 0)),
+            _fmt_count(counters.get("nearmiss.pairs_new", 0)),
+            _fmt_count(counters.get("candidates.added", 0)),
+            _fmt_count(counters.get("candidates.removed", 0)),
+            _fmt_count(counters.get("candidates.pruned_parent_child", 0)),
+            _fmt_count(counters.get("candidates.pruned_hb_inference", 0)),
+        )
+    )
+
+    hits = counters.get("cache.hits", 0)
+    misses = counters.get("cache.misses", 0)
+    rate = 100.0 * hits / (hits + misses) if (hits + misses) else 0.0
+    lines.append("run cache")
+    lines.append(
+        "  hits %s   misses %s   writes %s   hit rate %.1f%%"
+        % (_fmt_count(hits), _fmt_count(misses), _fmt_count(counters.get("cache.writes", 0)), rate)
+    )
+
+    lines.append("scheduler")
+    lines.append(
+        "  simulated runs %s   context switches %s   virtual time %.1f ms total"
+        % (
+            _fmt_count(counters.get("sched.runs", 0)),
+            _fmt_count(counters.get("sched.context_switches", 0)),
+            gauges.get("sched.virtual_time_ms_total", 0.0),
+        )
+    )
+
+    cell_hist = histograms.get("harness.cell_wall_ms")
+    if cell_hist and cell_hist["count"]:
+        lines.append("harness cells")
+        lines.append(
+            "  %d cells   wall %.1f ms total   mean %.1f ms   min %.1f / max %.1f ms"
+            % (
+                cell_hist["count"],
+                cell_hist["sum"],
+                cell_hist["sum"] / cell_hist["count"],
+                cell_hist["min"],
+                cell_hist["max"],
+            )
+        )
+
+    problems = reconcile(data)
+    lines.append("")
+    if problems:
+        lines.append("RECONCILIATION: %d problem(s)" % len(problems))
+        lines.extend("  " + p for p in problems)
+    else:
+        lines.append("reconciliation: decision events match run summaries and counters ✓")
+
+    if data.runs:
+        lines.append("")
+        lines.append("runs (slowest %d by wall time)" % min(max_runs, len(data.runs)))
+        lines.append(
+            "  %-8s %-28s %9s %10s %6s %6s %6s  %s"
+            % ("kind", "test", "wall ms", "virt ms", "inj", "skip", "cand", "flags")
+        )
+        ranked = sorted(data.runs, key=lambda r: r.get("wall_ms", 0.0), reverse=True)
+        for run in ranked[:max_runs]:
+            skipped = (
+                run.get("skipped_decay", 0)
+                + run.get("skipped_interference", 0)
+                + run.get("skipped_budget", 0)
+            )
+            flags = "".join(
+                token
+                for token, on in (
+                    ("C", run.get("crashed")),
+                    ("T", run.get("timed_out")),
+                )
+                if on
+            )
+            lines.append(
+                "  %-8s %-28s %9.2f %10.2f %6d %6d %6d  %s"
+                % (
+                    run.get("kind", "?"),
+                    str(run.get("test", "?"))[:28],
+                    run.get("wall_ms", 0.0),
+                    run.get("virtual_ms", 0.0),
+                    run.get("injected", 0),
+                    skipped,
+                    run.get("candidates_final", 0),
+                    flags,
+                )
+            )
+    return "\n".join(lines)
+
+
+def write_chrome_trace(data: ObsData, out_path: os.PathLike) -> int:
+    """Write the Chrome ``trace_event`` view of the recorded virtual-time
+    schedules; returns the number of trace events written."""
+    trace = chrome_trace_events(data.runs)
+    Path(out_path).write_text(json.dumps(trace, indent=1, sort_keys=True))
+    return len(trace["traceEvents"])

@@ -1,0 +1,278 @@
+"""The per-process telemetry session and per-run summaries.
+
+A :class:`TelemetrySession` owns one metrics registry, one span tracer,
+a buffer of injection-decision events and a buffer of per-run
+:class:`RunTelemetry` summaries, and flushes all of it to the obs
+directory:
+
+* ``telemetry-<pid>-<token>.jsonl`` -- append-only event log: one JSON
+  object per line, discriminated by ``type`` (``meta`` | ``inject`` |
+  ``span`` | ``run``). This is the raw, replayable record of what the
+  process did.
+* ``summary-<pid>-<token>.json`` -- the final metrics snapshot plus
+  session metadata, written atomically via
+  :func:`repro.core.persistence.save_record` so a torn write can never
+  corrupt aggregation.
+
+The harness's process-pool workers each get their own session (enabled
+through the ``WAFFLE_OBS_DIR`` environment variable they inherit), so
+``repro obs report`` merges one pair of files per participating
+process.
+
+Everything here is observational: sessions never feed values back into
+the simulation, so runs stay bit-identical with telemetry on or off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .metrics import MetricsRegistry
+from .tracing import SpanTracer
+
+#: Injection-skip reason tags (the explainability contract): ``decay``
+#: -- the probability-decay draw failed; ``interference`` -- an ongoing
+#: delay at an interfering site suppressed the injection (section 4.4);
+#: ``budget`` -- the location's injection budget is exhausted (decayed
+#: to probability 0 and retired) or its delay length is zero.
+SKIP_REASONS = ("decay", "interference", "budget")
+
+
+@dataclass
+class RunTelemetry:
+    """Everything one simulated run did, in summary form.
+
+    ``run_seq`` is a process-local sequence number linking the summary
+    to its per-decision ``inject`` events. The injection totals here
+    must reconcile exactly with the engine's internal counters -- the
+    invariant tests/obs/test_skip_accounting.py guards.
+    """
+
+    run_seq: int
+    kind: str  # "baseline" | "prep" | "detect" | "online"
+    test: str
+    seed: int
+    wall_ms: float
+    virtual_ms: float
+    op_count: int
+    context_switches: int
+    crashed: bool
+    timed_out: bool
+    # Injection-engine decision accounting.
+    considered: int = 0
+    injected: int = 0
+    total_delay_ms: float = 0.0
+    skipped_decay: int = 0
+    skipped_interference: int = 0
+    skipped_budget: int = 0
+    # Near-miss and candidate-set churn.
+    pairs_observed: int = 0
+    pairs_new: int = 0
+    candidates_added: int = 0
+    candidates_removed: int = 0
+    pruned_parent_child: int = 0
+    pruned_hb_inference: int = 0
+    candidates_final: int = 0
+    # Virtual-time schedule (for the Chrome trace_event view).
+    vt_threads: List[Dict[str, Any]] = field(default_factory=list)
+    vt_delays: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def skipped_total(self) -> int:
+        return self.skipped_decay + self.skipped_interference + self.skipped_budget
+
+    def to_record(self) -> dict:
+        record = {"type": "run"}
+        record.update(asdict(self))
+        return record
+
+
+class TelemetrySession:
+    """Process-local telemetry state, flushed to ``directory``.
+
+    Instrumented constructors (injection engines, near-miss trackers,
+    caches, the scheduler) bind the session -- or None -- once; with no
+    session their hot paths reduce to a single ``is not None`` check.
+    """
+
+    def __init__(self, directory: os.PathLike, chrome: bool = True):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.chrome = chrome
+        self.registry = MetricsRegistry()
+        self.tracer = SpanTracer()
+        self.started_unix = time.time()
+        token = "%d-%d" % (os.getpid(), int(self.started_unix * 1000) % 1_000_000_000)
+        self.events_path = self.directory / ("telemetry-%s.jsonl" % token)
+        self.summary_path = self.directory / ("summary-%s.json" % token)
+        self._pending: List[dict] = [
+            {
+                "type": "meta",
+                "pid": os.getpid(),
+                "started_unix": round(self.started_unix, 3),
+            }
+        ]
+        self._run_seq = 0
+
+        # Pre-bound instruments for the hot layers. Pre-registering also
+        # guarantees the counter *names* appear in every summary, which
+        # the CI telemetry check asserts.
+        registry = self.registry
+        self.c_considered = registry.counter("inject.considered")
+        self.c_injected = registry.counter("inject.injected")
+        self.c_skip = {
+            reason: registry.counter("inject.skipped.%s" % reason) for reason in SKIP_REASONS
+        }
+        self.c_pairs_observed = registry.counter("nearmiss.pairs_observed")
+        self.c_pairs_new = registry.counter("nearmiss.pairs_new")
+        self.c_cand_added = registry.counter("candidates.added")
+        self.c_cand_removed = registry.counter("candidates.removed")
+        self.c_pruned_parent_child = registry.counter("candidates.pruned_parent_child")
+        self.c_pruned_hb = registry.counter("candidates.pruned_hb_inference")
+        self.c_cache_hits = registry.counter("cache.hits")
+        self.c_cache_misses = registry.counter("cache.misses")
+        self.c_cache_writes = registry.counter("cache.writes")
+        self.c_sched_runs = registry.counter("sched.runs")
+        self.c_context_switches = registry.counter("sched.context_switches")
+        self.g_virtual_ms = registry.gauge("sched.virtual_time_ms")
+        self.g_virtual_ms_total = registry.gauge("sched.virtual_time_ms_total")
+        self.c_cells = registry.counter("harness.cells")
+        self.h_cell_wall_ms = registry.histogram("harness.cell_wall_ms")
+        self.c_runs_recorded = registry.counter("telemetry.runs_recorded")
+
+    # -- Event emission (hot-ish; bounded by decision/run counts) -------
+
+    def next_run_seq(self) -> int:
+        self._run_seq += 1
+        return self._run_seq
+
+    def inject_event(
+        self,
+        run_seq: int,
+        action: str,
+        site: str,
+        t_ms: float,
+        reason: Optional[str] = None,
+        length_ms: Optional[float] = None,
+        detail: Optional[str] = None,
+    ) -> None:
+        """One injection decision: ``action`` is ``inject`` or ``skip``;
+        skips always carry a ``reason`` tag from :data:`SKIP_REASONS`."""
+        record: Dict[str, Any] = {
+            "type": "inject",
+            "run": run_seq,
+            "action": action,
+            "site": site,
+            "t_ms": round(t_ms, 4),
+        }
+        if reason is not None:
+            record["reason"] = reason
+        if length_ms is not None:
+            record["len_ms"] = round(length_ms, 4)
+        if detail is not None:
+            record["detail"] = detail
+        self._pending.append(record)
+
+    def record_run(self, run: RunTelemetry) -> None:
+        self.c_runs_recorded.inc()
+        self._pending.append(run.to_record())
+
+    # -- Flushing --------------------------------------------------------
+
+    def flush(self) -> None:
+        """Append buffered events/spans to the JSONL log and rewrite the
+        summary snapshot. Safe to call repeatedly; crash-safe in the
+        sense that the JSONL holds everything flushed so far and the
+        summary is replaced atomically."""
+        records = self._pending
+        self._pending = []
+        records.extend(self.tracer.drain())
+        if records:
+            with open(self.events_path, "a") as fp:
+                for record in records:
+                    fp.write(json.dumps(record, sort_keys=True) + "\n")
+        from ..core.persistence import save_record
+
+        save_record(
+            {
+                "pid": os.getpid(),
+                "started_unix": round(self.started_unix, 3),
+                "runs_recorded": self._run_seq,
+                "metrics": self.registry.snapshot(),
+            },
+            self.summary_path,
+        )
+
+
+def collect_run_telemetry(
+    session: TelemetrySession,
+    kind: str,
+    test: str,
+    seed: int,
+    wall_ms: float,
+    result: Any,
+    hook: Any = None,
+    scheduler: Any = None,
+) -> RunTelemetry:
+    """Assemble a :class:`RunTelemetry` from a finished run.
+
+    Duck-typed on purpose: ``result`` is a
+    :class:`~repro.sim.scheduler.RunResult`, ``hook`` any
+    instrumentation hook (injection hooks expose ``engine``), and
+    ``scheduler`` the driving scheduler (for thread lifetimes). Using
+    ``getattr`` keeps :mod:`repro.obs` free of core/sim imports.
+    """
+    engine = getattr(hook, "engine", None)
+    tracker = getattr(hook, "_tracker", None)
+    run = RunTelemetry(
+        run_seq=getattr(engine, "obs_run_seq", 0) or session.next_run_seq(),
+        kind=kind,
+        test=test,
+        seed=seed,
+        wall_ms=round(wall_ms, 4),
+        virtual_ms=getattr(result, "virtual_time", 0.0),
+        op_count=getattr(result, "op_count", 0),
+        context_switches=getattr(result, "context_switches", 0),
+        crashed=bool(getattr(result, "crashed", False)),
+        timed_out=bool(getattr(result, "timed_out", False)),
+    )
+    if engine is not None:
+        ledger = engine.ledger
+        run.considered = engine.considered
+        run.injected = ledger.count
+        run.total_delay_ms = ledger.total_delay_ms
+        run.skipped_decay = engine.skipped_decay
+        run.skipped_interference = engine.skipped_interference
+        run.skipped_budget = engine.skipped_budget
+        candidates = engine.candidates
+        run.candidates_added = getattr(candidates, "added_total", 0)
+        run.candidates_removed = getattr(candidates, "removed_total", 0)
+        run.pruned_parent_child = getattr(candidates, "pruned_parent_child", 0)
+        run.pruned_hb_inference = getattr(candidates, "pruned_hb_inference", 0)
+        run.candidates_final = len(candidates)
+        if session.chrome:
+            run.vt_delays = [
+                {"site": i.site, "tid": i.thread_id, "start": i.start, "end": i.end}
+                for i in ledger.history
+            ]
+    if tracker is not None:
+        run.pairs_observed = getattr(tracker, "pairs_observed", 0)
+        run.pairs_new = getattr(tracker, "pairs_new", 0)
+    if session.chrome and scheduler is not None:
+        threads = getattr(scheduler, "threads", {})
+        run.vt_threads = [
+            {
+                "tid": tid,
+                "name": thread.name,
+                "start": getattr(thread, "spawn_time", 0.0),
+                "end": getattr(thread, "end_time", None),
+            }
+            for tid, thread in threads.items()
+        ]
+    session.record_run(run)
+    return run

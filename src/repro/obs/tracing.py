@@ -1,0 +1,181 @@
+"""Span-based structured tracing with JSONL and Chrome trace export.
+
+Two time domains coexist in this reproduction and the tracer keeps them
+apart explicitly:
+
+* **wall time** -- how long harness work (a cell, a preparation run, a
+  cache lookup) actually took on the host. Spans measure this with
+  ``time.perf_counter``.
+* **virtual time** -- the simulated clock inside a run. Injection
+  decisions and thread schedules happen here; they are recorded as
+  *virtual events* attached to a run's telemetry and can be exported as
+  a Chrome ``trace_event`` file (chrome://tracing, Perfetto) where each
+  run becomes a process row and each simulated thread a track.
+
+Like the metrics registry, the tracer is process-local and buffered;
+the owning :class:`~repro.obs.telemetry.TelemetrySession` drains
+:meth:`SpanTracer.drain` into the telemetry JSONL on flush.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+
+class Span:
+    """One timed operation (wall clock), with free-form attributes."""
+
+    __slots__ = ("name", "category", "start_s", "duration_ms", "attrs")
+
+    def __init__(self, name: str, category: str, attrs: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.category = category
+        self.start_s = 0.0
+        self.duration_ms = 0.0
+        self.attrs = attrs
+
+    def set(self, **attrs: Any) -> None:
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs.update(attrs)
+
+    def to_record(self) -> dict:
+        record = {
+            "type": "span",
+            "name": self.name,
+            "cat": self.category,
+            "start_s": round(self.start_s, 6),
+            "dur_ms": round(self.duration_ms, 4),
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+
+class _ActiveSpan:
+    """Context manager driving one :class:`Span`."""
+
+    __slots__ = ("tracer", "span")
+
+    def __init__(self, tracer: "SpanTracer", span: Span):
+        self.tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        self.span.start_s = time.perf_counter()
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        span = self.span
+        span.duration_ms = (time.perf_counter() - span.start_s) * 1000.0
+        if exc_type is not None:
+            span.set(error=exc_type.__name__)
+        self.tracer.finished.append(span)
+
+
+class _NullSpanContext:
+    """Allocation-free stand-in when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpanContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpanContext()
+
+
+class SpanTracer:
+    """Collects finished spans until the session drains them."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.finished: List[Span] = []
+
+    def span(self, name: str, category: str = "harness", **attrs: Any):
+        """``with tracer.span("cell", table="table4", ...):`` -- times
+        the body and buffers the finished span."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _ActiveSpan(self, Span(name, category, attrs or None))
+
+    def drain(self) -> List[dict]:
+        records = [span.to_record() for span in self.finished]
+        self.finished.clear()
+        return records
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event export of virtual-time schedules
+# ----------------------------------------------------------------------
+
+
+def chrome_trace_events(runs: List[dict]) -> dict:
+    """Convert run telemetry records into Chrome ``trace_event`` JSON.
+
+    Each run record (see :class:`~repro.obs.telemetry.RunTelemetry`)
+    may carry ``vt_threads`` (simulated thread lifetimes) and
+    ``vt_delays`` (injected delay intervals), all in virtual
+    milliseconds. Each run maps to one trace "process" whose label names
+    the workload; threads map to tracks and delays to nested slices on
+    the injected thread's track. Timestamps are microseconds as the
+    format requires.
+    """
+    events: List[dict] = []
+    for pid, run in enumerate(runs, start=1):
+        label = "%s run#%s %s" % (run.get("kind", "run"), run.get("run_seq", pid), run.get("test", ""))
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+        for thread in run.get("vt_threads", ()):
+            tid = thread["tid"]
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": thread.get("name", "thread-%d" % tid)},
+                }
+            )
+            end = thread.get("end")
+            if end is None:
+                end = run.get("virtual_ms", thread["start"])
+            events.append(
+                {
+                    "name": thread.get("name", "thread-%d" % tid),
+                    "cat": "thread",
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": thread["start"] * 1000.0,
+                    "dur": max(0.0, (end - thread["start"]) * 1000.0),
+                }
+            )
+        for delay in run.get("vt_delays", ()):
+            events.append(
+                {
+                    "name": "delay@%s" % delay["site"],
+                    "cat": "delay",
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": delay["tid"],
+                    "ts": delay["start"] * 1000.0,
+                    "dur": max(0.0, (delay["end"] - delay["start"]) * 1000.0),
+                    "args": {"site": delay["site"]},
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

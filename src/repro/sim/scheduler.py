@@ -23,6 +23,7 @@ import itertools
 import random
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
+from .. import obs
 from .clock import VirtualClock
 from .errors import DeadlockError, SimulationTimeout
 from .instrument import CostModel, InstrumentationHook, NoopHook
@@ -76,6 +77,9 @@ class RunResult:
         self.timed_out: bool = False
         self.op_count: int = 0
         self.thread_count: int = 0
+        #: Times the scheduler resumed a different thread than the one
+        #: it last ran -- the virtual-time analogue of a context switch.
+        self.context_switches: int = 0
         self.tsv_occurrences: List[Any] = []
 
     @property
@@ -142,6 +146,8 @@ class Scheduler:
         self.current: Optional[SimThread] = None
         self.result = RunResult()
         self._stopping = False
+        self._last_run: Optional[SimThread] = None
+        self._obs = obs.session()
 
     # ------------------------------------------------------------------
     # Thread lifecycle
@@ -201,6 +207,9 @@ class Scheduler:
                 if self.clock.now > self.time_limit_ms:
                     self.result.timed_out = True
                     break
+                if thread is not self._last_run:
+                    self.result.context_switches += 1
+                    self._last_run = thread
                 self._step(thread)
             if not self._stopping and not self.result.timed_out:
                 self._check_deadlock()
@@ -209,6 +218,11 @@ class Scheduler:
         finally:
             self.result.virtual_time = self.clock.now
             self.hook.on_run_end(self)
+            if self._obs is not None:
+                self._obs.c_sched_runs.inc()
+                self._obs.c_context_switches.inc(self.result.context_switches)
+                self._obs.g_virtual_ms.set(self.result.virtual_time)
+                self._obs.g_virtual_ms_total.add(self.result.virtual_time)
         return self.result
 
     def _step(self, thread: SimThread) -> None:

@@ -1,0 +1,123 @@
+"""End-to-end telemetry through the CLI: --obs-dir and 'obs report'."""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.harness.cache import GLOBAL_STATS
+from repro.harness.cli import main
+from repro.obs.telemetry import SKIP_REASONS
+
+DETECT = ["detect", "--bug", "Bug-11", "--tool", "waffle", "--budget", "5"]
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """The CLI sets the module-global session and the env var; make sure
+    neither leaks into the rest of the suite."""
+    yield
+    obs.disable()
+    os.environ.pop(obs.OBS_DIR_ENV, None)
+
+
+def read_events(obs_dir):
+    records = []
+    for name in sorted(os.listdir(obs_dir)):
+        if name.startswith("telemetry-") and name.endswith(".jsonl"):
+            with open(os.path.join(obs_dir, name)) as fp:
+                for line in fp:
+                    records.append(json.loads(line))
+    return records
+
+
+class TestObsDirOption:
+    def test_detect_emits_tagged_decisions_that_reconcile(self, tmp_path, capsys):
+        obs_dir = tmp_path / "obs"
+        assert main(DETECT + ["--obs-dir", str(obs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry written to" in out
+
+        records = read_events(obs_dir)
+        runs = [r for r in records if r["type"] == "run"]
+        injects = [r for r in records if r["type"] == "inject"]
+        assert runs, "detection session recorded no runs"
+        assert injects, "detection session recorded no decision events"
+        # Every skipped injection carries a valid reason tag.
+        skips = [r for r in injects if r["action"] == "skip"]
+        assert all(r.get("reason") in SKIP_REASONS for r in skips)
+        # Per-run totals reconcile with the engine's internal counts.
+        for run in runs:
+            events = [e for e in injects if e["run"] == run["run_seq"]]
+            if not events:
+                continue
+            assert sum(1 for e in events if e["action"] == "inject") == run["injected"]
+            assert sum(1 for e in events if e["action"] == "skip") == (
+                run["skipped_decay"] + run["skipped_interference"] + run["skipped_budget"]
+            )
+
+    def test_obs_report_renders_and_reconciles(self, tmp_path, capsys):
+        obs_dir = tmp_path / "obs"
+        main(DETECT + ["--obs-dir", str(obs_dir)])
+        obs.disable()  # the report must read files, not live state
+        capsys.readouterr()
+        assert main(["obs", "report", str(obs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry digest" in out
+        assert "injection decisions" in out
+        assert "reconciliation: decision events match" in out
+
+    def test_obs_chrome_export(self, tmp_path, capsys):
+        obs_dir = tmp_path / "obs"
+        main(DETECT + ["--obs-dir", str(obs_dir)])
+        obs.disable()
+        capsys.readouterr()
+        assert main(["obs", "chrome", str(obs_dir)]) == 0
+        trace = json.loads((obs_dir / "trace.json").read_text())
+        assert trace["traceEvents"], "expected virtual-time trace events"
+
+    def test_determinism_unchanged_by_telemetry(self, tmp_path, capsys):
+        """Telemetry is observational: the same detection run with and
+        without --obs-dir prints identical run measurements."""
+        noise = ("telemetry written", "cache:")
+        strip = lambda text: [
+            l for l in text.splitlines() if not l.startswith(noise)
+        ]
+        main(DETECT)
+        plain = capsys.readouterr().out
+        main(DETECT + ["--obs-dir", str(tmp_path / "obs")])
+        with_obs = capsys.readouterr().out
+        assert strip(plain) == strip(with_obs)
+
+
+class TestCacheSummaryLine:
+    @pytest.fixture(autouse=True)
+    def reset_global_stats(self):
+        # GLOBAL_STATS accumulates per process; isolate this test.
+        def zero():
+            GLOBAL_STATS.hits = GLOBAL_STATS.misses = GLOBAL_STATS.writes = 0
+
+        zero()
+        yield
+        zero()
+
+    def test_summary_line_reports_hits_and_misses(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = ["table2", "--apps", "netmq", "--cache-dir", cache_dir]
+        main(args)
+        cold = capsys.readouterr().out
+        cold_line = next(l for l in cold.splitlines() if l.startswith("cache:"))
+        assert "misses" in cold_line and "writes" in cold_line
+
+        # The summary is per-invocation: the warm run's line must not
+        # carry the cold run's misses forward.
+        main(args)
+        warm = capsys.readouterr().out
+        warm_line = next(l for l in warm.splitlines() if l.startswith("cache:"))
+        assert "100.0% hit rate" in warm_line
+
+    def test_no_line_when_cache_unused(self, capsys):
+        main(DETECT)
+        out = capsys.readouterr().out
+        assert not any(l.startswith("cache:") for l in out.splitlines())

@@ -1,0 +1,89 @@
+"""Metrics primitives: registry semantics, null path, snapshot merging."""
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+
+
+class TestRegistry:
+    def test_counter_create_or_return(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a.b")
+        counter.inc()
+        counter.inc(3)
+        assert registry.counter("a.b") is counter
+        assert counter.value == 4
+
+    def test_gauge_set_and_add(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(2.5)
+        gauge.add(1.5)
+        assert gauge.value == 4.0
+
+    def test_disabled_registry_hands_out_null_singletons(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("x") is NULL_COUNTER
+        assert registry.gauge("x") is NULL_GAUGE
+        assert registry.histogram("x") is NULL_HISTOGRAM
+        # Null instruments swallow writes without state.
+        registry.counter("x").inc()
+        registry.gauge("x").set(9.0)
+        registry.histogram("x").observe(1.0)
+        assert NULL_COUNTER.value == 0
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.0)
+        registry.histogram("h").observe(3.0)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 1.0}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["histograms"]["h"]["sum"] == 3.0
+
+
+class TestHistogram:
+    def test_buckets_are_inclusive_upper_bounds(self):
+        hist = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            hist.observe(value)
+        assert hist.bucket_counts == [2, 1, 1]
+        assert hist.count == 4
+        assert hist.min == 0.5
+        assert hist.max == 100.0
+        assert hist.mean == pytest.approx(106.5 / 4)
+
+
+class TestMergeSnapshots:
+    def test_counters_sum_gauges_latest_histograms_sum(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(2)
+        a.gauge("g").set(1.0)
+        a.histogram("h", buckets=(1.0, 10.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.counter("c").inc(3)
+        b.counter("only_b").inc()
+        b.gauge("g").set(7.0)
+        b.histogram("h", buckets=(1.0, 10.0)).observe(5.0)
+
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["counters"] == {"c": 5, "only_b": 1}
+        assert merged["gauges"]["g"] == 7.0
+        hist = merged["histograms"]["h"]
+        assert hist["count"] == 2
+        assert hist["sum"] == 5.5
+        assert hist["min"] == 0.5
+        assert hist["max"] == 5.0
+        assert hist["bucket_counts"] == [1, 1, 0]
+
+    def test_merge_empty(self):
+        assert merge_snapshots([]) == {"counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,167 @@
+"""Obs-directory aggregation: loading, reconciliation, rendering."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.report import load_obs_dir, reconcile, render_report, write_chrome_trace
+
+
+def write_jsonl(path, records):
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+
+
+@pytest.fixture
+def obs_dir(tmp_path):
+    """A hand-built two-process obs directory with consistent data."""
+    root = tmp_path / "obs"
+    root.mkdir()
+    for pid, considered in ((100, 3), (101, 0)):
+        snapshot = {
+            "counters": {
+                "inject.considered": considered,
+                "inject.injected": 1 if considered else 0,
+                "inject.skipped.decay": 1 if considered else 0,
+                "inject.skipped.interference": 1 if considered else 0,
+                "inject.skipped.budget": 0,
+                "cache.hits": 4,
+                "cache.misses": 1,
+                "cache.writes": 1,
+            },
+            "gauges": {"sched.virtual_time_ms_total": 12.5},
+            "histograms": {},
+        }
+        (root / ("summary-%d-1.json" % pid)).write_text(
+            json.dumps({"record": {"metrics": snapshot}})
+        )
+    write_jsonl(
+        root / "telemetry-100-1.jsonl",
+        [
+            {"type": "meta", "pid": 100},
+            {"type": "inject", "run": 1, "action": "inject", "site": "l1", "t_ms": 0.0},
+            {"type": "inject", "run": 1, "action": "skip", "site": "l1", "t_ms": 1.0, "reason": "decay"},
+            {
+                "type": "inject",
+                "run": 1,
+                "action": "skip",
+                "site": "l1",
+                "t_ms": 2.0,
+                "reason": "interference",
+            },
+            {
+                "type": "run",
+                "run_seq": 1,
+                "kind": "detect",
+                "test": "t",
+                "wall_ms": 5.0,
+                "virtual_ms": 10.0,
+                "considered": 3,
+                "injected": 1,
+                "skipped_decay": 1,
+                "skipped_interference": 1,
+                "skipped_budget": 0,
+                "candidates_final": 2,
+                "crashed": True,
+            },
+            {"type": "span", "name": "cell", "cat": "harness", "start_s": 0.0, "dur_ms": 5.0},
+        ],
+    )
+    return root
+
+
+class TestLoad:
+    def test_merges_processes_and_buckets_records(self, obs_dir):
+        data = load_obs_dir(obs_dir)
+        assert data.processes == 2
+        assert data.metrics["counters"]["cache.hits"] == 8
+        assert len(data.runs) == 1
+        assert len(data.inject_events) == 3
+        assert len(data.spans) == 1
+        assert data.parse_errors == []
+
+    def test_parse_errors_are_collected_not_fatal(self, obs_dir):
+        (obs_dir / "telemetry-999-1.jsonl").write_text('{"type": "inject"\nnot json\n')
+        (obs_dir / "summary-999-1.json").write_text("{broken")
+        data = load_obs_dir(obs_dir)
+        assert len(data.parse_errors) == 3
+        assert data.processes == 2  # the broken summary is not counted
+
+    def test_empty_directory(self, tmp_path):
+        data = load_obs_dir(tmp_path)
+        assert data.processes == 0
+        assert data.runs == []
+
+
+class TestReconcile:
+    def test_consistent_directory_has_no_problems(self, obs_dir):
+        assert reconcile(load_obs_dir(obs_dir)) == []
+
+    def test_untagged_skip_is_flagged(self, obs_dir):
+        with open(obs_dir / "telemetry-100-1.jsonl", "a") as fp:
+            fp.write(json.dumps({"type": "inject", "run": 2, "action": "skip", "site": "x"}) + "\n")
+        problems = reconcile(load_obs_dir(obs_dir))
+        assert any("missing a valid reason" in p for p in problems)
+
+    def test_run_summary_mismatch_is_flagged(self, obs_dir):
+        with open(obs_dir / "telemetry-100-1.jsonl", "a") as fp:
+            fp.write(
+                json.dumps(
+                    {
+                        "type": "inject",
+                        "run": 1,
+                        "action": "skip",
+                        "site": "l1",
+                        "t_ms": 3.0,
+                        "reason": "decay",
+                    }
+                )
+                + "\n"
+            )
+        problems = reconcile(load_obs_dir(obs_dir))
+        assert any("run 1" in p for p in problems)
+
+
+class TestRender:
+    def test_report_sections(self, obs_dir):
+        text = render_report(load_obs_dir(obs_dir))
+        assert "injection decisions" in text
+        assert "decay 1" in text
+        assert "interference 1" in text
+        assert "hit rate 80.0%" in text
+        assert "reconciliation: decision events match" in text
+        assert "C" in text  # crash flag on the run row
+
+    def test_report_renders_problems(self, obs_dir):
+        with open(obs_dir / "telemetry-100-1.jsonl", "a") as fp:
+            fp.write(json.dumps({"type": "inject", "run": 9, "action": "skip", "site": "x"}) + "\n")
+        text = render_report(load_obs_dir(obs_dir))
+        assert "RECONCILIATION" in text
+
+
+class TestChromeExport:
+    def test_writes_trace_file(self, obs_dir, tmp_path):
+        out = tmp_path / "trace.json"
+        count = write_chrome_trace(load_obs_dir(obs_dir), out)
+        trace = json.loads(out.read_text())
+        assert count == len(trace["traceEvents"])
+        assert trace["displayTimeUnit"] == "ms"
+
+
+class TestSessionRoundTrip:
+    def test_live_session_files_load_and_reconcile(self, tmp_path):
+        session = obs.configure(tmp_path / "live")
+        try:
+            session.c_cache_hits.inc(3)
+            session.c_cache_misses.inc()
+            with session.tracer.span("cell", unit="test"):
+                pass
+            session.flush()
+        finally:
+            obs.disable()
+        data = load_obs_dir(tmp_path / "live")
+        assert data.processes == 1
+        assert data.metrics["counters"]["cache.hits"] == 3
+        assert len(data.spans) == 1
+        assert reconcile(data) == []
+        assert "hit rate 75.0%" in render_report(data)
