@@ -2,17 +2,20 @@
 
 The observability instrumentation (``repro.obs``) is designed to cost
 one ``is not None`` branch per guarded site when no session is
-configured. This benchmark enforces that budget: it times the same
-serial table4 subset as ``bench_harness.py`` with telemetry disabled
-(min over several repetitions, one untimed warm-up) and fails if the
-result exceeds the ``serial_cold_s`` baseline recorded in
-``BENCH_harness.json`` by more than 3%.
+configured -- and the flight recorder (``repro.obs.flightrec``) makes
+the same promise when not installed. This benchmark enforces that
+budget: it times the same serial table4 subset as ``bench_harness.py``
+with telemetry *and* flight recorder disabled (min over several
+repetitions, one untimed warm-up) and fails if the result exceeds the
+``serial_cold_s`` baseline recorded in ``BENCH_harness.json`` by more
+than 3%.
 
 CI runs ``bench_harness.py`` immediately before this script, so the
 baseline is always a fresh measurement from the same machine and
 process generation; when the file is missing the baseline is measured
-here instead. The telemetry-*enabled* time is also recorded (it pays
-for event buffering and JSONL flushing) but only reported, not gated.
+here instead. The telemetry-*enabled* and flight-recorder-*enabled*
+times are also recorded (they pay for event buffering / ring appends)
+but only reported, not gated.
 
 Writes ``BENCH_obs.json`` at the repo root.
 
@@ -60,6 +63,7 @@ def _min_of_reps(reps: int = REPS) -> float:
 
 def main() -> int:
     assert obs.session() is None, "telemetry must start disabled"
+    assert not obs.flightrec.active(), "flight recorder must start disabled"
     _cells()  # untimed warm-up (imports, code objects, allocator)
 
     bench_path = REPO_ROOT / "BENCH_harness.json"
@@ -70,6 +74,7 @@ def main() -> int:
         baseline_s = _min_of_reps()
         baseline_source = "measured here (BENCH_harness.json missing)"
 
+    assert not obs.flightrec.active(), "flight recorder leaked into the timed path"
     disabled_s = _min_of_reps()
 
     with tempfile.TemporaryDirectory(prefix="waffle-bench-obs-") as obs_dir:
@@ -80,6 +85,12 @@ def main() -> int:
         finally:
             obs.disable()
 
+    obs.flightrec.install()
+    try:
+        flightrec_s = _min_of_reps(reps=2)
+    finally:
+        obs.flightrec.uninstall()
+
     overhead = disabled_s / baseline_s - 1.0
     payload = {
         "benchmark": "obs disabled-path overhead (table4_detection subset, serial)",
@@ -87,9 +98,11 @@ def main() -> int:
         "baseline_serial_s": round(baseline_s, 4),
         "disabled_min_s": round(disabled_s, 4),
         "enabled_min_s": round(enabled_s, 4),
+        "flightrec_min_s": round(flightrec_s, 4),
         "reps": REPS,
         "disabled_overhead_pct": round(100.0 * overhead, 2),
         "enabled_overhead_pct": round(100.0 * (enabled_s / baseline_s - 1.0), 2),
+        "flightrec_overhead_pct": round(100.0 * (flightrec_s / baseline_s - 1.0), 2),
         "max_overhead_pct": 100.0 * MAX_OVERHEAD,
         "within_budget": overhead <= MAX_OVERHEAD,
     }

@@ -8,7 +8,16 @@ Asserts the telemetry contract end to end, from files alone:
   (sessions pre-register them, so the *names* must be present even at
   value 0);
 * decision events reconcile with run summaries and merged counters
-  (via :func:`repro.obs.report.reconcile`).
+  (via :func:`repro.obs.report.reconcile`);
+* every ``dossier-*.json`` validates against the dossier schema
+  (:func:`repro.obs.dossier.validate_dossier_dict`);
+* every ``coverage-*.json`` reconciles with its own engine counters
+  (:func:`repro.obs.coverage.reconcile_coverage`).
+
+A truncated final JSONL line (no trailing newline -- the artifact a
+killed ``--jobs`` worker leaves) is tolerated, matching
+``load_obs_dir``'s recovery posture; it is reported as a warning, not
+a failure.
 
 Usage::
 
@@ -21,6 +30,9 @@ import json
 import sys
 from pathlib import Path
 
+from repro.core import persistence
+from repro.obs.coverage import reconcile_coverage
+from repro.obs.dossier import validate_dossier_dict
 from repro.obs.report import load_obs_dir, reconcile
 from repro.obs.telemetry import SKIP_REASONS
 
@@ -63,12 +75,17 @@ def check(obs_dir: Path) -> list:
                 problems.append("%s: missing counter %r" % (path.name, name))
 
     for path in events:
-        for line_no, line in enumerate(path.read_text().splitlines(), start=1):
+        text = path.read_text()
+        lines = text.splitlines()
+        truncated_tail = bool(lines) and not text.endswith("\n")
+        for line_no, line in enumerate(lines, start=1):
             if not line.strip():
                 continue
             try:
                 record = json.loads(line)
             except ValueError as exc:
+                if truncated_tail and line_no == len(lines):
+                    continue  # killed-worker artifact; load_obs_dir warns
                 problems.append("%s:%d: bad JSON (%s)" % (path.name, line_no, exc))
                 continue
             kind = record.get("type")
@@ -79,6 +96,26 @@ def check(obs_dir: Path) -> list:
                     problems.append(
                         "%s:%d: skip event without a valid reason" % (path.name, line_no)
                     )
+
+    for path in sorted(obs_dir.glob("dossier-*.json")):
+        try:
+            payload = persistence.load_record(path)["dossier"]
+        except (ValueError, KeyError, OSError) as exc:
+            problems.append("%s: unreadable dossier (%s)" % (path.name, exc))
+            continue
+        problems.extend(
+            "%s: %s" % (path.name, issue) for issue in validate_dossier_dict(payload)
+        )
+
+    for path in sorted(obs_dir.glob("coverage-*.json")):
+        try:
+            record = persistence.load_record(path)
+        except (ValueError, KeyError, OSError) as exc:
+            problems.append("%s: unreadable coverage record (%s)" % (path.name, exc))
+            continue
+        problems.extend(
+            "%s: %s" % (path.name, issue) for issue in reconcile_coverage(record)
+        )
 
     data = load_obs_dir(obs_dir)
     problems.extend(data.parse_errors)
@@ -92,15 +129,25 @@ def main(argv) -> int:
         return 2
     obs_dir = Path(argv[1])
     problems = check(obs_dir)
+    data = load_obs_dir(obs_dir)
+    for warning in data.warnings:
+        print("warning: %s" % warning)
     if problems:
         print("obs check FAILED (%d problem(s)):" % len(problems))
         for problem in problems:
             print("  " + str(problem))
         return 1
-    data = load_obs_dir(obs_dir)
     print(
-        "obs check OK: %d process(es), %d runs, %d decision events, %d spans"
-        % (data.processes, len(data.runs), len(data.inject_events), len(data.spans))
+        "obs check OK: %d process(es), %d runs, %d decision events, %d spans, "
+        "%d dossier(s), %d coverage record(s)"
+        % (
+            data.processes,
+            len(data.runs),
+            len(data.inject_events),
+            len(data.spans),
+            len(data.dossiers),
+            len(data.coverage),
+        )
     )
     return 0
 

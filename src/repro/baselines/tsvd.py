@@ -16,8 +16,9 @@ MemOrder tools).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
+from .. import obs
 from ..sim.unsafe_api import TsvOccurrence
 from ..core.candidates import CandidateSet
 from ..core.delay_policy import DecayState
@@ -49,8 +50,13 @@ class Tsvd(ToolDriver):
 
         candidates = CandidateSet()
         decay = DecayState(config.decay_lambda)
+        flight = obs.flightrec.recorder()
+        site_injections: Dict[str, int] = {}
 
         for attempt in range(1, budget + 1):
+            sim_seed = config.seed + attempt
+            if flight is not None:
+                flight.begin_run(kind="online", test=workload.name, seed=sim_seed)
             hook = OnlineInjectionHook(
                 config,
                 decay,
@@ -62,13 +68,14 @@ class Tsvd(ToolDriver):
                 parent_child=False,
                 online_interference=False,
             )
-            result = self._simulate(workload, hook, seed=config.seed + attempt)
+            result = self._simulate(workload, hook, seed=sim_seed)
             # Tsvd's oracle: call-window overlaps caused while delays
             # were being injected.
             new_violations = [
                 v for v in result.tsv_occurrences if hook.delays_injected > 0
             ]
             found = bool(new_violations)
+            self._count_site_injections(hook, site_injections)
             outcome.runs.append(
                 self._record("detect", attempt, result, hook, bug_found=found)
             )
@@ -76,4 +83,5 @@ class Tsvd(ToolDriver):
                 outcome.violations.extend(new_violations)
                 if config.stop_at_first_bug:
                     break
+        self._finish_coverage(outcome, candidates, decay, site_injections)
         return outcome

@@ -17,8 +17,9 @@ initializations, typically -- receive delays in later runs at all.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Dict, Optional
 
+from .. import obs
 from ..core.candidates import CandidateSet
 from ..core.delay_policy import DecayState
 from ..core.detector import DetectionOutcome, ToolDriver, as_workload
@@ -39,8 +40,13 @@ class WaffleBasic(ToolDriver):
         # State persisted across runs (saved/bootstrapped, section 5).
         candidates = CandidateSet()
         decay = DecayState(config.decay_lambda)
+        flight = obs.flightrec.recorder()
+        site_injections: Dict[str, int] = {}
 
         for attempt in range(1, budget + 1):
+            sim_seed = config.seed + attempt
+            if flight is not None:
+                flight.begin_run(kind="online", test=workload.name, seed=sim_seed)
             hook = OnlineInjectionHook(
                 config,
                 decay,
@@ -52,13 +58,19 @@ class WaffleBasic(ToolDriver):
                 parent_child=False,
                 online_interference=False,
             )
-            result = self._simulate(workload, hook, seed=config.seed + attempt)
+            result = self._simulate(workload, hook, seed=sim_seed)
             report = self._harvest(workload, hook, result, attempt)
+            self._count_site_injections(hook, site_injections)
             outcome.runs.append(
                 self._record("detect", attempt, result, hook, bug_found=report is not None)
             )
             if report is not None:
                 outcome.reports.append(report)
+                if flight is not None:
+                    outcome.dossiers.append(
+                        self._assemble_dossier(workload, report, hook, sim_seed, flight)
+                    )
                 if config.stop_at_first_bug:
                     break
+        self._finish_coverage(outcome, candidates, decay, site_injections)
         return outcome

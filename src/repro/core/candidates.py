@@ -103,9 +103,16 @@ class CandidateSet:
         #: re-added after removal counts again).
         self.added_total: int = 0
         self.removed_total: int = 0
+        #: Removal provenance for the coverage observatory: one
+        #: ``(pair_key, reason)`` per removal, in order. Reasons:
+        #: ``retired`` (injection budget exhausted, the Tsvd rule),
+        #: ``hb_inference`` (happens-before inference dropped the pair),
+        #: or ``""`` for untagged removals.
+        self.removal_log: List[Tuple[Tuple[str, str, str], str]] = []
         from .. import obs
 
         self._obs = obs.session()
+        self._fr = obs.flightrec.recorder()
 
     def __len__(self) -> int:
         return len(self._pairs)
@@ -131,15 +138,22 @@ class CandidateSet:
             self._gaps.setdefault(key, []).append(observation)
         return is_new
 
-    def remove(self, pair: CandidatePair) -> None:
+    def remove(self, pair: CandidatePair, reason: str = "") -> None:
         key = pair.key()
         removed = self._pairs.pop(key, None)
         self._gaps.pop(key, None)
         if removed is not None:
             self._unindex(removed, key)
             self.removed_total += 1
+            self.removal_log.append((key, reason))
             if self._obs is not None:
                 self._obs.c_cand_removed.inc()
+            if self._fr is not None:
+                self._fr.record(
+                    "pair_removed",
+                    kind=key[0], delay_site=key[1], other_site=key[2],
+                    reason=reason,
+                )
 
     def _unindex(self, pair: CandidatePair, key: Tuple[str, str, str]) -> None:
         for index, site in (
@@ -152,12 +166,14 @@ class CandidateSet:
                 if not bucket:
                     del index[site]
 
-    def remove_with_delay_location(self, location: Location) -> List[CandidatePair]:
+    def remove_with_delay_location(
+        self, location: Location, reason: str = "retired"
+    ) -> List[CandidatePair]:
         """Drop every pair whose delay location is ``location`` (the
         Tsvd rule when a location's injection probability reaches 0)."""
         doomed = list(self._by_delay.get(location.site, {}).values())
         for pair in doomed:
-            self.remove(pair)
+            self.remove(pair, reason=reason)
         return doomed
 
     def has_delay_location(self, location: Location) -> bool:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional
 
 from .. import obs
 from ..sim.api import Simulation
@@ -87,6 +87,12 @@ class DetectionOutcome:
     reports: List[BugReport] = field(default_factory=list)
     plan: Optional[InjectionPlan] = None
     trace: Optional[Trace] = None
+    #: One :class:`repro.obs.dossier.BugDossier` per report, assembled
+    #: only while a flight recorder is installed (``obs.flightrec``).
+    dossiers: List[Any] = field(default_factory=list)
+    #: The session's coverage record (``repro.obs.coverage``): which
+    #: candidate pairs were delayed vs. planned vs. pruned.
+    coverage: Optional[dict] = None
 
     @property
     def bug_found(self) -> bool:
@@ -235,6 +241,64 @@ class ToolDriver:
             stacks=context.stacks if context else {},
         )
 
+    def _assemble_dossier(
+        self,
+        workload: Workload,
+        report: BugReport,
+        hook: _BaseInjectionHook,
+        sim_seed: int,
+        recorder,
+    ):
+        """Build a replay-verified bug dossier (flight recorder on)."""
+        from ..obs import dossier as dossier_mod
+
+        built = dossier_mod.assemble_dossier(
+            tool=self.name,
+            workload=workload.name,
+            report=report,
+            hook=hook,
+            config=self.config,
+            sim_seed=sim_seed,
+            recorder=recorder,
+            build=workload.build,
+        )
+        session = obs.session()
+        if session is not None:
+            dossier_mod.write_dossier(built, session.directory)
+        return built
+
+    def _finish_coverage(
+        self,
+        outcome: DetectionOutcome,
+        candidates,
+        decay,
+        site_injections: Dict[str, int],
+    ) -> None:
+        """Attach the session's coverage record; emit it to the obs dir."""
+        from ..obs import coverage as coverage_mod
+
+        record = coverage_mod.build_coverage(
+            tool=self.name,
+            test=outcome.workload,
+            candidates=candidates,
+            decay=decay,
+            runs=outcome.runs,
+            site_injections=site_injections,
+            bug_found=outcome.bug_found or getattr(outcome, "tsv_found", False),
+        )
+        outcome.coverage = record
+        session = obs.session()
+        if session is not None:
+            coverage_mod.write_coverage(record, session.directory)
+
+    @staticmethod
+    def _count_site_injections(hook, site_injections: Dict[str, int]) -> None:
+        """Fold one run's ledger history into per-site injection counts."""
+        if hook.engine is None:
+            return
+        for interval in hook.engine.ledger.history:
+            site_injections[interval.site] = site_injections.get(interval.site, 0) + 1
+
     def detect(self, workload: Any, max_detection_runs: Optional[int] = None) -> DetectionOutcome:
         raise NotImplementedError
 
@@ -258,10 +322,14 @@ class Waffle(ToolDriver):
         outcome = DetectionOutcome(tool=self.name, workload=workload.name)
         decay = DecayState(config.decay_lambda)
         run_index = 0
+        flight = obs.flightrec.recorder()
+        site_injections: Dict[str, int] = {}
 
         plan: Optional[InjectionPlan] = None
         if config.preparation_run:
             run_index += 1
+            if flight is not None:
+                flight.begin_run(kind="prep", test=workload.name, seed=config.seed)
             recorder = RecordingHook(
                 record_overhead_ms=config.record_overhead_ms,
                 track_vector_clocks=config.parent_child_analysis,
@@ -291,6 +359,9 @@ class Waffle(ToolDriver):
 
         for attempt in range(1, budget + 1):
             run_index += 1
+            sim_seed = config.seed + attempt
+            if flight is not None:
+                flight.begin_run(kind="detect", test=workload.name, seed=sim_seed)
             if plan is not None:
                 hook: _BaseInjectionHook = PlannedInjectionHook(
                     plan, config, decay, seed=config.seed * 7919 + attempt
@@ -307,13 +378,24 @@ class Waffle(ToolDriver):
                     online_interference=config.interference_control,
                     shared_policy=online_policy,
                 )
-            result = self._simulate(workload, hook, seed=config.seed + attempt)
+            result = self._simulate(workload, hook, seed=sim_seed)
             report = self._harvest(workload, hook, result, run_index)
+            self._count_site_injections(hook, site_injections)
             outcome.runs.append(
                 self._record("detect", run_index, result, hook, bug_found=report is not None)
             )
             if report is not None:
                 outcome.reports.append(report)
+                if flight is not None:
+                    outcome.dossiers.append(
+                        self._assemble_dossier(workload, report, hook, sim_seed, flight)
+                    )
                 if config.stop_at_first_bug:
                     break
+        self._finish_coverage(
+            outcome,
+            plan.candidates if plan is not None else online_candidates,
+            decay,
+            site_injections,
+        )
         return outcome

@@ -60,6 +60,7 @@ class NearMissTracker:
         self.pairs_observed: int = 0
         self.pairs_new: int = 0
         self._obs = obs.session()
+        self._fr = obs.flightrec.recorder()
 
     #: Shared empty result so delay-free streams allocate nothing.
     _NO_PAIRS: List[CandidatePair] = []
@@ -103,6 +104,16 @@ class NearMissTracker:
                 candidates.pruned_parent_child += 1
                 if self._obs is not None:
                     self._obs.c_pruned_parent_child.inc()
+                if self._fr is not None:
+                    # The verdict plus the vector clocks that justify it
+                    # (fork-ordered: vc(earlier) <= vc(later)).
+                    self._fr.record(
+                        "prune_parent_child", timestamp,
+                        delay_site=earlier.location.site,
+                        other_site=event.location.site,
+                        vc_earlier={str(k): v for k, v in (earlier.vc_snapshot or {}).items()},
+                        vc_later={str(k): v for k, v in (event.vc_snapshot or {}).items()},
+                    )
                 continue
             pair = CandidatePair(
                 kind=kind,
@@ -125,6 +136,16 @@ class NearMissTracker:
                 self._obs.c_pairs_observed.inc()
                 if is_new:
                     self._obs.c_pairs_new.inc()
+            if self._fr is not None:
+                self._fr.record(
+                    "near_miss", timestamp,
+                    kind=kind.value,
+                    delay_site=pair.delay_location.site,
+                    other_site=pair.other_location.site,
+                    gap_ms=round(observation.gap_ms, 4),
+                    object_id=object_id,
+                    new=is_new,
+                )
             if on_pair is not None:
                 on_pair(pair, is_new)
             added.append(pair)
@@ -162,6 +183,7 @@ class TsvNearMissTracker:
         self.pairs_observed: int = 0
         self.pairs_new: int = 0
         self._obs = obs.session()
+        self._fr = obs.flightrec.recorder()
 
     def observe(self, event: AccessEvent) -> List[CandidatePair]:
         if event.access_type is not AccessType.UNSAFE_CALL:
@@ -203,6 +225,16 @@ class TsvNearMissTracker:
                     self._obs.c_pairs_observed.inc()
                     if is_new:
                         self._obs.c_pairs_new.inc()
+                if self._fr is not None:
+                    self._fr.record(
+                        "near_miss", event.timestamp,
+                        kind=pair.kind.value,
+                        delay_site=delay_loc.site,
+                        other_site=other_loc.site,
+                        gap_ms=round(observation.gap_ms, 4),
+                        object_id=event.object_id,
+                        new=is_new,
+                    )
                 if self.on_pair is not None:
                     self.on_pair(pair, is_new)
                 added.append(pair)

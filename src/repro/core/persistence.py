@@ -19,6 +19,7 @@ from typing import Tuple, Union
 
 from .analyzer import InjectionPlan
 from .delay_policy import DecayState
+from .reports import BugReport
 
 PathLike = Union[str, Path]
 
@@ -64,6 +65,15 @@ def load_session(path: PathLike) -> Tuple[InjectionPlan, DecayState]:
         InjectionPlan.from_dict(payload["plan"]),
         DecayState.from_dict(payload["decay"]),
     )
+
+
+def save_report(report: BugReport, path: PathLike) -> None:
+    """Persist a bug report (the dossier/detect-record shared schema)."""
+    save_record({"report": report.to_dict()}, path)
+
+
+def load_report(path: PathLike) -> BugReport:
+    return BugReport.from_dict(load_record(path)["report"])
 
 
 def save_record(payload: dict, path: PathLike) -> None:

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 
 from ..sim.errors import NullReferenceError
 from ..sim.instrument import Location
-from .candidates import CandidatePair
+from .candidates import CandidateKind, CandidatePair
 from .interference import DelayInterval
 
 
@@ -54,6 +54,77 @@ class BugReport:
     @property
     def fault_site(self) -> str:
         return self.fault_location.site if self.fault_location else ""
+
+    def to_dict(self) -> dict:
+        """JSON-safe form; the shared schema of cached detect records
+        and bug dossiers (round-tripped by ``core.persistence``)."""
+        return {
+            "tool": self.tool,
+            "workload": self.workload,
+            "fault_location": self.fault_location.site if self.fault_location else None,
+            "ref_name": self.ref_name,
+            "thread_name": self.thread_name,
+            "error_type": self.error_type,
+            "fault_time_ms": self.fault_time_ms,
+            "run_index": self.run_index,
+            "matched_pairs": [
+                {
+                    "kind": pair.kind.value,
+                    "delay_location": pair.delay_location.site,
+                    "other_location": pair.other_location.site,
+                }
+                for pair in self.matched_pairs
+            ],
+            "active_delays": [
+                {
+                    "site": interval.site,
+                    "thread_id": interval.thread_id,
+                    "start": interval.start,
+                    "end": interval.end,
+                }
+                for interval in self.active_delays
+            ],
+            "delays_injected": self.delays_injected,
+            "delay_induced": self.delay_induced,
+            "stacks": {name: list(frames) for name, frames in self.stacks.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BugReport":
+        fault_location = payload.get("fault_location")
+        return cls(
+            tool=payload["tool"],
+            workload=payload["workload"],
+            fault_location=Location(fault_location) if fault_location else None,
+            ref_name=payload.get("ref_name", ""),
+            thread_name=payload.get("thread_name", ""),
+            error_type=payload["error_type"],
+            fault_time_ms=payload.get("fault_time_ms", 0.0),
+            run_index=payload.get("run_index", 0),
+            matched_pairs=[
+                CandidatePair(
+                    kind=CandidateKind(entry["kind"]),
+                    delay_location=Location(entry["delay_location"]),
+                    other_location=Location(entry["other_location"]),
+                )
+                for entry in payload.get("matched_pairs", ())
+            ],
+            active_delays=[
+                DelayInterval(
+                    site=entry["site"],
+                    thread_id=entry["thread_id"],
+                    start=entry["start"],
+                    end=entry["end"],
+                )
+                for entry in payload.get("active_delays", ())
+            ],
+            delays_injected=payload.get("delays_injected", 0),
+            delay_induced=payload.get("delay_induced", False),
+            stacks={
+                name: list(frames)
+                for name, frames in payload.get("stacks", {}).items()
+            },
+        )
 
     def summary(self) -> str:
         pairs = "; ".join(str(p) for p in self.matched_pairs) or "(no matched pair)"

@@ -82,6 +82,7 @@ class InjectionEngine:
         self.skipped_budget: int = 0
         self._obs = obs.session()
         self.obs_run_seq = self._obs.next_run_seq() if self._obs is not None else 0
+        self._fr = obs.flightrec.recorder()
 
     @property
     def skipped_total(self) -> int:
@@ -106,6 +107,11 @@ class InjectionEngine:
                     self.obs_run_seq, "skip", site, pending.timestamp,
                     reason="budget", detail="retired",
                 )
+            if self._fr is not None:
+                self._fr.record(
+                    "skip", pending.timestamp, site=site,
+                    reason="budget", detail="retired",
+                )
             return 0.0
         if self.rng.random() >= probability:
             self.skipped_decay += 1
@@ -115,6 +121,11 @@ class InjectionEngine:
                 ses.inject_event(
                     self.obs_run_seq, "skip", site, pending.timestamp,
                     reason="decay", detail="p=%.3f" % probability,
+                )
+            if self._fr is not None:
+                self._fr.record(
+                    "skip", pending.timestamp, site=site,
+                    reason="decay", p=round(probability, 4),
                 )
             return 0.0
         now = pending.timestamp
@@ -130,6 +141,11 @@ class InjectionEngine:
                         reason="interference",
                         detail=",".join(sorted(set(active))),
                     )
+                if self._fr is not None:
+                    self._fr.record(
+                        "skip", now, site=site, reason="interference",
+                        active=sorted(set(active)),
+                    )
                 return 0.0
         length = self.delay_policy.length_for(site)
         if length <= 0.0:
@@ -141,6 +157,10 @@ class InjectionEngine:
                     self.obs_run_seq, "skip", site, now,
                     reason="budget", detail="zero_length",
                 )
+            if self._fr is not None:
+                self._fr.record(
+                    "skip", now, site=site, reason="budget", detail="zero_length",
+                )
             return 0.0
         self.ledger.register(site, pending.thread_id, now, length)
         remaining = self.decay.decay(site)
@@ -150,6 +170,11 @@ class InjectionEngine:
             ses.c_considered.inc()
             ses.c_injected.inc()
             ses.inject_event(self.obs_run_seq, "inject", site, now, length_ms=length)
+        if self._fr is not None:
+            self._fr.record(
+                "inject", now, site=site, tid=pending.thread_id,
+                len_ms=round(length, 4), p=round(probability, 4),
+            )
         return length
 
 
@@ -162,6 +187,34 @@ class _BaseInjectionHook(InstrumentationHook):
         self.failure: Optional[FailureContext] = None
         self._threads: Dict[int, object] = {}
         self.engine: Optional[InjectionEngine] = None
+        #: Injection schedule keyed by per-site dynamic occurrence, only
+        #: maintained while a flight recorder is installed (the dossier
+        #: builder replays it deterministically). ``_site_occurrences``
+        #: stays None when recording is off so the hot path pays a
+        #: single ``is None`` check per instrumented access.
+        self._site_occurrences: Optional[Dict[str, int]] = (
+            {} if obs.flightrec.recorder() is not None else None
+        )
+        self.injection_schedule: List[Dict[str, object]] = []
+
+    def _traced_decide(self, pending: PendingAccess) -> float:
+        """Engine decision plus (site, nth-occurrence) schedule capture."""
+        occurrences = self._site_occurrences
+        site = pending.location.site
+        nth = occurrences.get(site, 0)
+        occurrences[site] = nth + 1
+        length = self.engine.decide(pending)
+        if length > 0.0:
+            self.injection_schedule.append(
+                {
+                    "site": site,
+                    "nth": nth,
+                    "len_ms": round(length, 6),
+                    "t_ms": round(pending.timestamp, 4),
+                    "thread_id": pending.thread_id,
+                }
+            )
+        return length
 
     # -- Stats accessors used by the harness ---------------------------
 
@@ -256,7 +309,9 @@ class PlannedInjectionHook(_BaseInjectionHook):
     def before_access(self, pending: PendingAccess) -> float:
         if not pending.access_type.is_memorder:
             return 0.0
-        return self.engine.decide(pending)
+        if self._site_occurrences is None:
+            return self.engine.decide(pending)
+        return self._traced_decide(pending)
 
 
 class OnlineInjectionHook(_BaseInjectionHook):
@@ -387,7 +442,9 @@ class OnlineInjectionHook(_BaseInjectionHook):
                 return 0.0
         elif not pending.access_type.is_memorder:
             return 0.0
-        return self.engine.decide(pending)
+        if self._site_occurrences is None:
+            return self.engine.decide(pending)
+        return self._traced_decide(pending)
 
     def after_access(self, event: AccessEvent) -> None:
         if self.parent_child:
@@ -445,10 +502,17 @@ class OnlineInjectionHook(_BaseInjectionHook):
                 l1 = Location(l1_site)
                 for pair in self.engine.candidates.pairs_for_delay_location(l1):
                     if pair.other_location == event.location:
-                        self.engine.candidates.remove(pair)
+                        self.engine.candidates.remove(pair, reason="hb_inference")
                         self.engine.candidates.pruned_hb_inference += 1
                         if self.engine._obs is not None:
                             self.engine._obs.c_pruned_hb.inc()
+                        if self.engine._fr is not None:
+                            self.engine._fr.record(
+                                "prune_hb", ts,
+                                delay_site=l1_site,
+                                other_site=event.location.site,
+                                window=[round(start, 4), round(end, 4)],
+                            )
         for site in stale:
             self._windows.pop(site, None)
 

@@ -16,6 +16,7 @@ import dataclasses
 import json
 import os
 import sys
+from pathlib import Path
 from typing import Any, List, Optional
 
 from .. import obs
@@ -164,6 +165,10 @@ def cmd_detect(args) -> None:
     else:
         test = get_app(args.app).test(args.test)
     config = DEFAULT_CONFIG.with_seed(args.seed)
+    if getattr(args, "dossier_dir", None) and not obs.flightrec.active():
+        # Dossiers need the flight recorder's provenance; install it
+        # before the driver constructs its instrumented objects.
+        obs.flightrec.install()
     driver = {"waffle": Waffle, "wafflebasic": WaffleBasic, "stress": StressRunner}[args.tool](
         config
     )
@@ -187,6 +192,65 @@ def cmd_detect(args) -> None:
         print("  " + outcome.reports[0].summary())
     else:
         print("no bug exposed within %d runs" % args.budget)
+    if getattr(args, "dossier_dir", None):
+        from ..obs import coverage as coverage_mod
+        from ..obs import dossier as dossier_mod
+
+        for built in getattr(outcome, "dossiers", []):
+            path = dossier_mod.write_dossier(built, args.dossier_dir)
+            print(
+                "dossier written: %s (replay with: waffle-repro replay %s)"
+                % (path, path)
+            )
+        if getattr(outcome, "coverage", None) is not None:
+            path = coverage_mod.write_coverage(outcome.coverage, args.dossier_dir)
+            print("coverage written: %s" % path)
+
+
+def _resolve_workload(name: str):
+    """Find a test case by name across all applications (for replay)."""
+    from ..apps import all_apps
+
+    for app in all_apps().values():
+        for test in app.tests:
+            if test.name == name:
+                return test
+    raise SystemExit("workload %r not found in any registered application" % name)
+
+
+def cmd_replay(args) -> int:
+    """Deterministically re-execute a dossier's minimal schedule."""
+    from ..obs import dossier as dossier_mod
+
+    dossier = dossier_mod.load_dossier(args.dossier)
+    test = _resolve_workload(dossier.workload)
+    print(
+        "replaying %s :: %s (%s @ %s, %d delay(s), %s)"
+        % (
+            dossier.tool,
+            dossier.workload,
+            dossier.error_type,
+            dossier.fault_site,
+            len(dossier.schedule.get("delays", [])),
+            "minimized" if dossier.minimized else "full schedule",
+        )
+    )
+    outcome, reproduced = dossier_mod.replay_dossier(dossier, test.build)
+    print(
+        "  outcome: crashed=%s error=%s site=%s (%d delay(s) injected, %.2f virtual ms)"
+        % (
+            outcome.crashed,
+            outcome.error_type,
+            outcome.fault_site,
+            outcome.delays_injected,
+            outcome.virtual_time_ms,
+        )
+    )
+    if reproduced:
+        print("REPRODUCED: same error type at the same fault location")
+        return 0
+    print("NOT REPRODUCED: outcome differs from the dossier's bug report")
+    return 1
 
 
 def cmd_apps(args) -> None:
@@ -263,17 +327,50 @@ def cmd_trace(args) -> None:
         print("  wrote injection plan to %s" % args.save_plan)
 
 
-def cmd_obs(args) -> None:
-    """Aggregate an obs directory: digest report or Chrome trace export."""
+def cmd_obs(args) -> int:
+    """Aggregate an obs directory: digest report, coverage observatory,
+    bug dossiers, or Chrome trace export."""
     from ..obs.report import load_obs_dir, render_report, write_chrome_trace
 
+    if args.action == "coverage":
+        from ..obs import coverage as coverage_mod
+
+        records = coverage_mod.load_coverage_dir(args.obs_path)
+        if not records:
+            print("no coverage records under %s" % args.obs_path)
+            return 1
+        merged = coverage_mod.merge_coverage(records)
+        _emit(
+            coverage_mod.render_coverage(
+                merged if len(records) > 1 else records[0],
+                per_session=records if len(records) > 1 else None,
+            ),
+            args.out,
+        )
+        return 0
+    if args.action == "dossier":
+        from ..obs import dossier as dossier_mod
+
+        paths = sorted(Path(args.obs_path).glob("dossier-*.json"))
+        if not paths:
+            print("no dossiers under %s" % args.obs_path)
+            return 1
+        for path in paths:
+            dossier = dossier_mod.load_dossier(path)
+            _emit(dossier_mod.render_dossier(dossier), args.out)
+            if args.html:
+                html_path = path.with_suffix(".html")
+                html_path.write_text(dossier_mod.render_swimlane_html(dossier))
+                print("swimlane written to %s" % html_path)
+        return 0
     data = load_obs_dir(args.obs_path)
     if args.action == "chrome":
         out = args.trace_out or os.path.join(args.obs_path, "trace.json")
         count = write_chrome_trace(data, out)
         print("wrote %d trace events to %s (open in chrome://tracing or Perfetto)" % (count, out))
-        return
+        return 0
     _emit(render_report(data, max_runs=args.max_runs), args.out)
+    return 0
 
 
 def cmd_all(args) -> None:
@@ -388,18 +485,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--app", type=str, default=None)
     p.add_argument("--test", type=str, default=None)
     p.add_argument("--budget", type=int, default=50)
+    p.add_argument(
+        "--dossier-dir",
+        type=str,
+        default=None,
+        help="enable the flight recorder and write bug dossiers + coverage here",
+    )
     p.set_defaults(func=cmd_detect)
+
+    p = sub.add_parser(
+        "replay",
+        help="deterministically re-execute a bug dossier's minimal schedule",
+        parents=[shared],
+    )
+    p.add_argument("dossier", type=str, help="path to a dossier-*.json file")
+    p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser(
         "obs",
         help="aggregate a telemetry directory written via --obs-dir",
         parents=[shared],
     )
-    p.add_argument("action", choices=["report", "chrome"], help="digest or trace_event export")
+    p.add_argument(
+        "action",
+        choices=["report", "chrome", "coverage", "dossier"],
+        help="digest, trace_event export, coverage observatory, or dossier dump",
+    )
     p.add_argument("obs_path", type=str, help="the obs directory to aggregate")
     p.add_argument("--max-runs", type=int, default=20, help="rows in the slowest-runs table")
     p.add_argument(
         "--trace-out", type=str, default=None, help="chrome: output path (default <dir>/trace.json)"
+    )
+    p.add_argument(
+        "--html",
+        action="store_true",
+        help="dossier: also write an HTML swimlane next to each dossier file",
     )
     p.set_defaults(func=cmd_obs)
     return parser
@@ -447,14 +567,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ[obs.OBS_DIR_ENV] = args.obs_dir
         obs.configure(args.obs_dir)
     hits0, misses0, writes0 = GLOBAL_STATS.hits, GLOBAL_STATS.misses, GLOBAL_STATS.writes
-    args.func(args)
+    # Commands return an exit code or None (= success): replay and the
+    # obs inspectors signal "not reproduced" / "nothing found" via rc.
+    rc = args.func(args)
     summary = _cache_summary_line(hits0, misses0, writes0)
     if summary is not None:
         print(summary)
     if args.obs_dir:
         obs.flush()
         print("telemetry written to %s (inspect with: obs report %s)" % (args.obs_dir, args.obs_dir))
-    return 0
+    return int(rc) if rc else 0
 
 
 if __name__ == "__main__":

@@ -13,7 +13,14 @@ every run explainable from emitted data instead of reruns:
 * :mod:`repro.obs.telemetry` -- the per-process session and the
   per-run :class:`~repro.obs.telemetry.RunTelemetry` summary;
 * :mod:`repro.obs.report` -- ``repro obs report``: aggregate an obs
-  directory into a human-readable digest.
+  directory into a human-readable digest;
+* :mod:`repro.obs.flightrec` -- a bounded ring buffer of scheduler /
+  injection / near-miss events (``WAFFLE_FLIGHTREC``), the raw
+  material for bug dossiers;
+* :mod:`repro.obs.dossier` -- assemble a :class:`BugDossier` (pair
+  provenance, swimlane, minimal replay schedule) when a bug manifests;
+* :mod:`repro.obs.coverage` -- per-session and cross-session
+  candidate-pair coverage accounting (``repro obs coverage``).
 
 Activation model
 ----------------
@@ -36,6 +43,8 @@ import atexit
 import os
 from typing import Optional
 
+from . import flightrec  # noqa: F401  (re-export; configures from env below)
+from .flightrec import FlightRecorder  # noqa: F401
 from .metrics import (  # noqa: F401  (public re-exports)
     NULL_COUNTER,
     NULL_GAUGE,
@@ -131,3 +140,4 @@ if hasattr(os, "register_at_fork"):
     os.register_at_fork(after_in_child=_reset_after_fork)
 
 _configure_from_env()
+flightrec._configure_from_env()

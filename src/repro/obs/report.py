@@ -34,12 +34,31 @@ class ObsData:
     inject_events: List[dict] = field(default_factory=list)
     spans: List[dict] = field(default_factory=list)
     parse_errors: List[str] = field(default_factory=list)
+    #: Recoverable oddities: a missing directory, a truncated final
+    #: JSONL line from a killed worker, an unreadable coverage/dossier
+    #: file. Unlike ``parse_errors`` (malformed data *inside* a file's
+    #: committed content) these are expected operational noise and are
+    #: reported as warnings, never raised.
+    warnings: List[str] = field(default_factory=list)
+    #: Coverage records (``coverage-*.json``, repro.obs.coverage).
+    coverage: List[dict] = field(default_factory=list)
+    #: Bug dossiers, as ``{"file": name, "dossier": payload}``.
+    dossiers: List[dict] = field(default_factory=list)
 
 
 def load_obs_dir(directory: os.PathLike) -> ObsData:
-    """Parse and merge every telemetry file under ``directory``."""
+    """Parse and merge every telemetry file under ``directory``.
+
+    Tolerant by design: an empty or missing directory, and the
+    partially-written files a killed ``--jobs`` worker leaves behind
+    (most commonly a truncated final JSONL line with no newline), are
+    reported in :attr:`ObsData.warnings` instead of raising.
+    """
     root = Path(directory)
     data = ObsData(directory=str(root))
+    if not root.is_dir():
+        data.warnings.append("obs directory %s does not exist" % root)
+        return data
     snapshots: List[dict] = []
     for path in sorted(root.glob("summary-*.json")):
         try:
@@ -49,13 +68,26 @@ def load_obs_dir(directory: os.PathLike) -> ObsData:
         except (ValueError, KeyError) as exc:
             data.parse_errors.append("%s: %s" % (path.name, exc))
     for path in sorted(root.glob("telemetry-*.jsonl")):
-        for line_no, line in enumerate(path.read_text().splitlines(), start=1):
+        text = path.read_text()
+        lines = text.splitlines()
+        # A file not ending in a newline was cut off mid-append (the
+        # writer flushes whole lines): the unterminated tail is a
+        # truncation artifact, not corrupt committed data.
+        truncated_tail = bool(lines) and not text.endswith("\n")
+        for line_no, line in enumerate(lines, start=1):
             if not line.strip():
                 continue
+            is_tail = truncated_tail and line_no == len(lines)
             try:
                 record = json.loads(line)
             except ValueError as exc:
-                data.parse_errors.append("%s:%d: %s" % (path.name, line_no, exc))
+                if is_tail:
+                    data.warnings.append(
+                        "%s: truncated final line skipped (killed worker?)"
+                        % path.name
+                    )
+                else:
+                    data.parse_errors.append("%s:%d: %s" % (path.name, line_no, exc))
                 continue
             kind = record.get("type")
             if kind == "run":
@@ -64,6 +96,23 @@ def load_obs_dir(directory: os.PathLike) -> ObsData:
                 data.inject_events.append(record)
             elif kind == "span":
                 data.spans.append(record)
+    from ..core import persistence
+
+    for path in sorted(root.glob("coverage-*.json")):
+        try:
+            record = persistence.load_record(path)
+        except (ValueError, KeyError, OSError) as exc:
+            data.warnings.append("%s: unreadable coverage record (%s)" % (path.name, exc))
+            continue
+        if record.get("type") == "coverage":
+            data.coverage.append(record)
+    for path in sorted(root.glob("dossier-*.json")):
+        try:
+            payload = persistence.load_record(path)["dossier"]
+        except (ValueError, KeyError, OSError) as exc:
+            data.warnings.append("%s: unreadable dossier (%s)" % (path.name, exc))
+            continue
+        data.dossiers.append({"file": path.name, "dossier": payload})
     data.metrics = merge_snapshots(snapshots)
     return data
 
@@ -138,6 +187,9 @@ def render_report(data: ObsData, max_runs: int = 20) -> str:
     if data.parse_errors:
         lines.append("PARSE ERRORS (%d):" % len(data.parse_errors))
         lines.extend("  " + err for err in data.parse_errors[:10])
+    if data.warnings:
+        lines.append("warnings (%d):" % len(data.warnings))
+        lines.extend("  " + msg for msg in data.warnings[:10])
 
     considered = counters.get("inject.considered", 0)
     injected = counters.get("inject.injected", 0)
@@ -202,6 +254,53 @@ def render_report(data: ObsData, max_runs: int = 20) -> str:
                 cell_hist["max"],
             )
         )
+
+    if data.coverage:
+        from . import coverage as coverage_mod
+
+        merged = coverage_mod.merge_coverage(data.coverage)
+        total = merged["pairs_total"] or 1
+        lines.append("coverage observatory (%d session(s))" % len(data.coverage))
+        lines.append(
+            "  pairs %d: delayed %d (%.0f%%) / pruned %d / planned-untested %d"
+            "   injections %d   bugs found %d"
+            % (
+                merged["pairs_total"],
+                merged["pairs_delayed"],
+                100.0 * merged["pairs_delayed"] / total,
+                merged["pairs_pruned"],
+                merged["pairs_planned"],
+                merged["injected_total"],
+                merged["bugs_found"],
+            )
+        )
+        coverage_problems = [
+            "%s/%s: %s" % (rec.get("tool", "?"), rec.get("test", "?"), problem)
+            for rec in data.coverage
+            for problem in coverage_mod.reconcile_coverage(rec)
+        ]
+        if coverage_problems:
+            lines.append("  COVERAGE RECONCILIATION: %d problem(s)" % len(coverage_problems))
+            lines.extend("    " + p for p in coverage_problems[:10])
+        else:
+            lines.append("  coverage reconciles with engine counters ✓")
+        lines.append("  full digest: repro obs coverage %s" % data.directory)
+
+    if data.dossiers:
+        lines.append("bug dossiers (%d)" % len(data.dossiers))
+        for item in data.dossiers[:10]:
+            payload = item["dossier"]
+            report = payload.get("report", {})
+            lines.append(
+                "  %-38s %s @ %s  verified=%s"
+                % (
+                    item["file"],
+                    report.get("error_type", "?"),
+                    report.get("fault_location", "?"),
+                    payload.get("verified", False),
+                )
+            )
+        lines.append("  inspect one: repro obs dossier %s" % data.directory)
 
     problems = reconcile(data)
     lines.append("")

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from .. import obs
 from ..core.analyzer import InjectionPlan, analyze_trace
 from ..core.config import DEFAULT_CONFIG, WaffleConfig
 from ..core.delay_policy import DecayState
@@ -37,6 +38,11 @@ class RealRunRecord:
     op_count: int
     delays_injected: int = 0
     crashed: bool = False
+    #: Same skip-reason taxonomy as the sim detector's RunRecord, so
+    #: real-threads runs are explainable with identical accounting.
+    skipped_interference: int = 0
+    skipped_decay: int = 0
+    skipped_budget: int = 0
 
 
 @dataclass
@@ -98,8 +104,11 @@ class RealThreadsWaffle:
     ) -> RealDetectionOutcome:
         outcome = RealDetectionOutcome(workload=name)
         config = self.config
+        flight = obs.flightrec.recorder()
 
         # Preparation run: record, no delays.
+        if flight is not None:
+            flight.begin_run(kind="prep", test=name, seed=config.seed)
         recorder = RecordingHook(record_overhead_ms=0.0, track_vector_clocks=True)
         runtime = self._execute(workload, recorder, name)
         outcome.runs.append(
@@ -116,6 +125,8 @@ class RealThreadsWaffle:
 
         decay = DecayState(config.decay_lambda)
         for attempt in range(1, max_detection_runs + 1):
+            if flight is not None:
+                flight.begin_run(kind="detect", test=name, seed=config.seed + attempt)
             hook = PlannedInjectionHook(plan, config, decay, seed=config.seed * 7919 + attempt)
             runtime = self._execute(workload, hook, name)
             crashed = any(isinstance(e, NullReferenceError) for _, e in runtime.failures)
@@ -127,6 +138,9 @@ class RealThreadsWaffle:
                     op_count=runtime.op_count,
                     delays_injected=hook.delays_injected,
                     crashed=crashed,
+                    skipped_interference=hook.engine.skipped_interference,
+                    skipped_decay=hook.engine.skipped_decay,
+                    skipped_budget=hook.engine.skipped_budget,
                 )
             )
             if crashed and hook.delays_injected > 0:

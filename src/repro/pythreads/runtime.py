@@ -23,6 +23,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from .. import obs
 from ..core.vector_clock import ThreadVectorClock
 from ..sim.errors import NullReferenceError, ObjectDisposedError
 from ..sim.instrument import (
@@ -101,7 +102,15 @@ class RealThreadsRuntime:
         #: Exceptions that escaped spawned threads: (thread name, exc).
         self.failures: List[Tuple[str, BaseException]] = []
         self.op_count = 0
-        self._register_current_thread(parent_tid=None)
+        #: Flight-recorder parity with the simulator's scheduler: the
+        #: same thread-lifecycle/fault event stream, wall-clock stamped.
+        self._fr = obs.flightrec.recorder()
+        main_tid = self._register_current_thread(parent_tid=None)
+        if self._fr is not None:
+            self._fr.record(
+                "thread_start", self.now_ms(), tid=main_tid,
+                name=threading.current_thread().name, parent=None,
+            )
 
     # ------------------------------------------------------------------
     # Time and identity
@@ -159,11 +168,26 @@ class RealThreadsRuntime:
             with self._lock:
                 self._tids[ident] = parcel.tid
                 self._clocks[parcel.tid] = parcel.clock
+            failed = False
             try:
                 target()
             except BaseException as exc:  # noqa: BLE001 - crash capture
+                failed = True
                 with self._lock:
                     self.failures.append((thread.name, exc))
+                    if self._fr is not None:
+                        location = getattr(exc, "location", None)
+                        self._fr.record(
+                            "fault", self.now_ms(), tid=parcel.tid,
+                            thread=thread.name, error=type(exc).__name__,
+                            site=location.site if location is not None else None,
+                        )
+            finally:
+                if self._fr is not None:
+                    with self._lock:
+                        self._fr.record(
+                            "thread_end", self.now_ms(), tid=parcel.tid, failed=failed
+                        )
 
         thread = threading.Thread(target=runner, name=name or None, daemon=True)
         with self._lock:
@@ -178,6 +202,11 @@ class RealThreadsRuntime:
             _FakeThread(parent_tid), _FakeThread(child_tid)
         )
         self._threads.append(thread)
+        if self._fr is not None:
+            self._fr.record(
+                "thread_start", self.now_ms(), tid=child_tid,
+                name=thread.name, parent=parent_tid,
+            )
         thread.start()
         return thread
 

@@ -148,6 +148,7 @@ class Scheduler:
         self._stopping = False
         self._last_run: Optional[SimThread] = None
         self._obs = obs.session()
+        self._fr = obs.flightrec.recorder()
 
     # ------------------------------------------------------------------
     # Thread lifecycle
@@ -167,6 +168,11 @@ class Scheduler:
         self.threads[tid] = thread
         self.result.thread_count += 1
         self._push(thread, self.clock.now)
+        if self._fr is not None:
+            self._fr.record(
+                "thread_start", self.clock.now, tid=tid, name=thread.name,
+                parent=parent.tid if parent is not None else None,
+            )
         self.hook.on_thread_start(thread)
         return thread
 
@@ -210,6 +216,8 @@ class Scheduler:
                 if thread is not self._last_run:
                     self.result.context_switches += 1
                     self._last_run = thread
+                    if self._fr is not None:
+                        self._fr.record("switch", self.clock.now, tid=thread.tid)
                 self._step(thread)
             if not self._stopping and not self.result.timed_out:
                 self._check_deadlock()
@@ -257,6 +265,8 @@ class Scheduler:
         thread.state = ThreadState.DONE
         thread.result = result
         thread.end_time = self.clock.now
+        if self._fr is not None:
+            self._fr.record("thread_end", self.clock.now, tid=thread.tid, failed=False)
         self._wake_joiners(thread)
         self.hook.on_thread_end(thread)
 
@@ -265,6 +275,14 @@ class Scheduler:
         thread.exception = exc
         thread.end_time = self.clock.now
         self.result.failures.append((thread, exc))
+        if self._fr is not None:
+            location = getattr(exc, "location", None)
+            self._fr.record(
+                "fault", self.clock.now, tid=thread.tid, thread=thread.name,
+                error=type(exc).__name__,
+                site=location.site if location is not None else None,
+            )
+            self._fr.record("thread_end", self.clock.now, tid=thread.tid, failed=True)
         self._wake_joiners(thread)
         self.hook.on_failure(thread, exc)
         self.hook.on_thread_end(thread)

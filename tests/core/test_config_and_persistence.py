@@ -6,14 +6,18 @@ from repro.core.analyzer import AnalysisStats, InjectionPlan
 from repro.core.candidates import CandidateKind, CandidatePair, CandidateSet
 from repro.core.config import DEFAULT_CONFIG, WaffleConfig
 from repro.core.delay_policy import DecayState
+from repro.core.interference import DelayInterval
 from repro.core.persistence import (
     load_decay,
     load_plan,
+    load_report,
     load_session,
     save_decay,
     save_plan,
+    save_report,
     save_session,
 )
+from repro.core.reports import BugReport
 from repro.sim.instrument import Location
 
 
@@ -114,6 +118,54 @@ class TestPersistence:
         path.write_text('{"version": 999, "plan": {}}')
         with pytest.raises(ValueError):
             load_plan(path)
+
+    def test_report_roundtrip(self, tmp_path):
+        report = BugReport(
+            tool="waffle",
+            workload="t",
+            fault_location=Location("a.use:1"),
+            ref_name="conn",
+            thread_name="worker",
+            error_type="NullReferenceError",
+            fault_time_ms=12.5,
+            run_index=3,
+            matched_pairs=[
+                CandidatePair(
+                    kind=CandidateKind.USE_AFTER_FREE,
+                    delay_location=Location("a.use:1"),
+                    other_location=Location("a.dispose:9"),
+                )
+            ],
+            active_delays=[
+                DelayInterval(site="a.use:1", thread_id=2, start=1.0, end=13.0)
+            ],
+            delays_injected=4,
+            delay_induced=True,
+            stacks={"worker": ["a.use:1"]},
+        )
+        path = tmp_path / "report.json"
+        save_report(report, path)
+        restored = load_report(path)
+        assert restored == report
+        assert restored.fault_location == Location("a.use:1")
+        assert restored.active_delays[0] == DelayInterval(
+            site="a.use:1", thread_id=2, start=1.0, end=13.0
+        )
+
+    def test_report_roundtrip_without_fault_location(self, tmp_path):
+        report = BugReport(
+            tool="waffle",
+            workload="t",
+            fault_location=None,
+            ref_name="",
+            thread_name="",
+            error_type="ObjectDisposedError",
+            fault_time_ms=0.0,
+            run_index=1,
+        )
+        path = tmp_path / "report.json"
+        save_report(report, path)
+        assert load_report(path) == report
 
     def test_bootstrap_equivalence(self, tmp_path):
         """A detection run bootstrapped from a reloaded plan behaves

@@ -1,0 +1,176 @@
+"""Bug dossiers: provenance capture, deterministic replay, minimization.
+
+The acceptance criterion for the dossier subsystem: every bug Waffle
+finds on the apps suite emits a dossier whose embedded minimal schedule
+replays to the same error type at the same fault location,
+deterministically. The module-scoped fixture runs that campaign once
+(flight recorder installed) and the tests assert over it.
+"""
+
+import pytest
+
+from repro.apps import all_bugs, bug_workload
+from repro.core.config import WaffleConfig
+from repro.core.detector import Waffle
+from repro.obs import dossier as dossier_mod
+from repro.obs import flightrec
+from repro.sim.instrument import AccessType, Location, PendingAccess
+
+
+@pytest.fixture(scope="module")
+def sessions():
+    """One Waffle detection per Table-4 bug, flight recorder on.
+
+    A couple of fallback seeds absorb per-seed misses (the headline
+    campaign requires 2-of-3 seeds, so one seed alone may miss a bug).
+    """
+    results = {}
+    flightrec.install()
+    try:
+        for bug in all_bugs():
+            test = bug_workload(bug.bug_id)
+            for seed in (21, 22, 23):
+                outcome = Waffle(WaffleConfig(seed=seed)).detect(
+                    test, max_detection_runs=8
+                )
+                if outcome.bug_found:
+                    break
+            results[bug.bug_id] = (test, outcome)
+    finally:
+        flightrec.uninstall()
+    return results
+
+
+def _any_dossier(sessions):
+    for _, (test, outcome) in sorted(sessions.items()):
+        if outcome.dossiers:
+            return test, outcome.dossiers[0]
+    pytest.fail("no dossier produced by any session")
+
+
+class TestAcceptance:
+    def test_every_found_bug_emits_a_dossier(self, sessions):
+        missing = [
+            bug_id
+            for bug_id, (_, outcome) in sessions.items()
+            if outcome.bug_found and not outcome.dossiers
+        ]
+        assert not missing, missing
+        assert any(outcome.bug_found for _, outcome in sessions.values())
+
+    def test_minimal_schedules_replay_to_same_fault(self, sessions):
+        for bug_id, (test, outcome) in sessions.items():
+            for dossier in outcome.dossiers:
+                replay, reproduced = dossier_mod.replay_dossier(dossier, test.build)
+                assert reproduced, (bug_id, replay)
+
+    def test_replay_is_deterministic(self, sessions):
+        test, dossier = _any_dossier(sessions)
+        first = dossier_mod.replay_schedule(test.build, dossier.schedule)
+        second = dossier_mod.replay_schedule(test.build, dossier.schedule)
+        assert first == second
+
+    def test_schedules_are_verified_and_never_grow(self, sessions):
+        for bug_id, (_, outcome) in sessions.items():
+            for dossier in outcome.dossiers:
+                assert dossier.verified, bug_id
+                assert len(dossier.schedule["delays"]) <= len(
+                    dossier.schedule_original
+                ), bug_id
+
+    def test_provenance_covers_matched_pairs(self, sessions):
+        for bug_id, (_, outcome) in sessions.items():
+            for dossier in outcome.dossiers:
+                assert len(dossier.provenance) == len(
+                    dossier.report.matched_pairs
+                ), bug_id
+                for entry in dossier.provenance:
+                    assert entry["planned_delay_ms"] >= 0.0
+                    assert 0.0 <= entry["decay_probability"] <= 1.0
+
+
+class TestSerialization:
+    def test_round_trip_via_persistence(self, sessions, tmp_path):
+        _, dossier = _any_dossier(sessions)
+        path = dossier_mod.write_dossier(dossier, tmp_path)
+        loaded = dossier_mod.load_dossier(path)
+        assert loaded.to_dict() == dossier.to_dict()
+        assert loaded.fault_site == dossier.fault_site
+        assert loaded.error_type == dossier.error_type
+
+    def test_validates_against_schema(self, sessions):
+        _, dossier = _any_dossier(sessions)
+        assert dossier_mod.validate_dossier_dict(dossier.to_dict()) == []
+
+    def test_validator_flags_missing_keys_and_bad_events(self, sessions):
+        _, dossier = _any_dossier(sessions)
+        payload = dossier.to_dict()
+        payload.pop("schedule")
+        payload["flight_events"] = [{"k": "not_a_kind", "seq": 0, "t": 0.0}]
+        problems = dossier_mod.validate_dossier_dict(payload)
+        assert any("schedule" in p for p in problems)
+        assert any("not_a_kind" in p for p in problems)
+
+
+class TestRendering:
+    def test_text_digest_sections(self, sessions):
+        _, dossier = _any_dossier(sessions)
+        text = dossier_mod.render_dossier(dossier)
+        assert "BUG DOSSIER" in text
+        assert "candidate-pair provenance" in text
+        assert "minimal reproducing schedule" in text
+        assert "swimlane" in text
+
+    def test_ascii_swimlane_marks_fault_and_delay(self, sessions):
+        _, dossier = _any_dossier(sessions)
+        lane = dossier_mod.render_swimlane(dossier)
+        assert "X" in lane
+        assert "virtual ms" in lane
+
+    def test_html_swimlane_names_the_fault_site(self, sessions):
+        _, dossier = _any_dossier(sessions)
+        html = dossier_mod.render_swimlane_html(dossier)
+        assert html.startswith("<!DOCTYPE html>")
+        assert dossier.fault_site in html
+
+
+class TestScheduleReplayHook:
+    def _pending(self, site, access_type=AccessType.USE):
+        return PendingAccess(Location(site), access_type, 1, 1, 0.0)
+
+    def test_matches_only_the_recorded_occurrence(self):
+        hook = dossier_mod.ScheduleReplayHook(
+            [{"site": "a:1", "nth": 1, "len_ms": 5.0}]
+        )
+        assert hook.before_access(self._pending("a:1")) == 0.0  # occurrence 0
+        assert hook.before_access(self._pending("a:1")) == 5.0  # occurrence 1
+        assert hook.before_access(self._pending("a:1")) == 0.0
+        assert hook.delays_injected == 1
+        assert hook.total_delay_ms == 5.0
+
+    def test_memorder_mode_ignores_unsafe_calls(self):
+        hook = dossier_mod.ScheduleReplayHook(
+            [{"site": "a:1", "nth": 0, "len_ms": 5.0}]
+        )
+        assert (
+            hook.before_access(self._pending("a:1", AccessType.UNSAFE_CALL)) == 0.0
+        )
+        # The unsafe call did not consume occurrence 0.
+        assert hook.before_access(self._pending("a:1")) == 5.0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            dossier_mod.ScheduleReplayHook([], mode="wallclock")
+
+
+class TestMinimization:
+    def test_unreproducible_schedule_reported_unverified(self, sessions):
+        test, dossier = _any_dossier(sessions)
+        broken = dict(dossier.schedule)
+        broken["delays"] = []  # delay-free run cannot manifest the bug
+        delays, replays, verified = dossier_mod.minimize_schedule(
+            test.build, broken, dossier.error_type, dossier.fault_site
+        )
+        assert not verified
+        assert replays == 1
+        assert delays == []

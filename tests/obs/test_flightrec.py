@@ -1,0 +1,146 @@
+"""Flight recorder: bounded ring, run marks, activation model."""
+
+import pytest
+
+from repro.obs import flightrec
+
+
+@pytest.fixture(autouse=True)
+def clean_recorder():
+    flightrec.uninstall()
+    yield
+    flightrec.uninstall()
+
+
+class TestRing:
+    def test_capacity_bounds_memory_and_counts_evictions(self):
+        rec = flightrec.FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.record("switch", float(i), tid=i)
+        assert len(rec) == 4
+        assert rec.recorded == 10
+        assert rec.dropped == 6
+        assert [e["tid"] for e in rec.snapshot()] == [6, 7, 8, 9]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            flightrec.FlightRecorder(capacity=0)
+
+    def test_payload_may_carry_a_kind_field(self):
+        # record()'s positional is named ``k`` precisely so candidate
+        # events can carry their own ``kind`` payload field.
+        rec = flightrec.FlightRecorder()
+        event = rec.record("near_miss", 1.0, kind="use_after_free")
+        assert event["k"] == "near_miss"
+        assert event["kind"] == "use_after_free"
+
+    def test_events_filters_by_kind(self):
+        rec = flightrec.FlightRecorder()
+        rec.record("inject", 0.0, site="a")
+        rec.record("skip", 1.0, site="b", reason="decay")
+        rec.record("inject", 2.0, site="c")
+        assert [e["site"] for e in rec.events("inject")] == ["a", "c"]
+        assert len(rec.events()) == 3
+
+
+class TestRunMarks:
+    def test_events_partition_by_run(self):
+        rec = flightrec.FlightRecorder()
+        first = rec.begin_run(kind="prep", test="t", seed=0)
+        rec.record("inject", 0.0, site="a")
+        second = rec.begin_run(kind="detect", test="t", seed=1)
+        rec.record("inject", 0.0, site="b")
+        assert [e["k"] for e in rec.events_for_run(first)] == ["run_start", "inject"]
+        sites = [e.get("site") for e in rec.events_for_run(second)]
+        assert "b" in sites and "a" not in sites
+        assert rec.events_for_run(99) == []
+
+    def test_marks_survive_eviction(self):
+        rec = flightrec.FlightRecorder(capacity=3)
+        rec.begin_run(kind="prep", test="t", seed=0)
+        rec.record("inject", 0.0, site="old")
+        run2 = rec.begin_run(kind="detect", test="t", seed=1)
+        rec.record("inject", 0.0, site="x")
+        rec.record("inject", 1.0, site="y")
+        # Run 1's events were evicted; run 2's slice is fully retained.
+        assert [e["k"] for e in rec.events_for_run(run2)] == [
+            "run_start",
+            "inject",
+            "inject",
+        ]
+        assert rec.dropped == 2
+
+
+class TestActivation:
+    def test_install_uninstall(self):
+        assert flightrec.recorder() is None
+        assert not flightrec.active()
+        rec = flightrec.install(capacity=16)
+        assert flightrec.recorder() is rec
+        assert flightrec.active()
+        flightrec.uninstall()
+        assert flightrec.recorder() is None
+
+    def test_suspended_hides_recorder(self):
+        rec = flightrec.install()
+        with flightrec.suspended():
+            assert flightrec.recorder() is None
+        assert flightrec.recorder() is rec
+
+    def test_suspended_restores_on_error(self):
+        rec = flightrec.install()
+        with pytest.raises(RuntimeError):
+            with flightrec.suspended():
+                raise RuntimeError("boom")
+        assert flightrec.recorder() is rec
+
+    def test_env_configuration(self, monkeypatch):
+        monkeypatch.setenv(flightrec.FLIGHTREC_ENV, "128")
+        flightrec._configure_from_env()
+        assert flightrec.recorder().capacity == 128
+
+    def test_env_non_integer_means_default_capacity(self, monkeypatch):
+        monkeypatch.setenv(flightrec.FLIGHTREC_ENV, "on")
+        flightrec._configure_from_env()
+        assert flightrec.recorder().capacity == flightrec.DEFAULT_CAPACITY
+
+    def test_env_absent_is_noop(self, monkeypatch):
+        monkeypatch.delenv(flightrec.FLIGHTREC_ENV, raising=False)
+        flightrec._configure_from_env()
+        assert flightrec.recorder() is None
+
+
+class TestPipelineIntegration:
+    def test_detection_emits_lifecycle_and_decision_events(self):
+        from repro.apps import bug_workload
+        from repro.core.config import WaffleConfig
+        from repro.core.detector import Waffle
+
+        rec = flightrec.install()
+        outcome = Waffle(WaffleConfig(seed=21)).detect(
+            bug_workload("Bug-8"), max_detection_runs=8
+        )
+        assert outcome.bug_found
+        kinds = {e["k"] for e in rec.snapshot()}
+        assert {"run_start", "thread_start", "inject", "near_miss"} <= kinds
+        assert kinds <= set(flightrec.EVENT_KINDS)
+
+    def test_recorder_is_purely_observational(self):
+        from repro.apps import bug_workload
+        from repro.core.config import WaffleConfig
+        from repro.core.detector import Waffle
+
+        baseline = Waffle(WaffleConfig(seed=3)).detect(
+            bug_workload("Bug-1"), max_detection_runs=4
+        )
+        flightrec.install()
+        observed = Waffle(WaffleConfig(seed=3)).detect(
+            bug_workload("Bug-1"), max_detection_runs=4
+        )
+        assert [r.virtual_time_ms for r in baseline.runs] == [
+            r.virtual_time_ms for r in observed.runs
+        ]
+        assert [r.delays_injected for r in baseline.runs] == [
+            r.delays_injected for r in observed.runs
+        ]
+        assert baseline.bug_found == observed.bug_found

@@ -93,6 +93,99 @@ class TestLoad:
         assert data.runs == []
 
 
+class TestRecovery:
+    """Killed-worker artifacts are warnings; committed data stays strict."""
+
+    def test_truncated_final_line_is_a_warning_not_an_error(self, obs_dir):
+        with open(obs_dir / "telemetry-100-1.jsonl", "a") as fp:
+            fp.write('{"type": "run", "trunc')  # no trailing newline
+        data = load_obs_dir(obs_dir)
+        assert data.parse_errors == []
+        assert any("truncated final line" in w for w in data.warnings)
+        assert len(data.runs) == 1  # the committed lines still load
+
+    def test_interior_bad_line_stays_a_parse_error(self, obs_dir):
+        (obs_dir / "telemetry-999-1.jsonl").write_text('not json\n{"type": "meta"}')
+        data = load_obs_dir(obs_dir)
+        assert len(data.parse_errors) == 1
+
+    def test_bad_final_line_with_newline_stays_a_parse_error(self, obs_dir):
+        # A complete (newline-terminated) bad line was committed by the
+        # writer, not cut off by a kill: that is corruption, not noise.
+        (obs_dir / "telemetry-999-1.jsonl").write_text("not json\n")
+        data = load_obs_dir(obs_dir)
+        assert len(data.parse_errors) == 1
+        assert data.warnings == []
+
+    def test_missing_directory_warns_instead_of_raising(self, tmp_path):
+        data = load_obs_dir(tmp_path / "never-written")
+        assert data.processes == 0
+        assert any("does not exist" in w for w in data.warnings)
+        assert "does not exist" in render_report(data)
+
+    def test_unreadable_coverage_file_warns(self, obs_dir):
+        (obs_dir / "coverage-9-9.json").write_text("{torn")
+        data = load_obs_dir(obs_dir)
+        assert data.coverage == []
+        assert any("unreadable coverage" in w for w in data.warnings)
+
+
+class TestCoverageAndDossierSections:
+    @pytest.fixture
+    def enriched_dir(self, obs_dir):
+        from repro.core import persistence
+
+        persistence.save_record(
+            {
+                "type": "coverage",
+                "tool": "waffle",
+                "test": "t",
+                "bug_found": True,
+                "runs": [],
+                "pairs": [],
+                "pairs_total": 0,
+                "pairs_delayed": 0,
+                "pairs_pruned": 0,
+                "pairs_planned": 0,
+                "pruned_reasons": {},
+                "pruned_parent_child": 0,
+                "site_injections": {},
+                "injected_total": 0,
+                "skipped_decay": 0,
+                "skipped_interference": 0,
+                "skipped_budget": 0,
+                "decay": {"sites": 0, "retired": [], "probabilities": {}},
+            },
+            obs_dir / "coverage-1-0.json",
+        )
+        persistence.save_record(
+            {
+                "dossier": {
+                    "report": {
+                        "error_type": "NullReferenceError",
+                        "fault_location": "a:1",
+                    },
+                    "verified": True,
+                }
+            },
+            obs_dir / "dossier-1-0.json",
+        )
+        return obs_dir
+
+    def test_records_are_loaded(self, enriched_dir):
+        data = load_obs_dir(enriched_dir)
+        assert len(data.coverage) == 1
+        assert len(data.dossiers) == 1
+        assert data.dossiers[0]["file"] == "dossier-1-0.json"
+
+    def test_report_surfaces_both_sections(self, enriched_dir):
+        text = render_report(load_obs_dir(enriched_dir))
+        assert "coverage observatory (1 session(s))" in text
+        assert "coverage reconciles with engine counters" in text
+        assert "bug dossiers (1)" in text
+        assert "NullReferenceError @ a:1" in text
+
+
 class TestReconcile:
     def test_consistent_directory_has_no_problems(self, obs_dir):
         assert reconcile(load_obs_dir(obs_dir)) == []

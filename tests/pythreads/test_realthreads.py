@@ -148,3 +148,74 @@ class TestRealThreadsWaffle:
         sites = outcome.plan.delay_sites
         assert sites == {"rt.send:10"}
         assert outcome.plan.stats.pruned_parent_child >= 1
+
+
+class TestObservabilityParity:
+    """Real-threads runs speak the same telemetry dialect as the sim."""
+
+    @pytest.fixture(autouse=True)
+    def clean_recorder(self):
+        from repro.obs import flightrec
+
+        flightrec.uninstall()
+        yield
+        flightrec.uninstall()
+
+    def test_run_records_carry_the_skip_taxonomy(self):
+        outcome = RealThreadsWaffle().detect(uaf_workload(), max_detection_runs=3)
+        detect_runs = [r for r in outcome.runs if r.kind == "detect"]
+        assert detect_runs
+        for record in detect_runs:
+            # Same field names and non-negative counts as the sim
+            # detector's RunRecord skip-reason taxonomy.
+            assert record.skipped_interference >= 0
+            assert record.skipped_decay >= 0
+            assert record.skipped_budget >= 0
+
+    def test_flight_recorder_sees_the_sim_event_stream(self):
+        from repro.obs import flightrec
+
+        rec = flightrec.install()
+        outcome = RealThreadsWaffle().detect(uaf_workload(), max_detection_runs=3)
+        assert outcome.bug_found
+        kinds = {e["k"] for e in rec.snapshot()}
+        assert kinds <= set(flightrec.EVENT_KINDS)
+        # The same lifecycle/decision dialect the sim scheduler emits.
+        assert {"run_start", "thread_start", "thread_end"} <= kinds
+        run_kinds = [e["run_kind"] for e in rec.events("run_start")]
+        assert run_kinds[0] == "prep"
+        assert "detect" in run_kinds
+
+    def test_fault_events_carry_site_and_thread(self):
+        from repro.obs import flightrec
+
+        rec = flightrec.install()
+        RealThreadsWaffle().detect(uaf_workload(), max_detection_runs=3)
+        faults = rec.events("fault")
+        assert faults  # the exposed bug manifests as a fault event
+        fault = faults[-1]
+        assert fault["site"] == "rt.send:10"
+        # Disposed-use manifests as ObjectDisposedError (a
+        # NullReferenceError subclass); both are the same oracle.
+        assert fault["error"] in ("NullReferenceError", "ObjectDisposedError")
+        assert fault["thread"] == "sender"
+
+    def test_thread_start_links_parent_and_child(self):
+        from repro.obs import flightrec
+
+        rec = flightrec.install()
+        rt = RealThreadsRuntime()
+
+        def worker():
+            pass
+
+        rt.spawn(worker, name="child")
+        rt.join_all()
+        starts = rec.events("thread_start")
+        assert len(starts) == 2
+        main, child = starts
+        assert main["parent"] is None
+        assert child["parent"] == main["tid"]
+        assert child["name"] == "child"
+        ends = rec.events("thread_end")
+        assert len(ends) == 1 and ends[0]["failed"] is False
