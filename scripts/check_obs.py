@@ -49,6 +49,17 @@ REQUIRED_COUNTERS = (
     "sched.runs",
     "sched.context_switches",
     "telemetry.runs_recorded",
+    # Resilience counters (repro.harness.supervisor / faults taxonomy);
+    # pre-registered at session start so every summary carries them.
+    "faults.worker_crash",
+    "faults.hang",
+    "faults.transient_io",
+    "faults.corrupt_record",
+    "faults.deterministic",
+    "cells.retried",
+    "cells.quarantined",
+    "cells.resumed",
+    "cache.corrupt",
 )
 
 KNOWN_TYPES = {"meta", "inject", "span", "run"}

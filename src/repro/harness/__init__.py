@@ -1,8 +1,10 @@
 """Experiment harness: per-table drivers, metrics, renderers, CLI."""
 
-from . import experiments, metrics, tables
+from . import experiments, faults, metrics, supervisor, tables
 from .cache import CacheStats, PlanCache, PrepResult, config_hash, open_cache
+from .faults import FAULT_KINDS, HangError, HarnessFault, classify
 from .parallel import map_units, resolve_jobs
+from .supervisor import CampaignJournal, CampaignStats, RetryPolicy, Supervisor, supervised
 from .runner import (
     SingleRun,
     analyze_test,
@@ -18,8 +20,19 @@ from .runner import (
 
 __all__ = [
     "experiments",
+    "faults",
     "metrics",
+    "supervisor",
     "tables",
+    "FAULT_KINDS",
+    "HangError",
+    "HarnessFault",
+    "classify",
+    "CampaignJournal",
+    "CampaignStats",
+    "RetryPolicy",
+    "Supervisor",
+    "supervised",
     "CacheStats",
     "PlanCache",
     "PrepResult",

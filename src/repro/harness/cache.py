@@ -13,7 +13,12 @@ Entries are keyed by a SHA-256 digest over a canonical JSON encoding of
 per entry via :mod:`repro.core.persistence`. Any change to a config
 field -- delay lengths, windows, design-point flags -- changes the
 config hash and therefore invalidates the entry; bumping
-``persistence.FORMAT_VERSION`` invalidates everything.
+``persistence.FORMAT_VERSION`` invalidates everything. Records carry a
+SHA-256 payload checksum written at ``put`` time and verified on every
+file read: a corrupt or truncated entry (torn write, bit rot, chaos
+injection) is quarantined (``*.corrupt`` rename) and treated as a
+miss, never a crash -- every cached unit is deterministic, so
+recomputation is always sound.
 
 Cached kinds:
 
@@ -43,6 +48,7 @@ from .. import obs
 from ..core.analyzer import InjectionPlan
 from ..core.config import WaffleConfig
 from ..core.persistence import load_record, save_record
+from . import faults
 
 #: Environment variable consulted for a default cache directory.
 CACHE_DIR_ENV = "WAFFLE_CACHE_DIR"
@@ -70,11 +76,15 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    #: Entries that failed integrity validation and were quarantined
+    #: (renamed to ``*.corrupt``); each also counts as a miss.
+    corrupt: int = 0
 
     def absorb(self, other: "CacheStats") -> None:
         self.hits += other.hits
         self.misses += other.misses
         self.writes += other.writes
+        self.corrupt += other.corrupt
 
 
 #: Process-wide totals across every cache instance, so the CLI can print
@@ -120,6 +130,25 @@ class PlanCache:
         if self._obs is not None:
             self._obs.c_cache_misses.inc()
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a record that failed integrity validation out of the
+        cache's namespace (``*.corrupt``) so it is never re-read, and
+        count it. A corrupt entry is a miss, never a crash: the work
+        unit is deterministic, so recomputing it is always sound."""
+        self.stats.corrupt += 1
+        GLOBAL_STATS.corrupt += 1
+        if self._obs is not None:
+            self._obs.c_cache_corrupt.inc()
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            pass  # the quarantine rename itself must never crash a run
+
+    @staticmethod
+    def _payload_checksum(payload: dict) -> str:
+        blob = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
     def get(self, kind: str, key: Dict[str, Any]) -> Optional[dict]:
         digest = self._digest(kind, key)
         if digest in self._memo:
@@ -127,22 +156,33 @@ class PlanCache:
             return self._memo[digest]
         path = self._path(kind, digest)
         if path.exists():
+            # Chaos site: deterministically corrupt the record before it
+            # is read, exercising the quarantine path below.
+            faults.maybe_corrupt_record(path)
             try:
                 record = load_record(path)
-            except (ValueError, KeyError, json.JSONDecodeError):
-                # Stale format or torn write: treat as a miss.
+                payload = record["payload"]
+                if record.get("sha256") != self._payload_checksum(payload):
+                    raise ValueError("cache record failed checksum: %s" % path.name)
+            except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+                # Torn write, stale/un-checksummed format, or corrupted
+                # bytes: quarantine the file and recompute.
+                self._quarantine(path, "integrity validation failed")
                 self._miss()
                 return None
-            self._memo[digest] = record
+            self._memo[digest] = payload
             self._hit()
-            return record
+            return payload
         self._miss()
         return None
 
     def put(self, kind: str, key: Dict[str, Any], payload: dict) -> None:
         digest = self._digest(kind, key)
         self._memo[digest] = payload
-        save_record(payload, self._path(kind, digest))
+        save_record(
+            {"payload": payload, "sha256": self._payload_checksum(payload)},
+            self._path(kind, digest),
+        )
         self.stats.writes += 1
         GLOBAL_STATS.writes += 1
         if self._obs is not None:

@@ -24,7 +24,7 @@ from ..apps import all_bugs, bug_workload, get_app
 from ..baselines import StressRunner, WaffleBasic
 from ..core.config import DEFAULT_CONFIG
 from ..core.detector import Waffle
-from . import experiments, tables
+from . import experiments, faults, supervisor, tables
 from .cache import GLOBAL_STATS
 
 
@@ -427,6 +427,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable run telemetry and write it here (also via WAFFLE_OBS_DIR); "
         "inspect with 'obs report <dir>' afterwards",
     )
+    shared.add_argument(
+        "--resume",
+        type=str,
+        default=argparse.SUPPRESS,
+        metavar="DIR",
+        help="campaign journal directory: completed cells are skipped, the "
+        "failure tail re-attempted; results are bit-identical to an "
+        "uninterrupted run (activates the supervisor)",
+    )
+    shared.add_argument(
+        "--retries",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="per-cell attempt budget for retryable faults (worker crash, "
+        "hang, transient I/O); deterministic failures are quarantined, "
+        "not retried (activates the supervisor; default 3 when active)",
+    )
+    shared.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=argparse.SUPPRESS,
+        metavar="SECONDS",
+        help="explicit per-cell watchdog deadline; default adapts from the "
+        "median completed-cell time x the runner's TIMEOUT_FACTOR "
+        "(activates the supervisor)",
+    )
     parser = argparse.ArgumentParser(
         prog="waffle-repro",
         parents=[shared],
@@ -525,23 +551,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cache_summary_line(hits0: int = 0, misses0: int = 0, writes0: int = 0) -> Optional[str]:
+def _cache_summary_line(
+    hits0: int = 0, misses0: int = 0, writes0: int = 0, corrupt0: int = 0
+) -> Optional[str]:
     """End-of-run cache effectiveness for this invocation: the delta of
     the process-wide totals against the counts observed at entry (so
     embedders calling main() repeatedly don't see stale numbers)."""
     hits = GLOBAL_STATS.hits - hits0
     misses = GLOBAL_STATS.misses - misses0
     writes = GLOBAL_STATS.writes - writes0
+    corrupt = GLOBAL_STATS.corrupt - corrupt0
     lookups = hits + misses
     if lookups == 0 and writes == 0:
         return None
     rate = 100.0 * hits / lookups if lookups else 0.0
-    return "cache: %d hits / %d misses (%.1f%% hit rate), %d writes" % (
+    line = "cache: %d hits / %d misses (%.1f%% hit rate), %d writes" % (
         hits,
         misses,
         rate,
         writes,
     )
+    if corrupt:
+        line += ", %d corrupt record(s) quarantined" % corrupt
+    return line
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -559,6 +591,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.cache_dir = None
     if not hasattr(args, "obs_dir"):
         args.obs_dir = None
+    if not hasattr(args, "resume"):
+        args.resume = None
+    if not hasattr(args, "retries"):
+        args.retries = None
+    if not hasattr(args, "cell_timeout"):
+        args.cell_timeout = None
     if args.command in ("detect", "trace") and not args.bug and not (args.app and args.test):
         parser.error("%s requires --bug or both --app and --test" % args.command)
     if args.obs_dir:
@@ -566,13 +604,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         # configure() activates telemetry in this process right away.
         os.environ[obs.OBS_DIR_ENV] = args.obs_dir
         obs.configure(args.obs_dir)
-    hits0, misses0, writes0 = GLOBAL_STATS.hits, GLOBAL_STATS.misses, GLOBAL_STATS.writes
-    # Commands return an exit code or None (= success): replay and the
-    # obs inspectors signal "not reproduced" / "nothing found" via rc.
-    rc = args.func(args)
-    summary = _cache_summary_line(hits0, misses0, writes0)
+    # The supervisor activates when any resilience flag is given, or
+    # when chaos injection is on (a chaos campaign without the fault
+    # boundary would just crash, which is not what chaos is for).
+    sup = None
+    if args.resume or args.retries or args.cell_timeout or faults.active():
+        journal = supervisor.CampaignJournal(args.resume) if args.resume else None
+        sup = supervisor.Supervisor(
+            policy=supervisor.RetryPolicy(max_attempts=args.retries or 3, seed=args.seed),
+            journal=journal,
+            cell_timeout_s=args.cell_timeout,
+        )
+        supervisor.activate(sup)
+    hits0, misses0, writes0, corrupt0 = (
+        GLOBAL_STATS.hits,
+        GLOBAL_STATS.misses,
+        GLOBAL_STATS.writes,
+        GLOBAL_STATS.corrupt,
+    )
+    try:
+        # Commands return an exit code or None (= success): replay and
+        # the obs inspectors signal "not reproduced" / "nothing found"
+        # via rc.
+        rc = args.func(args)
+    finally:
+        if sup is not None:
+            supervisor.deactivate()
+    summary = _cache_summary_line(hits0, misses0, writes0, corrupt0)
     if summary is not None:
         print(summary)
+    if sup is not None and sup.stats.cells:
+        # The degradation summary: the campaign completed, possibly
+        # minus quarantined cells -- exit code stays 0 by design.
+        print(sup.stats.summary_line())
     if args.obs_dir:
         obs.flush()
         print("telemetry written to %s (inspect with: obs report %s)" % (args.obs_dir, args.obs_dir))

@@ -14,6 +14,16 @@ merge in submission order, so parallel runs are bit-identical to serial
 ones. ``cache_dir`` enables the content-addressed trace/plan cache
 (:mod:`repro.harness.cache`): preparation traces are recorded once and
 their plans reused across tables instead of re-executed per driver.
+
+When a campaign supervisor is active (``--resume``/``--retries``/
+``--cell-timeout`` or ``WAFFLE_CHAOS``; see
+:mod:`repro.harness.supervisor`), ``map_units`` routes every cell
+through its fault boundary: hung or crashed cells are retried with
+backoff, deterministic failures are quarantined (their row degrades to
+``None`` instead of aborting the table), and finished cells are
+journaled for checkpoint-resume. Because cells are deterministic,
+supervised, resumed and chaos-surviving campaigns all produce
+bit-identical tables.
 """
 
 from __future__ import annotations

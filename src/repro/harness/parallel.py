@@ -72,6 +72,14 @@ def map_units(
     (or a single unit) bypasses the pool entirely so the serial path is
     byte-for-byte the pre-parallel code path.
     """
+    from . import supervisor
+
+    active = supervisor.current()
+    if active is not None:
+        # Supervised campaign: watchdogs, retry/backoff, checkpoint-
+        # resume (see repro.harness.supervisor). Off-path cost is this
+        # one None check per experiment fan-out.
+        return active.map(fn, arg_tuples, jobs)
     jobs = resolve_jobs(jobs)
     units = list(arg_tuples)
     if jobs <= 1 or len(units) <= 1:

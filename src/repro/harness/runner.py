@@ -26,7 +26,10 @@ from .cache import PlanCache, PrepResult, config_hash, prep_from_record, prep_to
 #: Per-test timeout multiplier: a run exceeding ``TIMEOUT_FACTOR x``
 #: its uninstrumented duration (with a floor) is marked TimeOut -- the
 #: convention behind the MQTT.Net rows of Tables 5 and 6, where most
-#: tests time out under WaffleBasic's accumulated fixed delays.
+#: tests time out under WaffleBasic's accumulated fixed delays. The
+#: campaign supervisor (:mod:`repro.harness.supervisor`) applies the
+#: same factor/floor convention at cell granularity for its wall-clock
+#: watchdog: factor x the median completed-cell time, floored.
 TIMEOUT_FACTOR = 30.0
 TIMEOUT_FLOOR_MS = 3_000.0
 

@@ -1,0 +1,706 @@
+"""Fault-tolerant campaign supervisor: watchdogs, retries, resume.
+
+Waffle's evaluation is a long campaign, and delay injection
+deliberately drives target programs into crashes, deadlocks and
+timeouts. The harness fans cells out across processes
+(:mod:`repro.harness.parallel`), so a single hung detection run,
+OOM-killed pool worker or torn cache record must degrade one cell --
+not take down or silently poison the whole ``--jobs`` campaign. The
+supervisor wraps every cell execution in a fault boundary:
+
+* **Watchdog** -- each cell gets a wall-clock deadline derived from the
+  same ``TIMEOUT_FACTOR`` logic :mod:`repro.harness.runner` applies to
+  individual simulated tests (factor x the median observed cell time,
+  floored), so a wedged worker is killed rather than waited on forever.
+  Serially the watchdog is a SIGALRM timer; under ``--jobs`` each cell
+  runs in its own forked process that can be terminated individually
+  (a pool executor cannot kill one hung member).
+* **Retry with backoff** -- faults are classified by
+  :func:`repro.harness.faults.classify`: *retryable* ones (worker
+  crash, hang, transient I/O, corrupt record) are re-attempted under an
+  exponential-backoff schedule with seeded, deterministic jitter, up to
+  a per-cell attempt budget; *deterministic* ones (assertion failures,
+  schema errors) are quarantined immediately -- the same inputs would
+  fail identically, so retrying burns budget without information.
+* **Checkpoint-resume** -- an optional :class:`CampaignJournal` records
+  every finalized cell (keyed by the same content-addressed digests the
+  run cache uses) together with a checksummed pickle of its result, so
+  ``--resume`` skips finished work and re-attempts only the failure
+  tail. Because every cell is a deterministic function of its
+  arguments, a resumed campaign is bit-identical to an uninterrupted
+  one -- the property the resume tests guard.
+* **Crash dossiers** -- every fault is captured as a JSON dossier
+  (fault taxonomy record plus a flight-recorder snapshot when one is
+  installed) before the worker is torn down.
+
+The supervisor is **opt-in**: :func:`repro.harness.parallel.map_units`
+consults :func:`current` and takes its historical path when no
+supervisor is active, so the unsupervised hot path pays one function
+call per *experiment* (not per cell). ``benchmarks/bench_resilience.py``
+guards that budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..core.persistence import save_record
+from . import faults
+from .runner import TIMEOUT_FACTOR, TIMEOUT_FLOOR_MS
+
+#: Watchdog floor, inherited from the per-test timeout convention.
+WATCHDOG_FLOOR_S = TIMEOUT_FLOOR_MS / 1000.0
+
+#: Deadline applied before enough cells have completed to estimate one
+#: (deliberately generous: a false kill costs a retry, a false wait
+#: costs the whole campaign).
+WATCHDOG_WARMUP_S = 600.0
+
+#: Completed-cell sample size needed before the adaptive deadline
+#: replaces the warm-up deadline.
+WATCHDOG_MIN_SAMPLES = 3
+
+JOURNAL_NAME = "journal.jsonl"
+
+
+def _jsonable(value: Any) -> Any:
+    """Canonical JSON projection of a cell argument (for cell keys)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {"__dc__": type(value).__name__, **_jsonable(dataclasses.asdict(value))}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(v) for v in value)
+    if isinstance(value, Path):
+        return str(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def cell_key(fn: Callable[..., Any], args: Tuple) -> str:
+    """Content-addressed identity of one cell: function + arguments.
+
+    The same digest discipline as the run cache: SHA-256 over a
+    canonical JSON encoding, so the key is stable across processes and
+    campaign restarts -- the anchor checkpoint-resume hangs off.
+    """
+    blob = json.dumps(
+        {"fn": "%s.%s" % (fn.__module__, fn.__qualname__), "args": _jsonable(list(args))},
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class RetryPolicy:
+    """Exponential backoff with seeded, deterministic jitter.
+
+    The jitter draw is a pure function of ``(seed, cell key, attempt)``
+    -- same SHA-256 discipline as the chaos harness -- so a retry
+    schedule is exactly reproducible, which the backoff-determinism
+    test relies on.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def backoff_s(self, key: str, attempt: int) -> float:
+        """Delay before retrying ``key`` after failed attempt ``attempt``."""
+        base = min(
+            self.backoff_max_s,
+            self.backoff_base_s * (self.backoff_factor ** max(0, attempt - 1)),
+        )
+        if self.jitter <= 0.0:
+            return base
+        blob = "%d|backoff|%s|%d" % (self.seed, key, attempt)
+        digest = hashlib.sha256(blob.encode("utf-8")).digest()
+        draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        # Spread over [base*(1-jitter), base*(1+jitter)].
+        return base * (1.0 - self.jitter + 2.0 * self.jitter * draw)
+
+    def backoff_schedule(self, key: str) -> List[float]:
+        """The full retry schedule for ``key`` (one entry per retry)."""
+        return [self.backoff_s(key, attempt) for attempt in range(1, self.max_attempts)]
+
+
+# ----------------------------------------------------------------------
+# Campaign journal (checkpoint-resume)
+# ----------------------------------------------------------------------
+
+
+class CampaignJournal:
+    """Append-only ledger of finalized cells plus checksummed results.
+
+    One JSONL line per finalized cell (``ok`` | ``quarantined`` |
+    ``failed``) and, for ``ok`` cells, an atomically-written pickle of
+    the result whose SHA-256 is recorded in the line. On load, a
+    truncated tail line (campaign killed mid-append) is tolerated and
+    an ``ok`` entry whose pickle is missing or fails its checksum is
+    dropped -- the cell simply reruns. Only ``ok`` cells are skipped on
+    resume; the failure tail is always re-attempted.
+    """
+
+    def __init__(self, directory: os.PathLike):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / JOURNAL_NAME
+        self.entries: Dict[str, dict] = {}
+        self.recovered_truncated = 0
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        lines = self.path.read_text().splitlines()
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    # Torn tail: the campaign died mid-append. The cell
+                    # was never acknowledged, so dropping the line is
+                    # exactly a rerun of that cell.
+                    self.recovered_truncated += 1
+                    continue
+                raise faults.CorruptRecordFault(
+                    "journal %s: undecodable line %d (not the tail)" % (self.path, index + 1)
+                )
+            self.entries[entry["key"]] = entry
+
+    def result_path(self, key: str) -> Path:
+        return self.directory / ("result-%s.pkl" % key)
+
+    def record(self, key: str, status: str, attempts: int, fault_list: List[dict],
+               result: Any = None) -> None:
+        entry: Dict[str, Any] = {"key": key, "status": status, "attempts": attempts}
+        if fault_list:
+            entry["faults"] = fault_list
+        if status == "ok":
+            blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+            entry["sha256"] = hashlib.sha256(blob).hexdigest()
+            target = self.result_path(key)
+            tmp = target.with_name(target.name + ".tmp.%d" % os.getpid())
+            tmp.write_bytes(blob)
+            os.replace(tmp, target)
+        self.entries[key] = entry
+        with open(self.path, "a") as fp:
+            fp.write(json.dumps(entry, sort_keys=True) + "\n")
+            fp.flush()
+
+    def load_result(self, key: str) -> Any:
+        """The journaled result for an ``ok`` cell, checksum-verified.
+
+        Raises :class:`~repro.harness.faults.CorruptRecordFault` when
+        the pickle is missing, truncated or fails its digest; callers
+        treat that as "not finished" and rerun the cell.
+        """
+        entry = self.entries.get(key)
+        if entry is None or entry.get("status") != "ok":
+            raise faults.CorruptRecordFault("journal has no completed result for %s" % key)
+        path = self.result_path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError as exc:
+            raise faults.CorruptRecordFault("result pickle unreadable: %s" % exc)
+        if hashlib.sha256(blob).hexdigest() != entry.get("sha256"):
+            raise faults.CorruptRecordFault("result pickle failed checksum: %s" % path)
+        return pickle.loads(blob)
+
+
+# ----------------------------------------------------------------------
+# Campaign statistics (the degradation summary)
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class CampaignStats:
+    ok: int = 0
+    retried: int = 0  # cells that needed >1 attempt but finished ok
+    quarantined: int = 0  # deterministic fault: never retried
+    failed: int = 0  # retryable fault that exhausted the attempt budget
+    resumed: int = 0  # cells satisfied from the journal without running
+    fault_counts: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def cells(self) -> int:
+        return self.ok + self.quarantined + self.failed + self.resumed
+
+    def count_fault(self, kind: str) -> None:
+        self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
+
+    def summary_line(self) -> str:
+        """The end-of-run degradation summary the CLI prints."""
+        parts = [
+            "%d cells ok" % (self.ok + self.resumed),
+            "%d retried" % self.retried,
+            "%d quarantined" % self.quarantined,
+        ]
+        if self.failed:
+            parts.append("%d failed" % self.failed)
+        if self.resumed:
+            parts.append("%d resumed from journal" % self.resumed)
+        line = "supervisor: " + ", ".join(parts)
+        if self.fault_counts:
+            line += " (faults: %s)" % ", ".join(
+                "%s=%d" % (kind, count) for kind, count in sorted(self.fault_counts.items())
+            )
+        return line
+
+
+# ----------------------------------------------------------------------
+# The supervisor
+# ----------------------------------------------------------------------
+
+
+class _RemoteFault(faults.HarnessFault):
+    """A fault that occurred in a worker process, rehydrated from its
+    JSON description (arbitrary exceptions do not pickle reliably)."""
+
+    def __init__(self, record: Dict[str, Any]):
+        super().__init__("%s: %s" % (record.get("error", "?"), record.get("detail", "")))
+        self.kind = record.get("kind", faults.DETERMINISTIC)
+        self.retryable = bool(record.get("retryable", False))
+
+
+def _child_entry(conn, fn, args, key: str, attempt: int) -> None:
+    """Worker body for one supervised parallel cell.
+
+    Runs the chaos prelude (an injected crash here is a real
+    ``os._exit`` with no result, exactly like an OOM-killed worker),
+    executes the cell through the same ``_call_unit`` wrapper the pool
+    path uses (per-cell telemetry + flush), and ships back either the
+    result or a JSON-safe fault description.
+    """
+    try:
+        faults.cell_prelude(key, attempt, in_child=True)
+        from .parallel import _call_unit
+
+        result = _call_unit(fn, args)
+        conn.send(("ok", result))
+    except BaseException as exc:  # noqa: BLE001 - the boundary's job
+        try:
+            conn.send(("err", faults.describe(exc)))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+class Supervisor:
+    """Fault boundary around a campaign's cell executions.
+
+    Activate with :func:`activate` (or the :func:`supervised` context
+    manager); :func:`repro.harness.parallel.map_units` routes through
+    :meth:`map` while one is active.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[RetryPolicy] = None,
+        journal: Optional[CampaignJournal] = None,
+        cell_timeout_s: Optional[float] = None,
+        dossier_dir: Optional[os.PathLike] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.policy = policy or RetryPolicy()
+        self.journal = journal
+        self.cell_timeout_s = cell_timeout_s
+        self.stats = CampaignStats()
+        self.sleep = sleep
+        self._dossier_dir = Path(dossier_dir) if dossier_dir is not None else None
+        self._wall_times: List[float] = []
+        self._dossiers_written = 0
+
+    # -- Watchdog ------------------------------------------------------
+
+    def watchdog_s(self) -> float:
+        """Per-cell wall-clock deadline.
+
+        An explicit ``--cell-timeout`` wins; otherwise the deadline
+        adapts to the campaign: ``TIMEOUT_FACTOR`` x the median
+        completed-cell wall time (floored), the same convention
+        :func:`repro.harness.runner.test_time_limit` applies to
+        individual simulated tests. Until enough cells have completed
+        to estimate, a generous warm-up deadline applies.
+        """
+        if self.cell_timeout_s is not None:
+            return self.cell_timeout_s
+        if len(self._wall_times) < WATCHDOG_MIN_SAMPLES:
+            return WATCHDOG_WARMUP_S
+        ordered = sorted(self._wall_times)
+        median = ordered[len(ordered) // 2]
+        return max(WATCHDOG_FLOOR_S, TIMEOUT_FACTOR * median)
+
+    @contextmanager
+    def _serial_watchdog(self, deadline_s: float, key: str):
+        """SIGALRM-based deadline for the serial path (main thread only;
+        elsewhere the cell runs unguarded rather than unsupervised)."""
+        usable = (
+            hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread()
+        )
+        if not usable:
+            yield
+            return
+
+        def _on_alarm(signum, frame):
+            raise faults.CellHangFault(
+                "cell %s exceeded its %.1fs watchdog" % (key[:12], deadline_s)
+            )
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, deadline_s)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+    # -- Dossiers and accounting ---------------------------------------
+
+    def _dossier_target(self) -> Optional[Path]:
+        if self._dossier_dir is not None:
+            return self._dossier_dir
+        if self.journal is not None:
+            return self.journal.directory
+        session = obs.session()
+        if session is not None:
+            return session.directory
+        return None
+
+    def _write_dossier(self, key: str, attempt: int, fault_record: dict) -> None:
+        """Capture fault context (including flight-recorder state) as a
+        crash dossier before the cell is finalized or retried."""
+        target = self._dossier_target()
+        if target is None:
+            return
+        flight = obs.flightrec.recorder()
+        payload = {
+            "cell": key,
+            "attempt": attempt,
+            "fault": fault_record,
+            "unix_time": round(time.time(), 3),
+            "flightrec": flight.snapshot()[-256:] if flight is not None else None,
+        }
+        self._dossiers_written += 1
+        try:
+            save_record(payload, Path(target) / ("crash-%s-a%d.json" % (key[:16], attempt)))
+        except OSError:
+            pass  # a dossier must never take down the campaign
+
+    def _account_fault(self, exc: BaseException, key: str, attempt: int) -> dict:
+        record = faults.describe(exc)
+        self.stats.count_fault(record["kind"])
+        session = obs.session()
+        if session is not None:
+            counter = session.c_faults.get(record["kind"])
+            if counter is not None:
+                counter.inc()
+        flight = obs.flightrec.recorder()
+        if flight is not None:
+            flight.record("cell_fault", cell=key[:16], attempt=attempt, kind=record["kind"])
+        self._write_dossier(key, attempt, record)
+        return record
+
+    def _finalize_ok(self, key: str, result: Any, attempt: int, fault_list: List[dict],
+                     wall_s: Optional[float]) -> Any:
+        self.stats.ok += 1
+        if attempt > 1:
+            self.stats.retried += 1
+            session = obs.session()
+            if session is not None:
+                session.c_cells_retried.inc()
+        if wall_s is not None:
+            self._wall_times.append(wall_s)
+        if self.journal is not None:
+            self.journal.record(key, "ok", attempt, fault_list, result=result)
+        return result
+
+    def _finalize_degraded(self, key: str, status: str, attempt: int,
+                           fault_list: List[dict]) -> None:
+        if status == "quarantined":
+            self.stats.quarantined += 1
+            session = obs.session()
+            if session is not None:
+                session.c_cells_quarantined.inc()
+        else:
+            self.stats.failed += 1
+        if self.journal is not None:
+            self.journal.record(key, status, attempt, fault_list)
+
+    # -- Resume --------------------------------------------------------
+
+    def _try_resume(self, key: str) -> Tuple[bool, Any]:
+        """(hit, result): satisfy a cell from the journal when possible."""
+        if self.journal is None:
+            return False, None
+        entry = self.journal.entries.get(key)
+        if entry is None or entry.get("status") != "ok":
+            return False, None
+        try:
+            result = self.journal.load_result(key)
+        except faults.CorruptRecordFault:
+            return False, None  # rerun; the journal entry is superseded
+        self.stats.resumed += 1
+        session = obs.session()
+        if session is not None:
+            session.c_cells_resumed.inc()
+        return True, result
+
+    # -- Serial execution ----------------------------------------------
+
+    def _run_cell_serial(self, fn: Callable[..., Any], args: Tuple, key: str) -> Any:
+        from .parallel import _call_unit
+
+        fault_list: List[dict] = []
+        for attempt in range(1, self.policy.max_attempts + 1):
+            started = time.perf_counter()
+            try:
+                with self._serial_watchdog(self.watchdog_s(), key):
+                    faults.cell_prelude(key, attempt, in_child=False)
+                    result = _call_unit(fn, args)
+                return self._finalize_ok(
+                    key, result, attempt, fault_list, time.perf_counter() - started
+                )
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:  # noqa: BLE001 - the boundary's job
+                fault_list.append(self._account_fault(exc, key, attempt))
+                kind, retryable = faults.classify(exc)
+                if not retryable:
+                    self._finalize_degraded(key, "quarantined", attempt, fault_list)
+                    return None
+                if attempt >= self.policy.max_attempts:
+                    self._finalize_degraded(key, "failed", attempt, fault_list)
+                    return None
+                self.sleep(self.policy.backoff_s(key, attempt))
+        return None  # unreachable
+
+    # -- Parallel execution --------------------------------------------
+
+    def _run_parallel(
+        self,
+        fn: Callable[..., Any],
+        units: List[Tuple],
+        keys: List[str],
+        pending: List[int],
+        results: List[Any],
+        workers: int,
+    ) -> None:
+        """Own process-per-cell fan-out (bounded by ``workers``).
+
+        A ``ProcessPoolExecutor`` cannot kill one wedged member, so the
+        supervised path runs each cell in its own forked process with a
+        pipe back; a cell past its deadline is terminated individually
+        and the rest of the campaign proceeds.
+        """
+        import multiprocessing
+        from multiprocessing.connection import wait as conn_wait
+
+        ctx = multiprocessing.get_context("fork")
+        # (index, attempt, ready_at_monotonic, accumulated fault records)
+        queue: List[Tuple[int, int, float, List[dict]]] = [
+            (index, 1, 0.0, []) for index in pending
+        ]
+        inflight: Dict[Any, dict] = {}  # parent conn -> cell state
+
+        def launch(index: int, attempt: int, fault_list: List[dict]) -> None:
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_child_entry,
+                args=(child_conn, fn, units[index], keys[index], attempt),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            inflight[parent_conn] = {
+                "index": index,
+                "attempt": attempt,
+                "proc": proc,
+                "faults": fault_list,
+                "started": time.monotonic(),
+                "deadline": time.monotonic() + self.watchdog_s(),
+            }
+
+        def settle(conn, cell: dict, exc: Optional[BaseException], result: Any) -> None:
+            index, attempt = cell["index"], cell["attempt"]
+            key = keys[index]
+            cell["proc"].join(timeout=5.0)
+            conn.close()
+            if exc is None:
+                results[index] = self._finalize_ok(
+                    key, result, attempt, cell["faults"],
+                    time.monotonic() - cell["started"],
+                )
+                return
+            cell["faults"].append(self._account_fault(exc, key, attempt))
+            kind, retryable = faults.classify(exc)
+            if not retryable:
+                self._finalize_degraded(key, "quarantined", attempt, cell["faults"])
+            elif attempt >= self.policy.max_attempts:
+                self._finalize_degraded(key, "failed", attempt, cell["faults"])
+            else:
+                ready_at = time.monotonic() + self.policy.backoff_s(key, attempt)
+                queue.append((index, attempt + 1, ready_at, cell["faults"]))
+
+        while queue or inflight:
+            now = time.monotonic()
+            # Launch every ready cell a worker slot exists for.
+            queue.sort(key=lambda item: item[2])
+            while queue and len(inflight) < workers and queue[0][2] <= now:
+                index, attempt, _, fault_list = queue.pop(0)
+                launch(index, attempt, fault_list)
+            if not inflight:
+                if queue:  # everything is backing off: sleep to the nearest retry
+                    self.sleep(max(0.0, queue[0][2] - time.monotonic()))
+                continue
+            # Wait for messages, worker deaths, or the nearest deadline.
+            next_deadline = min(cell["deadline"] for cell in inflight.values())
+            timeout = max(0.0, min(0.25, next_deadline - time.monotonic()))
+            ready = conn_wait(list(inflight.keys()), timeout=timeout)
+            for conn in ready:
+                cell = inflight.pop(conn)
+                try:
+                    status, payload = conn.recv()
+                except (EOFError, OSError):
+                    # The pipe died with no message: the worker crashed
+                    # (chaos os._exit, OOM kill, segfault).
+                    cell["proc"].join(timeout=5.0)
+                    settle(
+                        conn,
+                        cell,
+                        faults.WorkerCrashFault(
+                            "worker for cell %s died without a result (exit %s)"
+                            % (keys[cell["index"]][:12], cell["proc"].exitcode),
+                            exitcode=cell["proc"].exitcode,
+                        ),
+                        None,
+                    )
+                    continue
+                if status == "ok":
+                    settle(conn, cell, None, payload)
+                else:
+                    settle(conn, cell, _RemoteFault(payload), None)
+            # Enforce deadlines on whatever is still in flight.
+            now = time.monotonic()
+            for conn in [c for c, cell in inflight.items() if cell["deadline"] <= now]:
+                cell = inflight.pop(conn)
+                proc = cell["proc"]
+                hang = faults.CellHangFault(
+                    "cell %s exceeded its %.1fs watchdog; worker pid %s killed"
+                    % (keys[cell["index"]][:12], cell["deadline"] - cell["started"], proc.pid)
+                )
+                proc.terminate()
+                proc.join(timeout=2.0)
+                if proc.is_alive():
+                    proc.kill()
+                settle(conn, cell, hang, None)
+
+    # -- Entry point ---------------------------------------------------
+
+    def map(self, fn: Callable[..., Any], arg_tuples: Sequence[Tuple],
+            jobs: Optional[int] = 1) -> List[Any]:
+        """Supervised equivalent of :func:`repro.harness.parallel.map_units`.
+
+        Results come back in submission order; a quarantined or
+        retry-exhausted cell yields ``None`` at its position (graceful
+        degradation) and is counted in :attr:`stats`.
+        """
+        from .parallel import resolve_jobs
+
+        units = [tuple(args) for args in arg_tuples]
+        keys = [cell_key(fn, args) for args in units]
+        results: List[Any] = [None] * len(units)
+        pending: List[int] = []
+        for index, key in enumerate(keys):
+            hit, result = self._try_resume(key)
+            if hit:
+                results[index] = result
+            else:
+                pending.append(index)
+        if not pending:
+            return results
+        jobs = resolve_jobs(jobs)
+        if jobs <= 1 or len(pending) <= 1:
+            for index in pending:
+                results[index] = self._run_cell_serial(fn, units[index], keys[index])
+        else:
+            self._run_parallel(fn, units, keys, pending, results, min(jobs, len(pending)))
+        return results
+
+
+# ----------------------------------------------------------------------
+# Process-global activation (consulted by parallel.map_units)
+# ----------------------------------------------------------------------
+
+_active: Optional[Supervisor] = None
+
+
+def current() -> Optional[Supervisor]:
+    """The active supervisor, or None (the unsupervised fast path)."""
+    return _active
+
+
+def activate(supervisor: Supervisor) -> Supervisor:
+    global _active
+    _active = supervisor
+    return _active
+
+
+def deactivate() -> None:
+    global _active
+    _active = None
+
+
+@contextmanager
+def supervised(
+    policy: Optional[RetryPolicy] = None,
+    journal: Optional[CampaignJournal] = None,
+    cell_timeout_s: Optional[float] = None,
+    **kwargs: Any,
+):
+    """Scoped activation: every ``map_units`` call inside the block runs
+    under this supervisor."""
+    supervisor = Supervisor(
+        policy=policy, journal=journal, cell_timeout_s=cell_timeout_s, **kwargs
+    )
+    activate(supervisor)
+    try:
+        yield supervisor
+    finally:
+        deactivate()
+
+
+if hasattr(os, "register_at_fork"):
+    # A supervised cell's worker must run its cell directly, not
+    # re-enter the supervisor it inherited over fork.
+    os.register_at_fork(after_in_child=deactivate)

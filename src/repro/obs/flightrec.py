@@ -43,7 +43,9 @@ DEFAULT_CAPACITY = 4096
 #: (``run_start`` | ``thread_start`` | ``thread_end`` | ``switch`` |
 #: ``fault``), injection decisions (``inject`` | ``skip``), candidate
 #: pipeline (``near_miss`` | ``prune_parent_child`` | ``prune_hb`` |
-#: ``pair_removed``).
+#: ``pair_removed``), and resilience marks (``hang`` -- a real-threads
+#: ``join_all`` deadline naming the stuck threads; ``cell_fault`` -- the
+#: campaign supervisor's fault-boundary record for one cell attempt).
 EVENT_KINDS = (
     "run_start",
     "thread_start",
@@ -56,6 +58,8 @@ EVENT_KINDS = (
     "prune_parent_child",
     "prune_hb",
     "pair_removed",
+    "hang",
+    "cell_fault",
 )
 
 

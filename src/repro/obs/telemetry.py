@@ -42,6 +42,12 @@ from .tracing import SpanTracer
 #: to probability 0 and retired) or its delay length is zero.
 SKIP_REASONS = ("decay", "interference", "budget")
 
+#: Fault taxonomy tags mirrored from ``repro.harness.faults.FAULT_KINDS``
+#: (importing the harness here at module scope would tie the obs layer
+#: to the harness package during partial initialization; the guard test
+#: in tests/harness/test_faults.py keeps the copies identical).
+FAULT_KINDS = ("worker_crash", "hang", "transient_io", "corrupt_record", "deterministic")
+
 
 @dataclass
 class RunTelemetry:
@@ -144,6 +150,14 @@ class TelemetrySession:
         self.c_cells = registry.counter("harness.cells")
         self.h_cell_wall_ms = registry.histogram("harness.cell_wall_ms")
         self.c_runs_recorded = registry.counter("telemetry.runs_recorded")
+        # Resilience accounting (the campaign supervisor's dialect).
+        self.c_faults = {
+            kind: registry.counter("faults.%s" % kind) for kind in FAULT_KINDS
+        }
+        self.c_cells_retried = registry.counter("cells.retried")
+        self.c_cells_quarantined = registry.counter("cells.quarantined")
+        self.c_cells_resumed = registry.counter("cells.resumed")
+        self.c_cache_corrupt = registry.counter("cache.corrupt")
 
     # -- Event emission (hot-ish; bounded by decision/run counts) -------
 

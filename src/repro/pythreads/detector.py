@@ -69,7 +69,9 @@ class RealThreadsWaffle:
 
     name = "waffle-realthreads"
 
-    def __init__(self, config: Optional[WaffleConfig] = None):
+    def __init__(
+        self, config: Optional[WaffleConfig] = None, join_timeout_s: float = 30.0
+    ):
         # The recording/injection per-op overheads are meaningless on
         # wall-clock time (the real work costs what it costs), so they
         # are zeroed; everything else carries over.
@@ -77,15 +79,26 @@ class RealThreadsWaffle:
         from dataclasses import replace
 
         self.config = replace(base, record_overhead_ms=0.0, inject_overhead_ms=0.0)
+        #: Per-run join deadline; a workload still running past it is a
+        #: wedged run, degraded via the HangError path below.
+        self.join_timeout_s = join_timeout_s
 
     def _execute(self, workload: RealWorkload, hook, name: str) -> RealThreadsRuntime:
+        from ..harness.faults import HangError
+
         runtime = RealThreadsRuntime(hook=hook)
         try:
             workload(runtime)
         except NullReferenceError as exc:
             # A crash on the orchestrating thread itself.
             runtime.failures.append(("main", exc))
-        runtime.join_all()
+        try:
+            runtime.join_all(timeout_s=self.join_timeout_s)
+        except HangError:
+            # join_all already recorded the stuck threads in
+            # runtime.failures and marked the flight recorder; the run
+            # degrades to "crashed" instead of wedging the campaign.
+            pass
         return runtime
 
     def stress(self, workload: RealWorkload, runs: int = 5, name: str = "real") -> int:

@@ -99,6 +99,10 @@ class RealThreadsRuntime:
         self._tids: Dict[int, int] = {}  # threading ident -> dense tid
         self._clocks: Dict[int, ThreadVectorClock] = {}  # dense tid -> VC
         self._threads: List[threading.Thread] = []
+        #: Last instrumented site each thread touched (dense tid ->
+        #: site string), so a hang report can say *where* a stuck
+        #: thread was last seen, not just that it is stuck.
+        self._sites: Dict[int, str] = {}
         #: Exceptions that escaped spawned threads: (thread name, exc).
         self.failures: List[Tuple[str, BaseException]] = []
         self.op_count = 0
@@ -211,10 +215,40 @@ class RealThreadsRuntime:
         return thread
 
     def join_all(self, timeout_s: float = 30.0) -> None:
+        """Join every spawned thread, or raise a structured hang report.
+
+        A thread still alive at the deadline is a wedged run, and
+        silently falling through would poison every measurement taken
+        afterwards. Instead the deadline raises
+        :class:`~repro.harness.faults.HangError` naming each stuck
+        thread and the instrumented site it was last seen at, records
+        the hang in :attr:`failures` (so detection drivers can degrade
+        the run rather than crash), and emits a flight-recorder
+        ``hang`` mark for the dossier trail.
+        """
         deadline = time.monotonic() + timeout_s
         for thread in self._threads:
             remaining = deadline - time.monotonic()
             thread.join(max(0.0, remaining))
+        stuck = [thread for thread in self._threads if thread.is_alive()]
+        if not stuck:
+            return
+        from ..harness.faults import HangError
+
+        with self._lock:
+            details = []
+            for thread in stuck:
+                tid = self._tids.get(thread.ident)
+                details.append(
+                    {"name": thread.name, "tid": tid, "site": self._sites.get(tid)}
+                )
+            error = HangError(details, timeout_s)
+            self.failures.append(("<join_all>", error))
+            if self._fr is not None:
+                self._fr.record(
+                    "hang", self.now_ms(), timeout_s=timeout_s, threads=details
+                )
+        raise error
 
     # ------------------------------------------------------------------
     # Factories
@@ -241,6 +275,7 @@ class RealThreadsRuntime:
         oid_from_result: bool = False,
     ) -> Any:
         tid = self._current_tid()
+        self._sites[tid] = location.site  # last-seen site for hang reports
         pending = PendingAccess(
             location, access_type, object_id, tid, self.now_ms(),
             ref_name=ref_name, member=member,

@@ -12,10 +12,17 @@ import pytest
 
 from repro.core.config import DEFAULT_CONFIG
 from repro.core import persistence
-from repro.harness import runner
+from repro.harness import faults, runner
 from repro.harness.cache import PlanCache, config_hash, open_cache
 from repro.harness.runner import baseline_run, online_pair, prepare_test
 from repro.apps import get_app
+
+
+@pytest.fixture(autouse=True)
+def chaos_off():
+    faults.disable()
+    yield
+    faults.disable()
 
 
 @pytest.fixture
@@ -88,6 +95,69 @@ class TestPlanCache:
         path.write_text(json.dumps(payload))
         fresh = PlanCache(cache.directory)
         assert fresh.get("prep", key) is None
+
+    def test_corrupted_record_is_quarantined(self, cache):
+        key = {"k": 1}
+        cache.put("prep", key, {"v": 1})
+        path = cache._path("prep", cache._digest("prep", key))
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF  # single flipped bit-rot byte
+        path.write_bytes(bytes(blob))
+
+        fresh = PlanCache(cache.directory)
+        assert fresh.get("prep", key) is None  # a miss, never a crash
+        assert fresh.stats.corrupt == 1
+        assert fresh.stats.misses == 1
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+        # Quarantined entries are never re-read: the recomputed record
+        # replaces them cleanly.
+        fresh.put("prep", key, {"v": 1})
+        assert PlanCache(cache.directory).get("prep", key) == {"v": 1}
+
+    def test_truncated_record_is_quarantined(self, cache):
+        key = {"k": 2}
+        cache.put("prep", key, {"v": [1, 2, 3]})
+        path = cache._path("prep", cache._digest("prep", key))
+        path.write_bytes(path.read_bytes()[:-16])  # torn write
+        fresh = PlanCache(cache.directory)
+        assert fresh.get("prep", key) is None
+        assert fresh.stats.corrupt == 1
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_checksum_mismatch_on_valid_json_is_quarantined(self, cache):
+        # The payload parses fine but was silently altered: only the
+        # checksum catches this class.
+        key = {"k": 3}
+        cache.put("prep", key, {"v": 1})
+        path = cache._path("prep", cache._digest("prep", key))
+        record = json.loads(path.read_text())
+        record["record"]["payload"]["v"] = 2
+        path.write_text(json.dumps(record))
+        fresh = PlanCache(cache.directory)
+        assert fresh.get("prep", key) is None
+        assert fresh.stats.corrupt == 1
+
+    def test_chaos_cache_corrupt_site(self, cache):
+        key = {"k": 4}
+        cache.put("prep", key, {"v": "payload"})
+        faults.configure("seed=9,cache_corrupt=1.0")
+        fresh = PlanCache(cache.directory)  # cold: forces the file read
+        assert fresh.get("prep", key) is None  # chaos corrupted the read
+        assert fresh.stats.corrupt == 1
+        # Chaos fires once per file; the recomputed record then sticks.
+        fresh.put("prep", key, {"v": "payload"})
+        assert fresh.get("prep", key) == {"v": "payload"}
+
+    def test_memo_hits_skip_integrity_io(self, cache):
+        # In-process memo hits never touch the file, so post-put
+        # corruption is invisible until a fresh process reads the disk.
+        key = {"k": 5}
+        cache.put("prep", key, {"v": 1})
+        path = cache._path("prep", cache._digest("prep", key))
+        path.write_bytes(b"garbage")
+        assert cache.get("prep", key) == {"v": 1}
+        assert cache.stats.corrupt == 0
 
     def test_open_cache_none_and_env(self, tmp_path, monkeypatch):
         monkeypatch.delenv("WAFFLE_CACHE_DIR", raising=False)

@@ -193,3 +193,56 @@ class TestJsonConversion:
             where: Location
 
         assert _to_jsonable(Holder(Location("x.y:3"))) == {"where": "x.y:3"}
+
+
+class TestSupervisedCampaigns:
+    """The resilience flags route experiments through the supervisor
+    without changing a single table row."""
+
+    @pytest.fixture(autouse=True)
+    def clean_supervision(self):
+        from repro.harness import faults, supervisor
+
+        faults.disable()
+        supervisor.deactivate()
+        yield
+        faults.disable()
+        supervisor.deactivate()
+
+    @staticmethod
+    def table_lines(out):
+        return [l for l in out.splitlines() if not l.startswith("supervisor:")]
+
+    def test_retries_flag_prints_degradation_summary(self, capsys):
+        assert main(["table2", "--apps", "nsubstitute", "--retries", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "supervisor:" in out and "cells ok" in out
+
+    def test_supervised_output_matches_unsupervised(self, capsys):
+        main(["table2", "--apps", "nsubstitute", "--seed", "1"])
+        plain = capsys.readouterr().out
+        main(["table2", "--apps", "nsubstitute", "--seed", "1", "--retries", "2"])
+        supervised_out = capsys.readouterr().out
+        assert self.table_lines(supervised_out) == plain.splitlines()
+
+    def test_chaos_env_activates_the_supervisor(self, capsys):
+        from repro.harness import faults
+
+        main(["table2", "--apps", "nsubstitute", "--seed", "1"])
+        plain = capsys.readouterr().out
+
+        faults.configure("seed=3,worker_crash=0.5")
+        assert main(["table2", "--apps", "nsubstitute", "--seed", "1"]) == 0
+        chaotic = capsys.readouterr().out
+        assert "supervisor:" in chaotic  # chaos implies the fault boundary
+        assert self.table_lines(chaotic) == plain.splitlines()
+
+    def test_resume_skips_finished_cells(self, tmp_path, capsys):
+        journal = str(tmp_path / "journal")
+        assert main(["table2", "--apps", "nsubstitute", "--resume", journal]) == 0
+        first = capsys.readouterr().out
+        assert main(["table2", "--apps", "nsubstitute", "--resume", journal]) == 0
+        second = capsys.readouterr().out
+        assert "resumed from journal" in second
+        assert self.table_lines(first) == self.table_lines(second)

@@ -1,0 +1,367 @@
+"""Campaign supervisor semantics: retry, quarantine, watchdog, resume.
+
+Cells here are deliberately toy module-level functions (deterministic
+values, controllable failures) so each property is pinned in
+milliseconds; the end-to-end chaos campaign over a real experiment
+driver lives in the CLI tests and CI's chaos smoke cell.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.harness import faults, parallel, supervisor
+from repro.harness.supervisor import (
+    CampaignJournal,
+    RetryPolicy,
+    Supervisor,
+    cell_key,
+    supervised,
+)
+
+# Serial-path failure scripting: cells run in-process, so a module
+# global can count attempts per key.
+ATTEMPTS = {}
+
+
+def square(x):
+    return x * x
+
+
+def flaky(x, fail_times):
+    """Raise a retryable fault on the first ``fail_times`` calls."""
+    count = ATTEMPTS.get(x, 0)
+    ATTEMPTS[x] = count + 1
+    if count < fail_times:
+        raise faults.TransientIOFault("transient #%d for %s" % (count + 1, x))
+    return x * 10
+
+
+def broken(x):
+    raise ValueError("deterministic schema error for %s" % x)
+
+
+def sleeper(x, seconds):
+    time.sleep(seconds)
+    return x
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    ATTEMPTS.clear()
+    faults.disable()
+    supervisor.deactivate()
+    yield
+    ATTEMPTS.clear()
+    faults.disable()
+    supervisor.deactivate()
+
+
+def no_sleep(_s):
+    pass
+
+
+class TestCellKey:
+    def test_stable_across_calls(self):
+        assert cell_key(square, (3,)) == cell_key(square, (3,))
+
+    def test_sensitive_to_fn_and_args(self):
+        assert cell_key(square, (3,)) != cell_key(square, (4,))
+        assert cell_key(square, (3,)) != cell_key(flaky, (3,))
+
+    def test_dataclass_args_are_canonical(self):
+        from repro.core.config import DEFAULT_CONFIG
+
+        a = cell_key(square, (DEFAULT_CONFIG, "id", 1))
+        b = cell_key(square, (DEFAULT_CONFIG, "id", 1))
+        assert a == b
+        assert a != cell_key(square, (DEFAULT_CONFIG.with_seed(99), "id", 1))
+
+
+class TestRetryPolicy:
+    def test_schedule_is_deterministic_for_a_seed(self):
+        a = RetryPolicy(max_attempts=5, seed=7).backoff_schedule("cell-key")
+        b = RetryPolicy(max_attempts=5, seed=7).backoff_schedule("cell-key")
+        assert a == b
+        assert RetryPolicy(max_attempts=5, seed=8).backoff_schedule("cell-key") != a
+
+    def test_jitter_stays_within_band_and_grows_exponentially(self):
+        policy = RetryPolicy(
+            max_attempts=4, backoff_base_s=0.1, backoff_factor=2.0,
+            backoff_max_s=10.0, jitter=0.25, seed=0,
+        )
+        for attempt, nominal in ((1, 0.1), (2, 0.2), (3, 0.4)):
+            value = policy.backoff_s("k", attempt)
+            assert nominal * 0.75 <= value <= nominal * 1.25
+
+    def test_backoff_is_capped(self):
+        policy = RetryPolicy(backoff_base_s=1.0, backoff_factor=10.0,
+                             backoff_max_s=2.0, jitter=0.0)
+        assert policy.backoff_s("k", 5) == 2.0
+
+    def test_keys_get_distinct_jitter(self):
+        policy = RetryPolicy(jitter=0.25, seed=0)
+        assert policy.backoff_s("a", 1) != policy.backoff_s("b", 1)
+
+
+class TestRetryAndQuarantine:
+    def test_retry_until_budget_succeeds(self):
+        sup = Supervisor(policy=RetryPolicy(max_attempts=3, seed=1), sleep=no_sleep)
+        assert sup.map(flaky, [(1, 2)]) == [10]  # fails twice, third try ok
+        assert ATTEMPTS[1] == 3
+        assert sup.stats.ok == 1
+        assert sup.stats.retried == 1
+        assert sup.stats.fault_counts == {"transient_io": 2}
+
+    def test_budget_exhaustion_degrades_to_none(self):
+        sup = Supervisor(policy=RetryPolicy(max_attempts=2, seed=1), sleep=no_sleep)
+        assert sup.map(flaky, [(2, 99)]) == [None]
+        assert ATTEMPTS[2] == 2  # exactly the budget, no more
+        assert sup.stats.failed == 1
+        assert sup.stats.ok == 0
+
+    def test_deterministic_failure_quarantines_without_retry(self):
+        sup = Supervisor(policy=RetryPolicy(max_attempts=5, seed=1), sleep=no_sleep)
+        results = sup.map(broken, [(1,)])
+        assert results == [None]
+        assert sup.stats.quarantined == 1
+        assert sup.stats.fault_counts == {"deterministic": 1}
+
+    def test_quarantine_does_not_poison_the_rest(self):
+        sup = Supervisor(policy=RetryPolicy(max_attempts=2, seed=1), sleep=no_sleep)
+
+        def mixed(x):
+            if x == 1:
+                raise AssertionError("deterministic")
+            return x * x
+
+        assert sup.map(mixed, [(0,), (1,), (2,)]) == [0, None, 4]
+        assert sup.stats.ok == 2
+        assert sup.stats.quarantined == 1
+
+    def test_backoff_uses_the_policy_schedule(self):
+        slept = []
+        policy = RetryPolicy(max_attempts=3, seed=4)
+        sup = Supervisor(policy=policy, sleep=slept.append)
+        sup.map(flaky, [(3, 2)])
+        key = cell_key(flaky, (3, 2))
+        assert slept == [policy.backoff_s(key, 1), policy.backoff_s(key, 2)]
+
+
+class TestWatchdog:
+    def test_explicit_timeout_wins(self):
+        assert Supervisor(cell_timeout_s=1.5).watchdog_s() == 1.5
+
+    def test_warmup_deadline_before_samples(self):
+        sup = Supervisor()
+        assert sup.watchdog_s() == supervisor.WATCHDOG_WARMUP_S
+
+    def test_adapts_to_median_cell_time_with_floor(self):
+        sup = Supervisor()
+        sup._wall_times = [0.01, 0.02, 0.03]
+        assert sup.watchdog_s() == supervisor.WATCHDOG_FLOOR_S  # floored
+        sup._wall_times = [1.0, 2.0, 3.0]
+        assert sup.watchdog_s() == pytest.approx(2.0 * 30.0)  # TIMEOUT_FACTOR
+
+    def test_serial_watchdog_kills_a_wedged_cell(self):
+        sup = Supervisor(
+            policy=RetryPolicy(max_attempts=1), cell_timeout_s=0.2, sleep=no_sleep
+        )
+        started = time.monotonic()
+        assert sup.map(sleeper, [(1, 30.0)]) == [None]
+        assert time.monotonic() - started < 5.0
+        assert sup.stats.fault_counts == {"hang": 1}
+
+    def test_parallel_watchdog_kills_a_wedged_worker(self):
+        sup = Supervisor(
+            policy=RetryPolicy(max_attempts=1), cell_timeout_s=0.5, sleep=no_sleep
+        )
+        started = time.monotonic()
+        results = sup.map(sleeper, [(1, 0.01), (2, 30.0), (3, 0.01)], jobs=3)
+        assert results == [1, None, 3]
+        assert time.monotonic() - started < 10.0
+        assert sup.stats.fault_counts == {"hang": 1}
+        assert sup.stats.ok == 2
+
+
+class TestJournal:
+    def test_roundtrip_with_checksum(self, tmp_path):
+        journal = CampaignJournal(tmp_path)
+        journal.record("k1", "ok", attempts=1, fault_list=[], result={"rows": [1, 2]})
+        reopened = CampaignJournal(tmp_path)
+        assert reopened.load_result("k1") == {"rows": [1, 2]}
+        assert reopened.entries["k1"]["status"] == "ok"
+
+    def test_corrupt_result_pickle_is_detected(self, tmp_path):
+        journal = CampaignJournal(tmp_path)
+        journal.record("k1", "ok", attempts=1, fault_list=[], result=[1, 2, 3])
+        journal.result_path("k1").write_bytes(b"garbage")
+        reopened = CampaignJournal(tmp_path)
+        with pytest.raises(faults.CorruptRecordFault):
+            reopened.load_result("k1")
+
+    def test_torn_tail_line_is_recovered(self, tmp_path):
+        journal = CampaignJournal(tmp_path)
+        journal.record("k1", "ok", attempts=1, fault_list=[], result=1)
+        with open(journal.path, "a") as fp:
+            fp.write('{"key": "k2", "status"')  # killed mid-append
+        reopened = CampaignJournal(tmp_path)
+        assert reopened.recovered_truncated == 1
+        assert set(reopened.entries) == {"k1"}
+
+    def test_interior_corruption_raises(self, tmp_path):
+        journal = CampaignJournal(tmp_path)
+        journal.path.write_text('not json\n{"key": "k1", "status": "ok", "attempts": 1}\n')
+        with pytest.raises(faults.CorruptRecordFault):
+            CampaignJournal(tmp_path)
+
+
+class TestCheckpointResume:
+    def test_resume_completes_exactly_the_remainder(self, tmp_path):
+        units = [(x,) for x in range(5)]
+        clean = Supervisor(sleep=no_sleep).map(square, units)
+
+        # Campaign "killed" after 3 cells: only those reach the journal.
+        first = Supervisor(journal=CampaignJournal(tmp_path), sleep=no_sleep)
+        first.map(square, units[:3])
+
+        ATTEMPTS.clear()
+        executed = []
+
+        def counting_square(x):
+            executed.append(x)
+            return x * x
+
+        counting_square.__module__ = square.__module__
+        counting_square.__qualname__ = square.__qualname__  # same cell keys
+        resumed = Supervisor(journal=CampaignJournal(tmp_path), sleep=no_sleep)
+        results = resumed.map(counting_square, units)
+        assert results == clean  # bit-identical to an uninterrupted run
+        assert executed == [3, 4]  # exactly the remainder ran
+        assert resumed.stats.resumed == 3
+        assert resumed.stats.ok == 2
+
+    def test_failure_tail_is_reattempted(self, tmp_path):
+        journal = CampaignJournal(tmp_path)
+        first = Supervisor(
+            policy=RetryPolicy(max_attempts=1), journal=journal, sleep=no_sleep
+        )
+        assert first.map(flaky, [(7, 99)]) == [None]  # exhausts its budget
+
+        ATTEMPTS.clear()  # the fault was transient: next campaign succeeds
+        second = Supervisor(journal=CampaignJournal(tmp_path), sleep=no_sleep)
+        assert second.map(flaky, [(7, 0)]) == [70]
+        assert second.stats.resumed == 0  # failed cells are never skipped
+        assert second.stats.ok == 1
+
+    def test_corrupt_journaled_result_reruns_the_cell(self, tmp_path):
+        journal = CampaignJournal(tmp_path)
+        Supervisor(journal=journal, sleep=no_sleep).map(square, [(6,)])
+        journal.result_path(cell_key(square, (6,))).write_bytes(b"rot")
+        resumed = Supervisor(journal=CampaignJournal(tmp_path), sleep=no_sleep)
+        assert resumed.map(square, [(6,)]) == [36]
+        assert resumed.stats.resumed == 0
+        assert resumed.stats.ok == 1
+
+    def test_resume_after_sigkill_is_bit_identical(self, tmp_path):
+        """Kill a real campaign process mid-run; resuming completes the
+        remainder and the merged results match an uninterrupted run."""
+        journal_dir = tmp_path / "journal"
+        out_path = tmp_path / "results.json"
+        script = (
+            "import json, sys, time\n"
+            "from repro.harness.supervisor import CampaignJournal, Supervisor\n"
+            "from tests.harness.test_supervisor import slow_square\n"
+            "sup = Supervisor(journal=CampaignJournal(%r))\n"
+            "results = sup.map(slow_square, [(x,) for x in range(6)])\n"
+            "json.dump(results, open(%r, 'w'))\n" % (str(journal_dir), str(out_path))
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", ".", env.get("PYTHONPATH", "")) if p
+        )
+        proc = subprocess.Popen([sys.executable, "-c", script], env=env)
+        # Wait until at least one cell is journaled, then kill -9.
+        deadline = time.monotonic() + 30.0
+        journal_path = journal_dir / "journal.jsonl"
+        while time.monotonic() < deadline:
+            if journal_path.exists() and journal_path.read_text().count("\n") >= 1:
+                break
+            time.sleep(0.02)
+        proc.send_signal(signal.SIGKILL)
+        proc.wait()
+        assert not out_path.exists()  # the first campaign never finished
+
+        resumed = Supervisor(journal=CampaignJournal(journal_dir))
+        results = resumed.map(slow_square, [(x,) for x in range(6)])
+        assert results == [x * x for x in range(6)]
+        assert resumed.stats.resumed >= 1  # the killed campaign's progress held
+
+
+def slow_square(x):
+    time.sleep(0.15)
+    return x * x
+
+
+class TestChaosCampaign:
+    def test_parallel_chaos_campaign_is_bit_identical(self):
+        units = [(x,) for x in range(8)]
+        clean = [x * x for x in range(8)]
+        faults.configure("seed=3,worker_crash=0.6,hang=0.4,hang_s=30")
+        sup = Supervisor(
+            policy=RetryPolicy(max_attempts=3, seed=0),
+            cell_timeout_s=1.0,
+            sleep=no_sleep,
+        )
+        results = sup.map(square, units, jobs=4)
+        assert results == clean
+        assert sup.stats.ok == 8
+        assert sup.stats.retried >= 1  # the chaos spec guarantees firings
+        assert set(sup.stats.fault_counts) <= {"worker_crash", "hang"}
+
+    def test_serial_chaos_campaign_is_bit_identical(self):
+        units = [(x,) for x in range(8)]
+        faults.configure("seed=3,worker_crash=0.7,hang=0.3,hang_s=30")
+        sup = Supervisor(
+            policy=RetryPolicy(max_attempts=3, seed=0),
+            cell_timeout_s=1.0,
+            sleep=no_sleep,
+        )
+        assert sup.map(square, units, jobs=1) == [x * x for x in range(8)]
+        assert sup.stats.retried >= 1
+
+    def test_crash_dossiers_are_written(self, tmp_path):
+        faults.configure("seed=1,worker_crash=1.0")
+        sup = Supervisor(
+            journal=CampaignJournal(tmp_path),
+            policy=RetryPolicy(max_attempts=2, seed=0),
+            sleep=no_sleep,
+        )
+        assert sup.map(square, [(5,)]) == [25]
+        dossiers = list(tmp_path.glob("crash-*.json"))
+        assert len(dossiers) == 1
+        payload = json.loads(dossiers[0].read_text())["record"]
+        assert payload["fault"]["kind"] == "worker_crash"
+        assert payload["attempt"] == 1
+
+
+class TestMapUnitsIntegration:
+    def test_map_units_routes_through_active_supervisor(self):
+        with supervised(sleep=no_sleep) as sup:
+            assert parallel.map_units(square, [(2,), (3,)]) == [4, 9]
+        assert sup.stats.ok == 2
+
+    def test_map_units_unsupervised_path_unchanged(self):
+        assert supervisor.current() is None
+        assert parallel.map_units(square, [(2,), (3,)]) == [4, 9]
+
+    def test_summary_line_format(self):
+        sup = Supervisor(sleep=no_sleep)
+        sup.map(square, [(1,), (2,)])
+        line = sup.stats.summary_line()
+        assert line == "supervisor: 2 cells ok, 0 retried, 0 quarantined"

@@ -125,6 +125,99 @@ class TestRuntime:
         assert (time.monotonic() - start) >= 0.035
 
 
+class TestJoinAllHangReport:
+    """A wedged thread turns into a structured HangError, not a silent
+    fall-through that poisons every later measurement."""
+
+    @pytest.fixture(autouse=True)
+    def clean_recorder(self):
+        from repro.obs import flightrec
+
+        flightrec.uninstall()
+        yield
+        flightrec.uninstall()
+
+    def make_wedged_runtime(self):
+        rt = RealThreadsRuntime()
+        release = threading.Event()
+        ref = rt.ref("conn")
+        ref.assign(rt.new("Connection"), loc="rt.open:1")
+
+        def wedged():
+            ref.use(member="Send", loc="rt.send:10")
+            release.wait(10.0)
+
+        rt.spawn(wedged, name="sender")
+        time.sleep(0.05)  # let the worker reach its instrumented op
+        return rt, release
+
+    def test_join_all_raises_structured_hang_error(self):
+        from repro.harness.faults import HangError
+
+        rt, release = self.make_wedged_runtime()
+        try:
+            with pytest.raises(HangError) as excinfo:
+                rt.join_all(timeout_s=0.05)
+        finally:
+            release.set()
+        error = excinfo.value
+        assert error.timeout_s == 0.05
+        assert [t["name"] for t in error.threads] == ["sender"]
+        assert error.threads[0]["site"] == "rt.send:10"  # last-seen site
+        message = str(error)
+        assert "sender" in message and "rt.send:10" in message
+        # The hang is also recorded as a degraded-run failure.
+        assert rt.failures and rt.failures[0][0] == "<join_all>"
+        assert rt.failures[0][1] is error
+
+    def test_hang_emits_a_flight_mark(self):
+        from repro.harness.faults import HangError
+        from repro.obs import flightrec
+
+        rec = flightrec.install()
+        rt, release = self.make_wedged_runtime()
+        try:
+            with pytest.raises(HangError):
+                rt.join_all(timeout_s=0.05)
+        finally:
+            release.set()
+        hangs = rec.events("hang")
+        assert len(hangs) == 1
+        assert hangs[0]["threads"][0]["name"] == "sender"
+        assert hangs[0]["timeout_s"] == 0.05
+
+    def test_clean_join_is_unchanged(self):
+        rt = RealThreadsRuntime()
+        rt.spawn(lambda: None, name="quick")
+        rt.join_all(timeout_s=5.0)
+        assert rt.failures == []
+
+    def test_detection_degrades_instead_of_crashing(self):
+        """A hang inside a detection run is absorbed by the driver: the
+        run is marked crashed (the hang IS the failure signal), later
+        runs proceed, and the campaign never unwinds."""
+        release = threading.Event()
+
+        def wedging_workload(rt: RealThreadsRuntime):
+            conn = rt.ref("connection")
+            conn.assign(rt.new("Connection"), loc="rt.open:1")
+
+            def worker():
+                conn.use(member="Send", loc="rt.send:10")
+                release.wait(10.0)
+
+            rt.spawn(worker, name="sender")
+
+        waffle = RealThreadsWaffle(join_timeout_s=0.05)
+        try:
+            outcome = waffle.detect(wedging_workload, max_detection_runs=2)
+        finally:
+            release.set()
+        assert len(outcome.runs) == 3  # prep + both detection attempts ran
+        assert outcome.runs[0].crashed  # the hang degraded the prep run
+        assert not outcome.bug_found  # a hang is not a manifested UAF
+
+
 class TestRealThreadsWaffle:
     def test_stress_never_crashes(self):
         crashes = RealThreadsWaffle().stress(uaf_workload(), runs=3)
