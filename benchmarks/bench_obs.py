@@ -1,21 +1,27 @@
-"""Guard the telemetry-disabled hot path against overhead creep.
+"""Guard the telemetry hot paths against overhead creep.
 
-The observability instrumentation (``repro.obs``) is designed to cost
-one ``is not None`` branch per guarded site when no session is
-configured -- and the flight recorder (``repro.obs.flightrec``) makes
-the same promise when not installed. This benchmark enforces that
-budget: it times the same serial table4 subset as ``bench_harness.py``
-with telemetry *and* flight recorder disabled (min over several
-repetitions, one untimed warm-up) and fails if the result exceeds the
-``serial_cold_s`` baseline recorded in ``BENCH_harness.json`` by more
-than 3%.
+Two budgets, one benchmark:
 
-CI runs ``bench_harness.py`` immediately before this script, so the
-baseline is always a fresh measurement from the same machine and
-process generation; when the file is missing the baseline is measured
-here instead. The telemetry-*enabled* and flight-recorder-*enabled*
-times are also recorded (they pay for event buffering / ring appends)
-but only reported, not gated.
+* **disabled**: with no session configured the instrumentation must
+  cost one ``is not None`` branch per guarded site. Budget: 3% over
+  the no-obs baseline.
+* **enabled**: with a session configured (the batched flush policy of
+  :class:`repro.obs.telemetry.TelemetrySession` and the fused
+  per-decision ``decision()`` call) a serial campaign must stay within
+  15% of the same baseline.
+
+The baseline is measured *in this process*, interleaved rep-for-rep
+with the instrumented runs. An earlier version compared against the
+``serial_cold_s`` figure from ``BENCH_harness.json`` -- a different
+process generation, minutes stale by the time this script ran in CI --
+which produced nonsense like "-12% overhead" on a noisy runner.
+Interleaving baseline and instrumented reps puts both under the same
+thermal/cache conditions, and min-of-reps discards scheduling noise
+(and amortized batch flushes, which are deferred work, not steady-state
+cost).
+
+The flight-recorder-enabled time is reported but not gated (it is an
+opt-in debugging mode).
 
 Writes ``BENCH_obs.json`` at the repo root.
 
@@ -41,83 +47,82 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BUGS = ["Bug-1", "Bug-10", "Bug-11"]
 ATTEMPTS = 3
 BUDGET = 20
-REPS = 5
+REPS = 7
 MAX_OVERHEAD = 0.03
+MAX_ENABLED_OVERHEAD = 0.15
 
 
-def _cells():
-    return experiments.table4_detection(
+def _timed() -> float:
+    start = time.perf_counter()
+    experiments.table4_detection(
         attempts=ATTEMPTS, budget=BUDGET, bugs=BUGS, base_seed=0, jobs=1, cache_dir=None
     )
-
-
-def _timed():
-    start = time.perf_counter()
-    rows = _cells()
-    return time.perf_counter() - start, rows
-
-
-def _min_of_reps(reps: int = REPS) -> float:
-    return min(_timed()[0] for _ in range(reps))
+    return time.perf_counter() - start
 
 
 def main() -> int:
     assert obs.session() is None, "telemetry must start disabled"
     assert not obs.flightrec.active(), "flight recorder must start disabled"
-    _cells()  # untimed warm-up (imports, code objects, allocator)
+    _timed()  # untimed warm-up (imports, code objects, allocator)
+    _timed()
 
-    bench_path = REPO_ROOT / "BENCH_harness.json"
-    if bench_path.exists():
-        baseline_s = json.loads(bench_path.read_text())["serial_cold_s"]
-        baseline_source = "BENCH_harness.json"
-    else:
-        baseline_s = _min_of_reps()
-        baseline_source = "measured here (BENCH_harness.json missing)"
-
-    assert not obs.flightrec.active(), "flight recorder leaked into the timed path"
-    disabled_s = _min_of_reps()
-
+    baseline, disabled, enabled = [], [], []
     with tempfile.TemporaryDirectory(prefix="waffle-bench-obs-") as obs_dir:
-        obs.configure(obs_dir)
-        try:
-            enabled_s = _min_of_reps(reps=2)
-            obs.flush()
-        finally:
-            obs.disable()
+        for _ in range(REPS):
+            baseline.append(_timed())
+            disabled.append(_timed())
+            obs.configure(obs_dir)
+            try:
+                enabled.append(_timed())
+            finally:
+                obs.disable()  # flushes outside the timed region
 
     obs.flightrec.install()
     try:
-        flightrec_s = _min_of_reps(reps=2)
+        flightrec_s = min(_timed() for _ in range(2))
     finally:
         obs.flightrec.uninstall()
 
+    baseline_s = min(baseline)
+    disabled_s = min(disabled)
+    enabled_s = min(enabled)
     overhead = disabled_s / baseline_s - 1.0
+    enabled_overhead = enabled_s / baseline_s - 1.0
     payload = {
-        "benchmark": "obs disabled-path overhead (table4_detection subset, serial)",
-        "baseline_source": baseline_source,
+        "benchmark": "obs overhead (table4_detection subset, serial, interleaved baseline)",
+        "baseline_source": "measured in-process, interleaved with instrumented reps",
         "baseline_serial_s": round(baseline_s, 4),
         "disabled_min_s": round(disabled_s, 4),
         "enabled_min_s": round(enabled_s, 4),
         "flightrec_min_s": round(flightrec_s, 4),
         "reps": REPS,
         "disabled_overhead_pct": round(100.0 * overhead, 2),
-        "enabled_overhead_pct": round(100.0 * (enabled_s / baseline_s - 1.0), 2),
+        "enabled_overhead_pct": round(100.0 * enabled_overhead, 2),
         "flightrec_overhead_pct": round(100.0 * (flightrec_s / baseline_s - 1.0), 2),
         "max_overhead_pct": 100.0 * MAX_OVERHEAD,
-        "within_budget": overhead <= MAX_OVERHEAD,
+        "max_enabled_overhead_pct": 100.0 * MAX_ENABLED_OVERHEAD,
+        "within_budget": overhead <= MAX_OVERHEAD and enabled_overhead <= MAX_ENABLED_OVERHEAD,
     }
     out = REPO_ROOT / "BENCH_obs.json"
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(json.dumps(payload, indent=2, sort_keys=True))
     print("wrote %s" % out)
+    failed = False
     if overhead > MAX_OVERHEAD:
         print(
             "FAIL: telemetry-disabled path is %.2f%% over the baseline (budget %.0f%%)"
             % (100.0 * overhead, 100.0 * MAX_OVERHEAD),
             file=sys.stderr,
         )
-        return 2
-    return 0
+        failed = True
+    if enabled_overhead > MAX_ENABLED_OVERHEAD:
+        print(
+            "FAIL: telemetry-enabled path is %.2f%% over the baseline (budget %.0f%%)"
+            % (100.0 * enabled_overhead, 100.0 * MAX_ENABLED_OVERHEAD),
+            file=sys.stderr,
+        )
+        failed = True
+    return 2 if failed else 0
 
 
 if __name__ == "__main__":

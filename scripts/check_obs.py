@@ -19,9 +19,15 @@ killed ``--jobs`` worker leaves) is tolerated, matching
 ``load_obs_dir``'s recovery posture; it is reported as a warning, not
 a failure.
 
+With a second argument naming a ``BENCH_obs.json`` produced by
+``benchmarks/bench_obs.py``, also enforces the overhead budgets the
+benchmark recorded: the disabled path within ``max_overhead_pct`` and
+the enabled path within ``max_enabled_overhead_pct`` of the in-process
+baseline.
+
 Usage::
 
-    PYTHONPATH=src python scripts/check_obs.py <obs-dir>
+    PYTHONPATH=src python scripts/check_obs.py <obs-dir> [bench-obs-json]
 """
 
 from __future__ import annotations
@@ -134,12 +140,41 @@ def check(obs_dir: Path) -> list:
     return problems
 
 
+def check_overhead_budget(bench_path: Path) -> list:
+    """Validate the overhead figures recorded by ``bench_obs.py``."""
+    problems = []
+    try:
+        payload = json.loads(bench_path.read_text())
+    except (OSError, ValueError) as exc:
+        return ["%s: unreadable benchmark record (%s)" % (bench_path.name, exc)]
+    for pct_key, budget_key, label in (
+        ("disabled_overhead_pct", "max_overhead_pct", "disabled"),
+        ("enabled_overhead_pct", "max_enabled_overhead_pct", "enabled"),
+    ):
+        pct = payload.get(pct_key)
+        budget = payload.get(budget_key)
+        if pct is None or budget is None:
+            problems.append(
+                "%s: missing %s/%s" % (bench_path.name, pct_key, budget_key)
+            )
+        elif pct > budget:
+            problems.append(
+                "%s: telemetry-%s overhead %.2f%% exceeds the %.0f%% budget"
+                % (bench_path.name, label, pct, budget)
+            )
+    if not payload.get("within_budget", False):
+        problems.append("%s: within_budget is not true" % bench_path.name)
+    return problems
+
+
 def main(argv) -> int:
-    if len(argv) != 2:
+    if len(argv) not in (2, 3):
         print(__doc__, file=sys.stderr)
         return 2
     obs_dir = Path(argv[1])
     problems = check(obs_dir)
+    if len(argv) == 3:
+        problems.extend(check_overhead_budget(Path(argv[2])))
     data = load_obs_dir(obs_dir)
     for warning in data.warnings:
         print("warning: %s" % warning)

@@ -62,23 +62,54 @@ class InjectionPlan:
         return {loc.site for loc in self.candidates.delay_locations}
 
     def to_dict(self) -> dict:
+        stats = self.stats
         return {
             "candidates": self.candidates.to_dict(),
             "delay_lengths": dict(self.delay_lengths),
             "interference": [sorted(pair) for pair in self.interference],
+            # Full census round-trip: a plan rehydrated from cache must
+            # report the same table numbers as the cold analysis.
+            "stats": {
+                "memorder_sites": stats.memorder_sites,
+                "tsv_sites": stats.tsv_sites,
+                "memorder_ops": stats.memorder_ops,
+                "candidate_pairs": stats.candidate_pairs,
+                "injection_sites": stats.injection_sites,
+                "pruned_parent_child": stats.pruned_parent_child,
+                "interference_pairs": stats.interference_pairs,
+                "init_instance_counts": list(stats.init_instance_counts),
+            },
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "InjectionPlan":
         candidates = CandidateSet.from_dict(payload.get("candidates", {}))
+        recorded = payload.get("stats")
+        if recorded is not None:
+            stats = AnalysisStats(
+                memorder_sites=recorded.get("memorder_sites", 0),
+                tsv_sites=recorded.get("tsv_sites", 0),
+                memorder_ops=recorded.get("memorder_ops", 0),
+                candidate_pairs=recorded.get("candidate_pairs", len(candidates)),
+                injection_sites=recorded.get(
+                    "injection_sites", len(candidates.delay_locations)
+                ),
+                pruned_parent_child=recorded.get("pruned_parent_child", 0),
+                interference_pairs=recorded.get("interference_pairs", 0),
+                init_instance_counts=list(recorded.get("init_instance_counts", ())),
+            )
+        else:
+            # Legacy payloads (pre-stats serialization): reconstruct
+            # what the candidate set alone can tell us.
+            stats = AnalysisStats(
+                candidate_pairs=len(candidates),
+                injection_sites=len(candidates.delay_locations),
+            )
         plan = cls(
             candidates=candidates,
             delay_lengths=dict(payload.get("delay_lengths", {})),
             interference={frozenset(pair) for pair in payload.get("interference", ())},
-            stats=AnalysisStats(
-                candidate_pairs=len(candidates),
-                injection_sites=len(candidates.delay_locations),
-            ),
+            stats=stats,
         )
         return plan
 
@@ -98,7 +129,10 @@ def analyze_trace(trace: Trace, config: WaffleConfig) -> InjectionPlan:
         order_filter=order_filter,
     )
     memorder_events = [e for e in events if e.access_type.is_memorder]
-    candidates = tracker.observe_all(memorder_events)
+    if config.batched_analysis:
+        candidates = tracker.observe_batch(memorder_events)
+    else:
+        candidates = tracker.observe_all(memorder_events)
 
     delay_lengths: Dict[str, float] = {}
     for pair in candidates:

@@ -79,6 +79,10 @@ class GapObservation:
     thread_second: int
 
 
+#: Shared empty observation list for pairs recorded without gaps.
+_NO_OBSERVATIONS: List[GapObservation] = []
+
+
 class CandidateSet:
     """The mutable candidate set S with per-pair gap observations.
 
@@ -91,6 +95,9 @@ class CandidateSet:
     def __init__(self) -> None:
         self._pairs: Dict[Tuple[str, str, str], CandidatePair] = {}
         self._gaps: Dict[Tuple[str, str, str], List[GapObservation]] = {}
+        #: Running per-pair max gap, so the section 4.3 delay-length
+        #: query is O(1) instead of a scan over every observation.
+        self._max_gap: Dict[Tuple[str, str, str], float] = {}
         #: Site-keyed indices so the per-access hot path (is this
         #: location a delay location? which pairs watch it?) is a dict
         #: lookup instead of a scan over all of S.
@@ -135,13 +142,20 @@ class CandidateSet:
             if self._obs is not None:
                 self._obs.c_cand_added.inc()
         if observation is not None:
-            self._gaps.setdefault(key, []).append(observation)
+            self._record_gap(key, observation)
         return is_new
+
+    def _record_gap(self, key: Tuple[str, str, str], observation: GapObservation) -> None:
+        self._gaps.setdefault(key, []).append(observation)
+        gap = observation.gap_ms
+        if gap > self._max_gap.get(key, 0.0):
+            self._max_gap[key] = gap
 
     def remove(self, pair: CandidatePair, reason: str = "") -> None:
         key = pair.key()
         removed = self._pairs.pop(key, None)
         self._gaps.pop(key, None)
+        self._max_gap.pop(key, None)
         if removed is not None:
             self._unindex(removed, key)
             self.removed_total += 1
@@ -192,10 +206,19 @@ class CandidateSet:
     def observations(self, pair: CandidatePair) -> List[GapObservation]:
         return list(self._gaps.get(pair.key(), ()))
 
+    def iter_gap_items(self) -> Iterator[Tuple[CandidatePair, List[GapObservation]]]:
+        """(pair, observations) without defensive copies; read-only use.
+
+        The batched interference pass iterates every observation of
+        every pair -- copying each list first would dominate it.
+        """
+        gaps = self._gaps
+        for key, pair in self._pairs.items():
+            yield pair, gaps.get(key, _NO_OBSERVATIONS)
+
     def max_gap(self, pair: CandidatePair) -> float:
         """Largest observed |tau1 - tau2| for the pair (section 4.3)."""
-        gaps = self._gaps.get(pair.key())
-        return max(obs.gap_ms for obs in gaps) if gaps else 0.0
+        return self._max_gap.get(pair.key(), 0.0)
 
     @property
     def delay_locations(self) -> Set[Location]:
@@ -213,8 +236,9 @@ class CandidateSet:
     def merge(self, other: "CandidateSet") -> None:
         for pair in other:
             self.add(pair)
+            key = pair.key()
             for obs in other.observations(pair):
-                self._gaps.setdefault(pair.key(), []).append(obs)
+                self._record_gap(key, obs)
 
     def to_dict(self) -> dict:
         """JSON-serializable form (section 5: the analysis results are
@@ -253,8 +277,10 @@ class CandidateSet:
                 other_location=Location(entry["other_location"]),
             )
             out.add(pair)
+            key = pair.key()
             for gap in entry.get("gaps", ()):
-                out._gaps.setdefault(pair.key(), []).append(
+                out._record_gap(
+                    key,
                     GapObservation(
                         gap_ms=gap["gap_ms"],
                         timestamp_first=gap["t1"],
@@ -262,7 +288,7 @@ class CandidateSet:
                         object_id=gap["object_id"],
                         thread_first=gap["thread_first"],
                         thread_second=gap["thread_second"],
-                    )
+                    ),
                 )
         out.pruned_parent_child = payload.get("pruned_parent_child", 0)
         out.pruned_hb_inference = payload.get("pruned_hb_inference", 0)

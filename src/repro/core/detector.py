@@ -289,7 +289,10 @@ class ToolDriver:
         outcome.coverage = record
         session = obs.session()
         if session is not None:
-            coverage_mod.write_coverage(record, session.directory)
+            # Queued, not written: the session batches coverage I/O into
+            # its next flush (per-cell atomic writes were measurable on
+            # the enabled path).
+            session.queue_coverage(record)
 
     @staticmethod
     def _count_site_injections(hook, site_injections: Dict[str, int]) -> None:
@@ -333,6 +336,7 @@ class Waffle(ToolDriver):
             recorder = RecordingHook(
                 record_overhead_ms=config.record_overhead_ms,
                 track_vector_clocks=config.parent_child_analysis,
+                hb_engine=config.hb_engine,
             )
             result = self._simulate(workload, recorder, seed=config.seed)
             outcome.trace = recorder.trace

@@ -44,38 +44,58 @@ def build_interference_set(
     strictly more interference than the paper's single online pass
     (where ``l*`` must already be a candidate when ``l2`` executes);
     the difference only adds conservatism.
+
+    The scan is columnar: per-thread timelines hold *only* occurrences
+    of candidate delay sites (anything else can never join I), split
+    into a float timestamp array -- so the window bisects compare
+    primitives, not tuples -- and a parallel site array. Restricting
+    the timeline and bisecting on bare floats is observation-preserving:
+    non-delay-site entries were skipped inside the window loop anyway,
+    and the tuple sentinels ``(x, "")`` / ``(x, "\\uffff")`` bounded the
+    very same index range a plain-timestamp bisect yields.
     """
     delay_sites = {loc.site for loc in candidates.delay_locations}
     if not delay_sites:
         return set()
 
-    # Per-thread timeline of memorder events for window scans.
-    by_thread: Dict[int, List[Tuple[float, str]]] = {}
+    # Per-thread delay-site timelines, timestamps and sites in parallel.
+    ts_by_thread: Dict[int, List[float]] = {}
+    site_by_thread: Dict[int, List[str]] = {}
     for event in events:
         if event.access_type.is_memorder:
-            by_thread.setdefault(event.thread_id, []).append(
-                (event.timestamp, event.location.site)
-            )
-    for timeline in by_thread.values():
-        timeline.sort()
+            site = event.location.site
+            if site in delay_sites:
+                thread_id = event.thread_id
+                stamps = ts_by_thread.get(thread_id)
+                if stamps is None:
+                    stamps = ts_by_thread[thread_id] = []
+                    site_by_thread[thread_id] = []
+                stamps.append(event.timestamp)
+                site_by_thread[thread_id].append(site)
 
     interference: Set[InterferencePair] = set()
-    for pair in candidates:
+    add = interference.add
+    for pair, observations in candidates.iter_gap_items():
+        if not observations:
+            continue
         l1_site = pair.delay_location.site
-        for obs in candidates.observations(pair):
-            timeline = by_thread.get(obs.thread_second)
-            if not timeline:
+        l2_site = pair.other_location.site
+        for obs in observations:
+            stamps = ts_by_thread.get(obs.thread_second)
+            if not stamps:
                 continue
-            lo = bisect_left(timeline, (obs.timestamp_first - window_ms, ""))
-            hi = bisect_right(timeline, (obs.timestamp_second, "￿"))
+            t2 = obs.timestamp_second
+            lo = bisect_left(stamps, obs.timestamp_first - window_ms)
+            hi = bisect_right(stamps, t2)
+            if lo == hi:
+                continue
+            sites = site_by_thread[obs.thread_second]
             for index in range(lo, hi):
-                ts, site = timeline[index]
-                if site not in delay_sites:
-                    continue
-                if ts == obs.timestamp_second and site == pair.other_location.site:
+                site = sites[index]
+                if stamps[index] == t2 and site == l2_site:
                     # This is the l2 occurrence itself, not a preceding op.
                     continue
-                interference.add(frozenset((l1_site, site)))
+                add(frozenset((l1_site, site)))
     return interference
 
 

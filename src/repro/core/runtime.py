@@ -36,7 +36,8 @@ from .delay_policy import (
 )
 from .interference import ActiveDelayLedger, DelayInterval, InterferenceIndex
 from .nearmiss import NearMissTracker, TsvNearMissTracker
-from .vector_clock import TLS_KEY, ThreadVectorClock, ordered
+from .tree_clock import make_clock
+from .vector_clock import TLS_KEY, ThreadVectorClock, ordered  # noqa: F401
 
 
 @dataclass
@@ -101,10 +102,8 @@ class InjectionEngine:
             self.candidates.remove_with_delay_location(pending.location)
             self.skipped_budget += 1
             if ses is not None:
-                ses.c_considered.inc()
-                ses.c_skip["budget"].inc()
-                ses.inject_event(
-                    self.obs_run_seq, "skip", site, pending.timestamp,
+                ses.decision(
+                    self.obs_run_seq, site, pending.timestamp,
                     reason="budget", detail="retired",
                 )
             if self._fr is not None:
@@ -116,10 +115,8 @@ class InjectionEngine:
         if self.rng.random() >= probability:
             self.skipped_decay += 1
             if ses is not None:
-                ses.c_considered.inc()
-                ses.c_skip["decay"].inc()
-                ses.inject_event(
-                    self.obs_run_seq, "skip", site, pending.timestamp,
+                ses.decision(
+                    self.obs_run_seq, site, pending.timestamp,
                     reason="decay", detail="p=%.3f" % probability,
                 )
             if self._fr is not None:
@@ -134,10 +131,8 @@ class InjectionEngine:
             if active and self.interference.conflicts_with_any(site, active):
                 self.skipped_interference += 1
                 if ses is not None:
-                    ses.c_considered.inc()
-                    ses.c_skip["interference"].inc()
-                    ses.inject_event(
-                        self.obs_run_seq, "skip", site, now,
+                    ses.decision(
+                        self.obs_run_seq, site, now,
                         reason="interference",
                         detail=",".join(sorted(set(active))),
                     )
@@ -151,10 +146,8 @@ class InjectionEngine:
         if length <= 0.0:
             self.skipped_budget += 1
             if ses is not None:
-                ses.c_considered.inc()
-                ses.c_skip["budget"].inc()
-                ses.inject_event(
-                    self.obs_run_seq, "skip", site, now,
+                ses.decision(
+                    self.obs_run_seq, site, now,
                     reason="budget", detail="zero_length",
                 )
             if self._fr is not None:
@@ -167,9 +160,7 @@ class InjectionEngine:
         if remaining <= 0.0:
             self.candidates.remove_with_delay_location(pending.location)
         if ses is not None:
-            ses.c_considered.inc()
-            ses.c_injected.inc()
-            ses.inject_event(self.obs_run_seq, "inject", site, now, length_ms=length)
+            ses.decision(self.obs_run_seq, site, now, length_ms=length)
         if self._fr is not None:
             self._fr.record(
                 "inject", now, site=site, tid=pending.thread_id,
@@ -434,7 +425,7 @@ class OnlineInjectionHook(_BaseInjectionHook):
     def on_thread_start(self, thread) -> None:
         super().on_thread_start(thread)
         if self.parent_child and TLS_KEY not in thread.itls:
-            thread.itls.set(TLS_KEY, ThreadVectorClock(thread.tid))
+            thread.itls.set(TLS_KEY, make_clock(self.config.hb_engine, thread.tid))
 
     def before_access(self, pending: PendingAccess) -> float:
         if self.tsv_mode:
@@ -452,7 +443,7 @@ class OnlineInjectionHook(_BaseInjectionHook):
             if thread is not None:
                 clock = thread.itls.get(TLS_KEY)
                 if clock is not None:
-                    event.vc_snapshot = clock.snapshot()
+                    event.vc_snapshot = clock.capture()
         if self.hb_inference:
             self._hb_observe(event)
         if self.online_interference and event.access_type.is_memorder:

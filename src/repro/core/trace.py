@@ -13,7 +13,8 @@ from typing import IO, Dict, List, Optional, Set
 
 from ..sim.instrument import AccessEvent, AccessType, InstrumentationHook, Location
 from .events import dump_events, load_events
-from .vector_clock import TLS_KEY, ThreadVectorClock
+from .tree_clock import make_clock
+from .vector_clock import TLS_KEY, ThreadVectorClock  # noqa: F401  (re-export)
 
 
 class Trace:
@@ -114,15 +115,24 @@ class Trace:
 class RecordingHook(InstrumentationHook):
     """Delay-free tracing hook (Waffle's preparation run).
 
-    ``track_vector_clocks`` controls whether the TLS vector-clock
-    machinery is installed; the no-parent-child ablation turns it off,
-    which also removes its (small) share of the recording overhead.
+    ``track_vector_clocks`` controls whether the TLS clock machinery is
+    installed; the no-parent-child ablation turns it off, which also
+    removes its (small) share of the recording overhead. ``hb_engine``
+    selects the clock representation: ``"vector"`` captures a
+    ``{tid: counter}`` dict per event, ``"tree"`` an O(1) tree-clock
+    stamp (see :mod:`repro.core.tree_clock`).
     """
 
-    def __init__(self, record_overhead_ms: float = 0.02, track_vector_clocks: bool = True):
+    def __init__(
+        self,
+        record_overhead_ms: float = 0.02,
+        track_vector_clocks: bool = True,
+        hb_engine: str = "vector",
+    ):
         self.trace = Trace()
         self.per_op_overhead_ms = record_overhead_ms
         self.track_vector_clocks = track_vector_clocks
+        self.hb_engine = hb_engine
         self._threads: Dict[int, object] = {}
 
     # -- Thread lifecycle -------------------------------------------------
@@ -134,7 +144,7 @@ class RecordingHook(InstrumentationHook):
         if self.track_vector_clocks and TLS_KEY not in thread.itls:
             # Root threads get a fresh clock; children already received
             # theirs through inheritable-TLS propagation at fork.
-            thread.itls.set(TLS_KEY, ThreadVectorClock(thread.tid))
+            thread.itls.set(TLS_KEY, make_clock(self.hb_engine, thread.tid))
 
     # -- Event recording --------------------------------------------------
 
@@ -144,7 +154,7 @@ class RecordingHook(InstrumentationHook):
             if thread is not None:
                 clock = thread.itls.get(TLS_KEY)
                 if clock is not None:
-                    event.vc_snapshot = clock.snapshot()
+                    event.vc_snapshot = clock.capture()
         self.trace.append(event)
 
     def on_run_end(self, sim) -> None:

@@ -18,6 +18,7 @@ registries and caches on their side.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -44,10 +45,18 @@ def _call_unit(fn: Callable[..., Any], args: Tuple) -> Any:
         result = fn(*args)
     session.c_cells.inc()
     session.h_cell_wall_ms.observe((time.perf_counter() - started) * 1000.0)
-    # Flush per cell: pool workers exit without running atexit hooks, so
-    # this is what lands their telemetry on disk. Cells are coarse
-    # enough that one append + summary rewrite per cell is noise.
-    session.flush()
+    if multiprocessing.parent_process() is not None:
+        # Pool worker: it may be recycled or killed without running
+        # atexit hooks, so a per-cell flush is what lands its telemetry
+        # on disk. Cells are coarse enough that one append + summary
+        # rewrite per cell is noise against a worker's wall time.
+        session.flush()
+    else:
+        # Main process: the atexit hook and the CLI's end-of-command
+        # flush provide durability, so batch the encode/write work
+        # instead of paying it per cell (the largest single item of
+        # enabled-path overhead before batching).
+        session.maybe_flush()
     return result
 
 

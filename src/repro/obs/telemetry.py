@@ -28,7 +28,7 @@ from __future__ import annotations
 import json
 import os
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
@@ -93,9 +93,40 @@ class RunTelemetry:
         return self.skipped_decay + self.skipped_interference + self.skipped_budget
 
     def to_record(self) -> dict:
-        record = {"type": "run"}
-        record.update(asdict(self))
-        return record
+        # Hand-rolled (not dataclasses.asdict): asdict recurses through
+        # and deep-copies the vt_threads/vt_delays dict lists, which
+        # made run-summary assembly the hottest obs call on the enabled
+        # path. The key set is pinned by tests/obs/test_telemetry.py;
+        # the vt lists are already JSON-plain, so sharing them is safe
+        # -- they are built fresh per run and never mutated after.
+        return {
+            "type": "run",
+            "run_seq": self.run_seq,
+            "kind": self.kind,
+            "test": self.test,
+            "seed": self.seed,
+            "wall_ms": self.wall_ms,
+            "virtual_ms": self.virtual_ms,
+            "op_count": self.op_count,
+            "context_switches": self.context_switches,
+            "crashed": self.crashed,
+            "timed_out": self.timed_out,
+            "considered": self.considered,
+            "injected": self.injected,
+            "total_delay_ms": self.total_delay_ms,
+            "skipped_decay": self.skipped_decay,
+            "skipped_interference": self.skipped_interference,
+            "skipped_budget": self.skipped_budget,
+            "pairs_observed": self.pairs_observed,
+            "pairs_new": self.pairs_new,
+            "candidates_added": self.candidates_added,
+            "candidates_removed": self.candidates_removed,
+            "pruned_parent_child": self.pruned_parent_child,
+            "pruned_hb_inference": self.pruned_hb_inference,
+            "candidates_final": self.candidates_final,
+            "vt_threads": self.vt_threads,
+            "vt_delays": self.vt_delays,
+        }
 
 
 class TelemetrySession:
@@ -105,6 +136,14 @@ class TelemetrySession:
     caches, the scheduler) bind the session -- or None -- once; with no
     session their hot paths reduce to a single ``is not None`` check.
     """
+
+    #: ``maybe_flush`` batching threshold: buffered records (pending
+    #: events plus finished spans) before a flush actually happens. At
+    #: per-cell cadence the JSON encode was the largest single item of
+    #: enabled-path overhead; batching amortizes it into a few large
+    #: appends, with the atexit hook (and the CLI's end-of-command
+    #: ``obs.flush()``) landing the tail.
+    FLUSH_EVERY = 4096
 
     def __init__(self, directory: os.PathLike, chrome: bool = True):
         self.directory = Path(directory)
@@ -123,6 +162,7 @@ class TelemetrySession:
                 "started_unix": round(self.started_unix, 3),
             }
         ]
+        self._coverage_pending: List[dict] = []
         self._run_seq = 0
 
         # Pre-bound instruments for the hot layers. Pre-registering also
@@ -192,11 +232,71 @@ class TelemetrySession:
             record["detail"] = detail
         self._pending.append(record)
 
+    def decision(
+        self,
+        run_seq: int,
+        site: str,
+        t_ms: float,
+        reason: Optional[str] = None,
+        length_ms: Optional[float] = None,
+        detail: Optional[str] = None,
+    ) -> None:
+        """Count and buffer one injection decision in a single call.
+
+        The fused form of ``c_considered.inc()`` + outcome counter +
+        :meth:`inject_event` that the engine's ``decide`` hot path uses:
+        ``reason is None`` means an injection (with ``length_ms``), a
+        reason tag from :data:`SKIP_REASONS` means a skip. One call per
+        decision instead of three keeps the per-decision overhead at one
+        dict build plus two counter bumps.
+        """
+        self.c_considered.inc()
+        record: Dict[str, Any] = {
+            "type": "inject",
+            "run": run_seq,
+            "action": "inject" if reason is None else "skip",
+            "site": site,
+            "t_ms": round(t_ms, 4),
+        }
+        if reason is None:
+            self.c_injected.inc()
+            record["len_ms"] = round(length_ms, 4)
+        else:
+            self.c_skip[reason].inc()
+            record["reason"] = reason
+        if detail is not None:
+            record["detail"] = detail
+        self._pending.append(record)
+
     def record_run(self, run: RunTelemetry) -> None:
         self.c_runs_recorded.inc()
         self._pending.append(run.to_record())
 
+    def queue_coverage(self, record: dict) -> None:
+        """Buffer a candidate-pair coverage record until the next flush.
+
+        Coverage records used to be written (one atomic file each) the
+        moment a detection cell finished; at per-cell cadence those
+        open/rename pairs were a measurable slice of enabled-path
+        overhead. Queuing them keeps the file-per-record on-disk layout
+        while batching the I/O with everything else.
+        """
+        self._coverage_pending.append(record)
+
     # -- Flushing --------------------------------------------------------
+
+    def maybe_flush(self) -> None:
+        """Flush only once enough records have accumulated.
+
+        The batching valve for hot callers (the per-cell hook in
+        :mod:`repro.harness.parallel`): below the :data:`FLUSH_EVERY`
+        threshold this is two ``len`` calls, so frequent call sites do
+        not pay JSON-encode and summary-rewrite cost per call. Callers
+        that need durability *now* (pool workers about to lose the
+        process, end-of-command handlers) use :meth:`flush` directly.
+        """
+        if len(self._pending) + len(self.tracer.finished) >= self.FLUSH_EVERY:
+            self.flush()
 
     def flush(self) -> None:
         """Append buffered events/spans to the JSONL log and rewrite the
@@ -207,9 +307,25 @@ class TelemetrySession:
         self._pending = []
         records.extend(self.tracer.drain())
         if records:
+            # One buffer, one write: per-record fp.write calls showed up
+            # as measurable syscall churn at per-cell flush cadence. All
+            # records are hand-built dicts with stable insertion order,
+            # so skipping the sort and separator whitespace keeps the
+            # output deterministic while roughly halving encode time.
+            dumps = json.dumps
             with open(self.events_path, "a") as fp:
-                for record in records:
-                    fp.write(json.dumps(record, sort_keys=True) + "\n")
+                fp.write(
+                    "".join(
+                        dumps(record, separators=(",", ":")) + "\n" for record in records
+                    )
+                )
+        if self._coverage_pending:
+            from .coverage import write_coverage
+
+            queued = self._coverage_pending
+            self._coverage_pending = []
+            for record in queued:
+                write_coverage(record, self.directory)
         from ..core.persistence import save_record
 
         save_record(

@@ -92,7 +92,11 @@ class AccessEvent:
     member: str = ""
     duration: float = 0.0
     injected_delay: float = 0.0
-    vc_snapshot: Optional[Dict[int, int]] = None
+    #: Fork-ordering capture: a ``{tid: counter}`` vector-clock dict or
+    #: a :class:`~repro.core.tree_clock.TreeClockStamp`, depending on
+    #: the configured ``hb_engine`` (``vector_clock.ordered`` accepts
+    #: both).
+    vc_snapshot: Optional[Any] = None
     event_id: int = field(default_factory=_next_event_id)
 
     @property

@@ -1,0 +1,156 @@
+"""Differential tests: tree clocks must be observationally equal to
+vector clocks on every ordering query.
+
+The tree-clock engine (:mod:`repro.core.tree_clock`) re-represents the
+section 4.1 fork clocks as structurally shared ancestor chains. These
+tests drive both engines through identical seeded fork/capture
+histories and assert equal verdicts on *every* capture pair, in every
+representation mix (stamp/stamp, dict/dict, stamp/dict), plus the
+structural invariants the O(log) jump-pointer walk depends on.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.tree_clock import (
+    HB_ENGINES,
+    ThreadTreeClock,
+    TreeClockStamp,
+    make_clock,
+)
+from repro.core.vector_clock import ThreadVectorClock, concurrent, leq, ordered
+
+
+class _T:
+    __slots__ = ("tid",)
+
+    def __init__(self, tid):
+        self.tid = tid
+
+
+def grow_pair(seed, n_threads, fork_bias=0.6, captures_per_thread=2):
+    """Grow one random fork tree under both engines simultaneously.
+
+    Returns (captures, clock maps): ``captures`` is a list of
+    ``(tid, stamp, dict)`` triples taken at interleaved points -- each
+    tree-clock stamp paired with the vector-clock dict captured at the
+    same instant of the same history.
+    """
+    rng = random.Random(seed)
+    tree = {1: ThreadTreeClock(1)}
+    vec = {1: ThreadVectorClock(1)}
+    tids = [1]
+    captures = []
+    newest = 1
+    next_tid = 2
+    while len(tids) < n_threads:
+        parent = newest if rng.random() < fork_bias else rng.choice(tids)
+        # Interleave captures with forks so stamps at different
+        # own-counter values of the same thread appear.
+        for tid in rng.sample(tids, min(len(tids), captures_per_thread)):
+            captures.append((tid, tree[tid].stamp(), vec[tid].capture()))
+        child = next_tid
+        next_tid += 1
+        tree[child] = tree[parent].inherit_to(None, _T(child))
+        vec[child] = vec[parent].inherit_to(None, _T(child))
+        newest = child
+        tids.append(child)
+    for tid in tids:
+        captures.append((tid, tree[tid].stamp(), vec[tid].capture()))
+    return captures, tree, vec
+
+
+class TestDifferentialOrdering:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_every_pair_agrees_across_engines_and_representations(self, seed):
+        captures, _, _ = grow_pair(seed, n_threads=24)
+        for i, (_, stamp_a, dict_a) in enumerate(captures):
+            for _, stamp_b, dict_b in captures[i:]:
+                expect = leq(dict_a, dict_b)
+                assert stamp_a.leq(stamp_b) == expect
+                assert leq(stamp_a, dict_b) == expect  # mixed
+                assert leq(dict_a, stamp_b) == expect  # mixed, flipped
+                assert ordered(stamp_a, stamp_b) == ordered(dict_a, dict_b)
+                assert concurrent(stamp_a, stamp_b) == concurrent(dict_a, dict_b)
+
+    def test_deep_spine_agrees(self):
+        # A pure spine maximizes chain depth: every walk exercises the
+        # jump pointers across large depth differences.
+        captures, _, _ = grow_pair(11, n_threads=120, fork_bias=1.0)
+        for i, (_, stamp_a, dict_a) in enumerate(captures):
+            for _, stamp_b, dict_b in captures[i:]:
+                assert stamp_a.leq(stamp_b) == leq(dict_a, dict_b)
+                assert stamp_b.leq(stamp_a) == leq(dict_b, dict_a)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_snapshot_dicts_identical(self, seed):
+        _, tree, vec = grow_pair(seed, n_threads=40)
+        for tid, clock in tree.items():
+            assert clock.snapshot() == vec[tid].snapshot()
+            assert dict(clock.stamp().items()) == vec[tid].capture()
+
+
+class TestStampStructure:
+    def test_stamp_is_frozen_across_later_forks(self):
+        root = ThreadTreeClock(1)
+        before = root.stamp()
+        child = root.inherit_to(None, _T(2))
+        after = root.stamp()
+        # The pre-fork stamp precedes the child; the post-fork one is
+        # concurrent with it (standard fork rule).
+        assert before.leq(child.stamp())
+        assert not after.leq(child.stamp())
+        assert before.mapping() == {1: 1}
+        assert after.mapping() == {1: 2}
+
+    def test_jump_pointers_cover_spine(self):
+        clock = ThreadTreeClock(1)
+        for tid in range(2, 260):
+            clock = clock.inherit_to(None, _T(tid))
+        # Invariants: jumps never overshoot the parent chain's order,
+        # always land on the same chain, and the walk from any depth to
+        # any shallower depth terminates at the exact node.
+        node = clock.chain
+        while node is not None:
+            if node.jump is not None:
+                assert node.jump.depth < node.depth
+            node = node.parent
+        deep = clock.stamp()
+        for target in (0, 1, 7, 63, 128, 200, deep.depth - 1):
+            walk = deep.chain
+            hops = 0
+            while walk is not None and walk.depth > target:
+                jump = walk.jump
+                walk = jump if jump is not None and jump.depth >= target else walk.parent
+                hops += 1
+            assert walk is not None and walk.depth == target
+            # O(log) bound: a 260-deep spine must never need a linear walk.
+            assert hops <= 2 * deep.depth.bit_length()
+
+    def test_same_thread_program_order(self):
+        clock = ThreadTreeClock(5)
+        a = clock.stamp()
+        clock.inherit_to(None, _T(6))
+        b = clock.stamp()
+        assert a.leq(b) and not b.leq(a)
+        assert a.ordered_with(b)
+
+
+class TestEngineSelection:
+    def test_make_clock_constructs_both_engines(self):
+        assert isinstance(make_clock("tree", 1), ThreadTreeClock)
+        assert isinstance(make_clock("vector", 1), ThreadVectorClock)
+
+    def test_make_clock_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_clock("lamport", 1)
+
+    def test_engine_registry(self):
+        assert HB_ENGINES == ("vector", "tree")
+
+    def test_capture_types(self):
+        assert isinstance(make_clock("tree", 1).capture(), TreeClockStamp)
+        assert isinstance(make_clock("vector", 1).capture(), dict)
