@@ -8,7 +8,10 @@ Two budgets, one benchmark:
 * **enabled**: with a session configured (the batched flush policy of
   :class:`repro.obs.telemetry.TelemetrySession` and the fused
   per-decision ``decision()`` call) a serial campaign must stay within
-  15% of the same baseline.
+  15% of the same baseline. The campaign event bus co-activates with
+  the session (same directory), so the enabled figure covers event
+  emission and flushing too; the disabled figure covers the bus's
+  ``is None`` guards.
 
 The baseline is measured *in this process*, interleaved rep-for-rep
 with the instrumented runs. An earlier version compared against the
@@ -67,6 +70,7 @@ def main() -> int:
     _timed()
 
     baseline, disabled, enabled = [], [], []
+    events_streams = events_recorded = 0
     with tempfile.TemporaryDirectory(prefix="waffle-bench-obs-") as obs_dir:
         for _ in range(REPS):
             baseline.append(_timed())
@@ -76,6 +80,14 @@ def main() -> int:
                 enabled.append(_timed())
             finally:
                 obs.disable()  # flushes outside the timed region
+        # Event-bus traffic rode along with every enabled rep; record
+        # how much so the snapshot documents what the 15% budget covers.
+        events_files = sorted(pathlib.Path(obs_dir).glob("events-*.jsonl"))
+        events_streams = len(events_files)
+        events_recorded = sum(
+            sum(1 for line in path.read_text().splitlines() if line.strip())
+            for path in events_files
+        )
 
     obs.flightrec.install()
     try:
@@ -99,6 +111,8 @@ def main() -> int:
         "disabled_overhead_pct": round(100.0 * overhead, 2),
         "enabled_overhead_pct": round(100.0 * enabled_overhead, 2),
         "flightrec_overhead_pct": round(100.0 * (flightrec_s / baseline_s - 1.0), 2),
+        "eventbus_streams": events_streams,
+        "eventbus_events": events_recorded,
         "max_overhead_pct": 100.0 * MAX_OVERHEAD,
         "max_enabled_overhead_pct": 100.0 * MAX_ENABLED_OVERHEAD,
         "within_budget": overhead <= MAX_OVERHEAD and enabled_overhead <= MAX_ENABLED_OVERHEAD,

@@ -12,7 +12,13 @@ Asserts the telemetry contract end to end, from files alone:
 * every ``dossier-*.json`` validates against the dossier schema
   (:func:`repro.obs.dossier.validate_dossier_dict`);
 * every ``coverage-*.json`` reconciles with its own engine counters
-  (:func:`repro.obs.coverage.reconcile_coverage`).
+  (:func:`repro.obs.coverage.reconcile_coverage`);
+* every co-located ``events-*.jsonl`` campaign stream parses, carries
+  only known event types at the supported schema version, and its
+  folded counts reconcile **exactly** with the merged telemetry
+  counters (cache hits/misses, faults by kind, retried/quarantined/
+  resumed cells) -- the only tolerated deficit is the number of
+  recovered torn tail lines.
 
 A truncated final JSONL line (no trailing newline -- the artifact a
 killed ``--jobs`` worker leaves) is tolerated, matching
@@ -37,6 +43,8 @@ import sys
 from pathlib import Path
 
 from repro.core import persistence
+from repro.obs import campaign as campaign_mod
+from repro.obs import eventbus
 from repro.obs.coverage import reconcile_coverage
 from repro.obs.dossier import validate_dossier_dict
 from repro.obs.report import load_obs_dir, reconcile
@@ -137,6 +145,84 @@ def check(obs_dir: Path) -> list:
     data = load_obs_dir(obs_dir)
     problems.extend(data.parse_errors)
     problems.extend(reconcile(data))
+    problems.extend(check_events(obs_dir, data))
+    return problems
+
+
+#: Campaign-event counts that must match merged telemetry counters
+#: exactly (modulo recovered torn lines): (label, counter name).
+FAULT_KINDS = ("worker_crash", "hang", "transient_io", "corrupt_record", "deterministic")
+
+
+def check_events(obs_dir: Path, data) -> list:
+    """Reconcile co-located campaign event streams with the counters.
+
+    Zero-tolerance by design: every emission site increments its
+    telemetry counter and emits its bus event in the same code path, so
+    any divergence is an instrumentation bug. The single tolerated
+    deficit is the number of recovered torn tail lines (a killed
+    writer commits at most one partial line per stream); a *surplus*
+    of events over counters is never tolerated. Skipped entirely when
+    either artifact is absent (events-only or telemetry-only runs have
+    nothing to cross-check).
+    """
+    streams = eventbus.load_streams(obs_dir)
+    if not streams:
+        return []
+    problems = []
+    recovered = 0
+    for stream in streams:
+        name = Path(stream.path).name
+        problems.extend(stream.parse_errors)
+        recovered += stream.recovered
+        if stream.meta.version is not None and stream.meta.version != eventbus.EVENT_SCHEMA_VERSION:
+            problems.append(
+                "%s: event schema version %r != supported %d"
+                % (name, stream.meta.version, eventbus.EVENT_SCHEMA_VERSION)
+            )
+        for event in stream.events:
+            if event.get("type") not in eventbus.EVENT_TYPES:
+                problems.append(
+                    "%s: unknown event type %r (seq %s)"
+                    % (name, event.get("type"), event.get("seq"))
+                )
+    merged = eventbus.merge_events(streams)
+    view = campaign_mod.fold_events(merged)
+    counters = (data.metrics or {}).get("counters", {})
+    if not counters:
+        return problems
+
+    def exact(label: str, observed: int, expected: int) -> None:
+        if observed > expected:
+            problems.append(
+                "events: %d %s event(s) exceed the counter value %d"
+                % (observed, label, expected)
+            )
+        elif expected - observed > recovered:
+            problems.append(
+                "events: %d %s event(s) vs counter %d (deficit %d > %d "
+                "recovered torn line(s))"
+                % (observed, label, expected, expected - observed, recovered)
+            )
+
+    exact("cache-hit", view.cache_hits, counters.get("cache.hits", 0))
+    exact("cache-miss", view.cache_misses, counters.get("cache.misses", 0))
+    for kind in FAULT_KINDS:
+        exact("fault[%s]" % kind, view.faults.get(kind, 0),
+              counters.get("faults.%s" % kind, 0))
+    cell_ends = [e for e in merged if e.get("type") == "cell_end"]
+    exact(
+        "quarantined cell_end",
+        sum(1 for e in cell_ends if e.get("status") == "quarantined"),
+        counters.get("cells.quarantined", 0),
+    )
+    exact(
+        "retried-ok cell_end",
+        sum(1 for e in cell_ends
+            if e.get("status") == "ok" and int(e.get("attempt", 1)) > 1),
+        counters.get("cells.retried", 0),
+    )
+    exact("cell_resumed", view.resumed, counters.get("cells.resumed", 0))
     return problems
 
 
@@ -183,9 +269,10 @@ def main(argv) -> int:
         for problem in problems:
             print("  " + str(problem))
         return 1
+    streams = eventbus.load_streams(obs_dir)
     print(
         "obs check OK: %d process(es), %d runs, %d decision events, %d spans, "
-        "%d dossier(s), %d coverage record(s)"
+        "%d dossier(s), %d coverage record(s), %d campaign event(s) in %d stream(s)"
         % (
             data.processes,
             len(data.runs),
@@ -193,6 +280,8 @@ def main(argv) -> int:
             len(data.spans),
             len(data.dossiers),
             len(data.coverage),
+            sum(len(s.events) for s in streams),
+            len(streams),
         )
     )
     return 0

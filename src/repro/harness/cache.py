@@ -45,6 +45,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from .. import obs
+from ..obs import eventbus
 from ..core.analyzer import InjectionPlan
 from ..core.config import WaffleConfig
 from ..core.persistence import load_record, save_record
@@ -108,6 +109,7 @@ class PlanCache:
         self.stats = CacheStats()
         self._memo: Dict[str, Any] = {}
         self._obs = obs.session()
+        self._bus = eventbus.bus()
 
     # -- Generic machinery ------------------------------------------------
 
@@ -123,12 +125,18 @@ class PlanCache:
         GLOBAL_STATS.hits += 1
         if self._obs is not None:
             self._obs.c_cache_hits.inc()
+        if self._bus is not None:
+            self._bus.emit("cache", action="hit")
+            self._bus.maybe_flush()
 
     def _miss(self) -> None:
         self.stats.misses += 1
         GLOBAL_STATS.misses += 1
         if self._obs is not None:
             self._obs.c_cache_misses.inc()
+        if self._bus is not None:
+            self._bus.emit("cache", action="miss")
+            self._bus.maybe_flush()
 
     def _quarantine(self, path: Path, reason: str) -> None:
         """Move a record that failed integrity validation out of the

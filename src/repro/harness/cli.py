@@ -16,10 +16,12 @@ import dataclasses
 import json
 import os
 import sys
+import time
 from pathlib import Path
 from typing import Any, List, Optional
 
 from .. import obs
+from ..obs import eventbus
 from ..apps import all_bugs, bug_workload, get_app
 from ..baselines import StressRunner, WaffleBasic
 from ..core.config import DEFAULT_CONFIG
@@ -345,11 +347,42 @@ def cmd_trace(args) -> None:
         print("  wrote injection plan to %s" % args.save_plan)
 
 
+def _bench_history(values: Optional[List[str]]) -> List[Path]:
+    """Expand --bench arguments: files pass through, directories glob
+    their ``BENCH_*.json`` snapshots (lexicographic = history order)."""
+    out: List[Path] = []
+    for value in values or []:
+        path = Path(value)
+        if path.is_dir():
+            out.extend(sorted(path.glob("BENCH_*.json")))
+        else:
+            out.append(path)
+    return out
+
+
 def cmd_obs(args) -> int:
     """Aggregate an obs directory: digest report, coverage observatory,
-    bug dossiers, or Chrome trace export."""
+    bug dossiers, Chrome trace export, or campaign analytics."""
     from ..obs.report import load_obs_dir, render_report, write_chrome_trace
 
+    if args.action == "analytics":
+        from ..obs import campaign as campaign_mod
+
+        view, streams = campaign_mod.load_view(args.obs_path)
+        if not streams:
+            print("no event streams under %s" % args.obs_path)
+            return 1
+        data = load_obs_dir(args.obs_path) if os.path.isdir(args.obs_path) else None
+        _emit(
+            campaign_mod.render_analytics(
+                view,
+                obs_data=data,
+                bench_paths=_bench_history(args.bench),
+                source=args.obs_path,
+            ),
+            args.out,
+        )
+        return 0
     if args.action == "coverage":
         from ..obs import coverage as coverage_mod
 
@@ -388,6 +421,34 @@ def cmd_obs(args) -> int:
         print("wrote %d trace events to %s (open in chrome://tracing or Perfetto)" % (count, out))
         return 0
     _emit(render_report(data, max_runs=args.max_runs), args.out)
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    """Inspect or merge campaign event streams (``events-*.jsonl``)."""
+    from ..obs import campaign as campaign_mod
+
+    streams = []
+    for path in args.paths:
+        streams.extend(eventbus.load_streams(path))
+    source = args.paths[0] if len(args.paths) == 1 else ", ".join(args.paths)
+    if not streams:
+        print("no event streams under %s" % source)
+        return 1
+    if args.action == "merge":
+        if not args.merged_out:
+            raise SystemExit("campaign merge requires --merged-out PATH")
+        count = eventbus.write_merged(streams, args.merged_out)
+        print(
+            "merged %d event(s) from %d stream(s) into %s"
+            % (count, len(streams), args.merged_out)
+        )
+        return 0
+    view = campaign_mod.fold_events(eventbus.merge_events(streams))
+    for stream in streams:
+        view.warnings.extend(stream.warnings)
+        view.warnings.extend(stream.parse_errors)
+    _emit(campaign_mod.render_status(view, source=source, max_cells=args.max_cells), args.out)
     return 0
 
 
@@ -453,6 +514,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=argparse.SUPPRESS,
         help="enable run telemetry and write it here (also via WAFFLE_OBS_DIR); "
         "inspect with 'obs report <dir>' afterwards",
+    )
+    shared.add_argument(
+        "--events-dir",
+        type=str,
+        default=argparse.SUPPRESS,
+        help="write the campaign event stream here (also via WAFFLE_EVENTS_DIR; "
+        "--obs-dir co-locates one automatically); inspect with "
+        "'campaign status <dir>' or 'obs analytics <dir>'",
+    )
+    shared.add_argument(
+        "--progress",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="render live campaign progress (cells, retries, detections, eta) "
+        "to stderr while experiments run",
     )
     shared.add_argument(
         "--resume",
@@ -561,8 +637,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "action",
-        choices=["report", "chrome", "coverage", "dossier"],
-        help="digest, trace_event export, coverage observatory, or dossier dump",
+        choices=["report", "chrome", "coverage", "dossier", "analytics"],
+        help="digest, trace_event export, coverage observatory, dossier dump, "
+        "or cross-run campaign analytics",
     )
     p.add_argument("obs_path", type=str, help="the obs directory to aggregate")
     p.add_argument("--max-runs", type=int, default=20, help="rows in the slowest-runs table")
@@ -574,7 +651,41 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="dossier: also write an HTML swimlane next to each dossier file",
     )
+    p.add_argument(
+        "--bench",
+        nargs="*",
+        default=None,
+        metavar="PATH",
+        help="analytics: BENCH_*.json snapshots (or directories of them) for "
+        "the perf-regression tracker",
+    )
     p.set_defaults(func=cmd_obs)
+
+    p = sub.add_parser(
+        "campaign",
+        help="inspect or merge campaign event streams (events-*.jsonl)",
+        parents=[shared],
+    )
+    p.add_argument(
+        "action",
+        choices=["status", "merge"],
+        help="status: render progress/health/funnel; merge: combine worker "
+        "streams into one deterministic timeline",
+    )
+    p.add_argument(
+        "paths", nargs="+", help="event stream files or directories of events-*.jsonl"
+    )
+    p.add_argument(
+        "--merged-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="merge: where to write the combined stream",
+    )
+    p.add_argument(
+        "--max-cells", type=int, default=8, help="status: in-flight cells listed"
+    )
+    p.set_defaults(func=cmd_campaign)
     return parser
 
 
@@ -618,6 +729,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.cache_dir = None
     if not hasattr(args, "obs_dir"):
         args.obs_dir = None
+    if not hasattr(args, "events_dir"):
+        args.events_dir = None
+    if not hasattr(args, "progress"):
+        args.progress = False
     if not hasattr(args, "resume"):
         args.resume = None
     if not hasattr(args, "retries"):
@@ -626,11 +741,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.cell_timeout = None
     if args.command in ("detect", "trace") and not args.bug and not (args.app and args.test):
         parser.error("%s requires --bug or both --app and --test" % args.command)
+    if args.events_dir:
+        # Standalone campaign event stream (no telemetry). Like
+        # --obs-dir, the environment variable is what pool workers
+        # inherit; configure() activates the bus here right away.
+        os.environ[eventbus.EVENTS_DIR_ENV] = args.events_dir
+        eventbus.configure(args.events_dir)
     if args.obs_dir:
         # The environment variable is what --jobs pool workers inherit;
-        # configure() activates telemetry in this process right away.
+        # configure() activates telemetry in this process right away
+        # (and co-locates a campaign event stream when no --events-dir /
+        # WAFFLE_EVENTS_DIR claimed its own destination).
         os.environ[obs.OBS_DIR_ENV] = args.obs_dir
         obs.configure(args.obs_dir)
+    if args.progress:
+        from ..obs import campaign as campaign_mod
+
+        if eventbus.bus() is None:
+            # No durable stream requested: an in-memory bus is all the
+            # live renderer needs.
+            eventbus.configure(None)
+        campaign_mod.attach_progress(sys.stderr)
+    # Campaign lifecycle events frame every *computing* command; the
+    # inspector commands (which read streams rather than produce them)
+    # stay silent so `campaign status` never appends to what it reads.
+    emit_campaign = eventbus.active() and args.command not in (
+        "campaign",
+        "obs",
+        "apps",
+        "bugs",
+        "replay",
+    )
+    campaign_started = time.time()
+    if emit_campaign:
+        eventbus.emit(
+            "campaign_begin", command=args.command, seed=args.seed, jobs=args.jobs
+        )
     # The supervisor activates when any resilience flag is given, or
     # when chaos injection is on (a chaos campaign without the fault
     # boundary would just crash, which is not what chaos is for).
@@ -664,9 +810,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         # The degradation summary: the campaign completed, possibly
         # minus quarantined cells -- exit code stays 0 by design.
         print(sup.stats.summary_line())
+    if emit_campaign:
+        eventbus.emit(
+            "campaign_end",
+            ok=not rc,
+            wall_s=round(time.time() - campaign_started, 3),
+        )
+    eventbus.flush()
     if args.obs_dir:
         obs.flush()
         print("telemetry written to %s (inspect with: obs report %s)" % (args.obs_dir, args.obs_dir))
+    if args.events_dir:
+        print(
+            "campaign events written to %s (inspect with: campaign status %s)"
+            % (args.events_dir, args.events_dir)
+        )
     return int(rc) if rc else 0
 
 

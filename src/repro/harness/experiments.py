@@ -40,6 +40,7 @@ from ..core.detector import DetectionOutcome, Waffle
 from ..sim.api import Simulation
 from ..sim.errors import NullReferenceError
 from ..sim.instrument import InstrumentationHook
+from ..obs import eventbus
 from . import metrics
 from .cache import PlanCache, config_hash, open_cache, run_to_dict
 from .parallel import map_units
@@ -481,9 +482,33 @@ def _detect_attempts(
                 "matched": matched,
                 "runs": outcome.runs_to_expose if matched else None,
                 "time_ms": outcome.total_time_ms,
+                # Deterministic funnel census, carried in the cache
+                # entry so a warm-cache campaign emits the same
+                # detection event as a cold one.
+                "session_runs": len(outcome.runs),
+                "delays": outcome.total_delays,
+                "crashes": sum(1 for r in outcome.runs if r.crashed),
+                "pairs": outcome.plan.stats.candidate_pairs if outcome.plan else 0,
             }
             if cache is not None and key is not None:
                 cache.put("detect", key, entry)
+        bus = eventbus.bus()
+        if bus is not None:
+            bus.emit(
+                "detection",
+                tool=tool_label or getattr(tool_factory, "__name__", "tool"),
+                bug=bug.bug_id,
+                test=test_id if test_id is not None else test.name,
+                attempt=attempt,
+                matched=bool(entry["matched"]),
+                runs=entry["runs"],
+                time_ms=entry["time_ms"],
+                session_runs=entry.get("session_runs", 0),
+                delays=entry.get("delays", 0),
+                crashes=entry.get("crashes", 0),
+                pairs=entry.get("pairs", 0),
+            )
+            bus.maybe_flush()
         runs.append(entry["runs"] if entry["matched"] else None)
         if entry["matched"]:
             times.append(entry["time_ms"])
@@ -610,7 +635,11 @@ def _table5_cell(
         if run.timed_out:
             timed_out = True
         else:
-            basic_pcts[run_index] = metrics.overhead_percent(run.virtual_time_ms, base)
+            basic_pcts[run_index] = metrics.overhead_percent(
+                run.virtual_time_ms,
+                base,
+                context="table5/wafflebasic run %d: %s" % (run_index, test_id),
+            )
 
     # Waffle preparation + first detection run.
     waffle_pcts: Dict[int, Optional[float]] = {1: None, 2: None}
@@ -621,7 +650,11 @@ def _table5_cell(
     if prep.run.timed_out:
         waffle_timeouts += 1
     else:
-        waffle_pcts[1] = metrics.overhead_percent(prep.run.virtual_time_ms, base)
+        waffle_pcts[1] = metrics.overhead_percent(
+            prep.run.virtual_time_ms,
+            base,
+            context="table5/waffle prep: %s" % test_id,
+        )
         detect = _planned_run_cached(
             test,
             prep.plan,
@@ -636,7 +669,11 @@ def _table5_cell(
         if detect.timed_out:
             waffle_timeouts += 1
         else:
-            waffle_pcts[2] = metrics.overhead_percent(detect.virtual_time_ms, base)
+            waffle_pcts[2] = metrics.overhead_percent(
+                detect.virtual_time_ms,
+                base,
+                context="table5/waffle detect: %s" % test_id,
+            )
 
     return _Table5Cell(
         base=base,

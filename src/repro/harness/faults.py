@@ -231,6 +231,13 @@ def parse_chaos(spec: str) -> ChaosConfig:
 
 _chaos: Optional[ChaosConfig] = None
 
+#: Observer called as ``on_chaos_fire(site, key, attempt)`` each time a
+#: chaos site fires. Assigned from outside (the campaign event bus,
+#: :mod:`repro.obs.eventbus`) so this module stays a stdlib-only leaf;
+#: exceptions are swallowed -- observation must never perturb a chaos
+#: campaign's determinism.
+on_chaos_fire = None
+
 
 def chaos() -> Optional[ChaosConfig]:
     """The active chaos config, or None when chaos is off."""
@@ -280,6 +287,11 @@ def should_fire(site: str, key: str, attempt: int = 1) -> bool:
     if draw >= rate:
         return False
     config.fired.add((site, key))
+    if on_chaos_fire is not None:
+        try:
+            on_chaos_fire(site, key, attempt)
+        except Exception:
+            pass
     return True
 
 

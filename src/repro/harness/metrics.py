@@ -65,16 +65,30 @@ def majority_runs_to_expose(
     return int(round(median(successes)))
 
 
-def overhead_percent(measured_ms: float, baseline_ms: float) -> float:
+def _bad_baseline(baseline_ms: float, context: Optional[str]) -> ValueError:
+    """A non-positive-baseline error that names the offending experiment
+    cell (app/test), same convention as :func:`_empty`."""
+    if context:
+        return ValueError(
+            "baseline must be positive, got %r (%s)" % (baseline_ms, context)
+        )
+    return ValueError("baseline must be positive, got %r" % baseline_ms)
+
+
+def overhead_percent(
+    measured_ms: float, baseline_ms: float, context: Optional[str] = None
+) -> float:
     """Overhead over baseline in percent (Table 5's convention)."""
     if baseline_ms <= 0:
-        raise ValueError("baseline must be positive")
+        raise _bad_baseline(baseline_ms, context)
     return (measured_ms / baseline_ms - 1.0) * 100.0
 
 
-def slowdown(measured_ms: float, baseline_ms: float) -> float:
+def slowdown(
+    measured_ms: float, baseline_ms: float, context: Optional[str] = None
+) -> float:
     if baseline_ms <= 0:
-        raise ValueError("baseline must be positive")
+        raise _bad_baseline(baseline_ms, context)
     return measured_ms / baseline_ms
 
 

@@ -25,9 +25,23 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from .. import obs
+from ..obs import eventbus
 
 #: Sentinel for "use one worker per unit, capped by the machine".
 AUTO_JOBS = 0
+
+
+def _flush_bus_for_cell() -> None:
+    """End-of-cell durability for the campaign event bus, mirroring the
+    telemetry split below: pool workers hard-flush (they can die without
+    atexit), the main process batches."""
+    bus = eventbus.bus()
+    if bus is None:
+        return
+    if multiprocessing.parent_process() is not None:
+        bus.flush()
+    else:
+        bus.maybe_flush()
 
 
 def _call_unit(fn: Callable[..., Any], args: Tuple) -> Any:
@@ -35,11 +49,14 @@ def _call_unit(fn: Callable[..., Any], args: Tuple) -> Any:
 
     Module-level so the process pool can pickle it by reference; in a
     worker process the session comes from the inherited
-    ``WAFFLE_OBS_DIR`` environment variable.
+    ``WAFFLE_OBS_DIR`` environment variable (and the event bus from
+    ``WAFFLE_EVENTS_DIR`` / the obs directory).
     """
     session = obs.session()
     if session is None:
-        return fn(*args)
+        result = fn(*args)
+        _flush_bus_for_cell()
+        return result
     started = time.perf_counter()
     with session.tracer.span("cell", category="harness", unit=fn.__name__):
         result = fn(*args)
@@ -57,6 +74,7 @@ def _call_unit(fn: Callable[..., Any], args: Tuple) -> Any:
         # instead of paying it per cell (the largest single item of
         # enabled-path overhead before batching).
         session.maybe_flush()
+    _flush_bus_for_cell()
     return result
 
 
@@ -91,12 +109,44 @@ def map_units(
         return active.map(fn, arg_tuples, jobs)
     jobs = resolve_jobs(jobs)
     units = list(arg_tuples)
+    bus = eventbus.bus()
+    keys: List[str] = []
+    if bus is not None:
+        # Cell lifecycle is emitted from the coordinator only (workers
+        # would double-count it); cells are identified by the same
+        # content-addressed keys the supervisor and journal use.
+        keys = [supervisor.cell_key(fn, tuple(args)) for args in units]
+        bus.emit("fanout", unit=fn.__name__, cells=len(units), jobs=jobs)
     if jobs <= 1 or len(units) <= 1:
-        return [_call_unit(fn, args) for args in units]
+        if bus is None:
+            return [_call_unit(fn, args) for args in units]
+        results = []
+        for key, args in zip(keys, units):
+            bus.emit("cell_begin", cell=key[:16], unit=fn.__name__, attempt=1)
+            started = time.perf_counter()
+            results.append(_call_unit(fn, args))
+            bus.emit("cell_end", cell=key[:16], status="ok", attempt=1,
+                     wall_s=round(time.perf_counter() - started, 4))
+            bus.maybe_flush()
+        return results
     workers = min(jobs, len(units))
     with ProcessPoolExecutor(max_workers=workers) as executor:
-        futures = [executor.submit(_call_unit, fn, args) for args in units]
-        return [future.result() for future in futures]
+        futures = []
+        for index, args in enumerate(units):
+            if bus is not None:
+                bus.emit("cell_begin", cell=keys[index][:16], unit=fn.__name__, attempt=1)
+            futures.append(executor.submit(_call_unit, fn, args))
+        if bus is None:
+            return [future.result() for future in futures]
+        bus.flush()  # make cell_begin visible to live `campaign status`
+        started = time.perf_counter()
+        results = []
+        for index, future in enumerate(futures):
+            results.append(future.result())
+            bus.emit("cell_end", cell=keys[index][:16], status="ok", attempt=1,
+                     wall_s=round(time.perf_counter() - started, 4))
+            bus.maybe_flush()
+        return results
 
 
 def chunked(items: Iterable[Any], size: int) -> List[List[Any]]:

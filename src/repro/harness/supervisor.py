@@ -55,6 +55,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
+from ..obs import eventbus
 from ..core.persistence import save_record
 from . import faults
 from .runner import TIMEOUT_FACTOR, TIMEOUT_FLOOR_MS
@@ -212,6 +213,7 @@ class CampaignJournal:
         with open(self.path, "a") as fp:
             fp.write(json.dumps(entry, sort_keys=True) + "\n")
             fp.flush()
+        eventbus.emit("checkpoint", cell=key[:16], status=status, attempts=attempts)
 
     def load_result(self, key: str) -> Any:
         """The journaled result for an ``ok`` cell, checksum-verified.
@@ -428,6 +430,13 @@ class Supervisor:
         flight = obs.flightrec.recorder()
         if flight is not None:
             flight.record("cell_fault", cell=key[:16], attempt=attempt, kind=record["kind"])
+        eventbus.emit(
+            "fault",
+            cell=key[:16],
+            attempt=attempt,
+            kind=record["kind"],
+            error=record.get("error", "?"),
+        )
         self._write_dossier(key, attempt, record)
         return record
 
@@ -443,6 +452,11 @@ class Supervisor:
             self._wall_times.append(wall_s)
         if self.journal is not None:
             self.journal.record(key, "ok", attempt, fault_list, result=result)
+        bus = eventbus.bus()
+        if bus is not None:
+            bus.emit("cell_end", cell=key[:16], status="ok", attempt=attempt,
+                     wall_s=round(wall_s, 4) if wall_s is not None else 0.0)
+            bus.maybe_flush()
         return result
 
     def _finalize_degraded(self, key: str, status: str, attempt: int,
@@ -456,6 +470,10 @@ class Supervisor:
             self.stats.failed += 1
         if self.journal is not None:
             self.journal.record(key, status, attempt, fault_list)
+        bus = eventbus.bus()
+        if bus is not None:
+            bus.emit("cell_end", cell=key[:16], status=status, attempt=attempt)
+            bus.flush()  # degraded cells are rare and worth immediate durability
 
     # -- Resume --------------------------------------------------------
 
@@ -474,6 +492,7 @@ class Supervisor:
         session = obs.session()
         if session is not None:
             session.c_cells_resumed.inc()
+        eventbus.emit("cell_resumed", cell=key[:16])
         return True, result
 
     # -- Serial execution ----------------------------------------------
@@ -483,6 +502,7 @@ class Supervisor:
 
         fault_list: List[dict] = []
         for attempt in range(1, self.policy.max_attempts + 1):
+            eventbus.emit("cell_begin", cell=key[:16], unit=fn.__name__, attempt=attempt)
             started = time.perf_counter()
             try:
                 with self._serial_watchdog(self.watchdog_s(), key):
@@ -496,13 +516,19 @@ class Supervisor:
             except BaseException as exc:  # noqa: BLE001 - the boundary's job
                 fault_list.append(self._account_fault(exc, key, attempt))
                 kind, retryable = faults.classify(exc)
+                if isinstance(exc, faults.CellHangFault):
+                    eventbus.emit("watchdog", cell=key[:16],
+                                  deadline_s=round(self.watchdog_s(), 3))
                 if not retryable:
                     self._finalize_degraded(key, "quarantined", attempt, fault_list)
                     return None
                 if attempt >= self.policy.max_attempts:
                     self._finalize_degraded(key, "failed", attempt, fault_list)
                     return None
-                self.sleep(self.policy.backoff_s(key, attempt))
+                backoff = self.policy.backoff_s(key, attempt)
+                eventbus.emit("cell_retry", cell=key[:16], attempt=attempt + 1,
+                              backoff_s=round(backoff, 4), kind=kind)
+                self.sleep(backoff)
         return None  # unreachable
 
     # -- Parallel execution --------------------------------------------
@@ -542,6 +568,9 @@ class Supervisor:
             )
             proc.start()
             child_conn.close()
+            eventbus.emit("cell_begin", cell=keys[index][:16], unit=fn.__name__,
+                          attempt=attempt)
+            eventbus.flush()  # visible to live `campaign status` immediately
             inflight[parent_conn] = {
                 "index": index,
                 "attempt": attempt,
@@ -569,7 +598,10 @@ class Supervisor:
             elif attempt >= self.policy.max_attempts:
                 self._finalize_degraded(key, "failed", attempt, cell["faults"])
             else:
-                ready_at = time.monotonic() + self.policy.backoff_s(key, attempt)
+                backoff = self.policy.backoff_s(key, attempt)
+                eventbus.emit("cell_retry", cell=key[:16], attempt=attempt + 1,
+                              backoff_s=round(backoff, 4), kind=kind)
+                ready_at = time.monotonic() + backoff
                 queue.append((index, attempt + 1, ready_at, cell["faults"]))
 
         while queue or inflight:
@@ -619,6 +651,11 @@ class Supervisor:
                     "cell %s exceeded its %.1fs watchdog; worker pid %s killed"
                     % (keys[cell["index"]][:12], cell["deadline"] - cell["started"], proc.pid)
                 )
+                eventbus.emit(
+                    "watchdog",
+                    cell=keys[cell["index"]][:16],
+                    deadline_s=round(cell["deadline"] - cell["started"], 3),
+                )
                 proc.terminate()
                 proc.join(timeout=2.0)
                 if proc.is_alive():
@@ -639,6 +676,8 @@ class Supervisor:
 
         units = [tuple(args) for args in arg_tuples]
         keys = [cell_key(fn, args) for args in units]
+        eventbus.emit("fanout", unit=fn.__name__, cells=len(units),
+                      jobs=resolve_jobs(jobs))
         results: List[Any] = [None] * len(units)
         pending: List[int] = []
         for index, key in enumerate(keys):
@@ -673,6 +712,10 @@ def current() -> Optional[Supervisor]:
 def activate(supervisor: Supervisor) -> Supervisor:
     global _active
     _active = supervisor
+    # The event bus may have been configured before the harness (and its
+    # fault taxonomy) finished importing; re-wire the chaos observer now
+    # that both sides exist.
+    eventbus._wire_chaos()
     return _active
 
 

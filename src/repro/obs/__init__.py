@@ -43,7 +43,9 @@ import atexit
 import os
 from typing import Optional
 
+from . import eventbus  # noqa: F401  (re-export; configures from env below)
 from . import flightrec  # noqa: F401  (re-export; configures from env below)
+from .eventbus import EventBus  # noqa: F401
 from .flightrec import FlightRecorder  # noqa: F401
 from .metrics import (  # noqa: F401  (public re-exports)
     NULL_COUNTER,
@@ -63,6 +65,11 @@ OBS_DIR_ENV = "WAFFLE_OBS_DIR"
 
 _session: Optional[TelemetrySession] = None
 _atexit_registered = False
+#: Whether the campaign event bus was co-configured by ``configure``
+#: (as opposed to standalone via ``WAFFLE_EVENTS_DIR`` or an explicit
+#: ``eventbus.configure``); only a co-configured bus is torn down or
+#: redirected by this module.
+_bus_owned = False
 
 
 def session() -> Optional[TelemetrySession]:
@@ -85,10 +92,17 @@ def configure(obs_dir: os.PathLike, chrome: bool = True) -> TelemetrySession:
     caches, schedulers) are constructed -- they bind the session at
     construction time.
     """
-    global _session, _atexit_registered
+    global _session, _atexit_registered, _bus_owned
     if _session is not None:
         _session.flush()
     _session = TelemetrySession(obs_dir, chrome=chrome)
+    # The campaign event bus rides along with telemetry: same directory,
+    # same durability conventions. An explicit WAFFLE_EVENTS_DIR (or a
+    # prior eventbus.configure) keeps its own destination.
+    existing = eventbus.bus()
+    if _bus_owned or existing is None or existing.directory is None:
+        eventbus.configure(obs_dir)
+        _bus_owned = True
     if not _atexit_registered:
         atexit.register(_flush_at_exit)
         _atexit_registered = True
@@ -97,15 +111,19 @@ def configure(obs_dir: os.PathLike, chrome: bool = True) -> TelemetrySession:
 
 def disable() -> None:
     """Flush and drop the active session (used by tests and the CLI)."""
-    global _session
+    global _session, _bus_owned
     if _session is not None:
         _session.flush()
     _session = None
+    if _bus_owned:
+        eventbus.disable()
+        _bus_owned = False
 
 
 def flush() -> None:
     if _session is not None:
         _session.flush()
+    eventbus.flush()
 
 
 def _flush_at_exit() -> None:

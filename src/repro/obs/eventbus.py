@@ -1,0 +1,426 @@
+"""Campaign event bus: a durable, schema-versioned JSONL event stream.
+
+Per-run telemetry (:mod:`repro.obs.telemetry`) and forensic dossiers
+(:mod:`repro.obs.dossier`) explain what a single run did *after* it
+finished; this module is the campaign-level plane above them: an
+append-only stream of campaign/cell/attempt lifecycle, cache, fault,
+chaos, watchdog, detection and checkpoint events, written as it
+happens. It is what ``campaign status`` renders live, what
+``campaign merge`` combines across workers, and what ``obs analytics``
+mines across runs.
+
+Durability follows the conventions the telemetry flusher and the
+supervisor journal established:
+
+* **fork-safe** -- one ``events-<pid>-<token>.jsonl`` file per writing
+  process; a forked worker drops the parent's buffered events (they are
+  the parent's to write) and opens its own stream, so streams never
+  interleave within a file;
+* **batched with hard points** -- events buffer up to
+  :attr:`EventBus.FLUSH_EVERY` records; pool workers hard-flush per
+  cell (they can die without atexit) and the CLI flushes at
+  end-of-command, exactly like telemetry;
+* **torn-tail tolerant** -- a process killed mid-append commits at most
+  one partial final line; readers recover (skip and count) an
+  unterminated, undecodable tail instead of raising, and the
+  reconciliation gates tolerate exactly that many missing events.
+
+Every stream begins with a ``meta`` line carrying the schema version
+(:data:`EVENT_SCHEMA_VERSION`) and the writer identity; readers surface
+a version mismatch as a warning rather than guessing at field
+semantics.
+
+The bus is **off by default**: :func:`bus` returns None and every
+guarded emission site pays one ``is None`` check
+(``benchmarks/bench_obs.py`` keeps that budget honest). It activates
+alongside telemetry (``--obs-dir`` / ``WAFFLE_OBS_DIR``), standalone
+via ``WAFFLE_EVENTS_DIR``, or in-memory only (no directory) for
+``--progress`` rendering without an artifact.
+
+Events are strictly observational: nothing reads them back into the
+simulation, so campaigns stay bit-identical with the bus on or off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Bump when an event's field semantics change; readers warn on
+#: mismatch instead of misinterpreting old streams.
+EVENT_SCHEMA_VERSION = 1
+
+#: Environment variable enabling the bus standalone (without telemetry)
+#: and propagating it to ``--jobs`` pool workers.
+EVENTS_DIR_ENV = "WAFFLE_EVENTS_DIR"
+
+#: Stream file naming convention (distinct from ``telemetry-*.jsonl``).
+STREAM_GLOB = "events-*.jsonl"
+
+#: The event vocabulary. ``meta`` opens every stream; everything else
+#: is campaign traffic. Renderers ignore unknown types (forward
+#: compatibility); the CI gate flags them (schema discipline).
+EVENT_TYPES = (
+    "meta",
+    "campaign_begin",    # one CLI campaign command started
+    "campaign_end",      # ... and finished (ok, wall_s)
+    "fanout",            # an experiment fanned N cells out (unit, cells, jobs)
+    "cell_begin",        # one cell started executing (cell, unit)
+    "cell_end",          # ... finalized (status ok|quarantined|failed, attempt, wall_s)
+    "cell_retry",        # a retryable fault scheduled another attempt
+    "cell_resumed",      # satisfied from the campaign journal without running
+    "watchdog",          # a cell blew its wall-clock deadline and was killed
+    "fault",             # one classified fault (kind, error, cell, attempt)
+    "chaos",             # a chaos site fired (site, key)
+    "checkpoint",        # the campaign journal finalized a cell
+    "cache",             # run-cache lookup (action hit|miss, kind)
+    "prep",              # a preparation run was analyzed (test, pairs, sites)
+    "detect_run",        # one detection run finished (test, injected, crashed)
+    "detection",         # one detection attempt concluded (bug, tool, matched, runs)
+)
+
+
+@dataclass
+class StreamMeta:
+    """The identity line opening one event stream."""
+
+    writer: str = "?"
+    version: Optional[int] = None
+    pid: int = 0
+    started_unix: float = 0.0
+
+
+@dataclass
+class EventStream:
+    """One parsed ``events-*.jsonl`` file."""
+
+    path: str
+    meta: StreamMeta
+    events: List[dict] = field(default_factory=list)
+    #: Torn tail lines recovered (skipped); the reconciliation tolerance.
+    recovered: int = 0
+    warnings: List[str] = field(default_factory=list)
+    parse_errors: List[str] = field(default_factory=list)
+
+
+class EventBus:
+    """Process-local campaign event writer.
+
+    With a directory, events land in ``events-<pid>-<token>.jsonl``;
+    without one the bus is in-memory only (listeners still fire, which
+    is all ``--progress`` needs). Listeners are called synchronously
+    with each record -- they must never raise into the emitting path.
+    """
+
+    #: Buffered records before :meth:`maybe_flush` actually writes.
+    #: Event traffic is orders of magnitude sparser than telemetry's
+    #: per-decision records, so a smaller threshold keeps the live
+    #: ``campaign status`` view fresher at negligible cost.
+    FLUSH_EVERY = 256
+
+    def __init__(self, directory: Optional[os.PathLike] = None):
+        self.directory = Path(directory) if directory is not None else None
+        self.started_unix = time.time()
+        self.writer = "%d-%d" % (os.getpid(), int(self.started_unix * 1000) % 1_000_000_000)
+        self.path: Optional[Path] = None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self.path = self.directory / ("events-%s.jsonl" % self.writer)
+        self._seq = 0
+        self._listeners: List[Callable[[dict], None]] = []
+        self._pending: List[dict] = [
+            {
+                "type": "meta",
+                "v": EVENT_SCHEMA_VERSION,
+                "writer": self.writer,
+                "pid": os.getpid(),
+                "started_unix": round(self.started_unix, 3),
+            }
+        ]
+
+    # -- Emission ------------------------------------------------------
+
+    def emit(self, etype: str, **fields: Any) -> dict:
+        """Append one event (timestamped, sequence-numbered) and notify
+        listeners. Returns the record (tests inspect it)."""
+        self._seq += 1
+        record: Dict[str, Any] = {"type": etype, "seq": self._seq, "t": round(time.time(), 6)}
+        record.update(fields)
+        self._pending.append(record)
+        for listener in self._listeners:
+            try:
+                listener(record)
+            except Exception:
+                pass  # a renderer bug must never take down the campaign
+        return record
+
+    def add_listener(self, listener: Callable[[dict], None]) -> None:
+        self._listeners.append(listener)
+
+    # -- Flushing ------------------------------------------------------
+
+    def maybe_flush(self) -> None:
+        if len(self._pending) >= self.FLUSH_EVERY:
+            self.flush()
+
+    def flush(self) -> None:
+        """Append buffered events as whole JSONL lines (one buffer, one
+        write -- the same torn-tail discipline as telemetry: a kill can
+        cut at most the final line)."""
+        if self.path is None or not self._pending:
+            self._pending = self._pending if self.path is None else []
+            return
+        records = self._pending
+        self._pending = []
+        dumps = json.dumps
+        with open(self.path, "a") as fp:
+            fp.write("".join(dumps(r, separators=(",", ":")) + "\n" for r in records))
+
+
+# ----------------------------------------------------------------------
+# Process-global activation (the same model as obs.session)
+# ----------------------------------------------------------------------
+
+_bus: Optional[EventBus] = None
+
+
+def bus() -> Optional[EventBus]:
+    """The active event bus, or None (the zero-cost disabled path)."""
+    return _bus
+
+
+def active() -> bool:
+    return _bus is not None
+
+
+def emit(etype: str, **fields: Any) -> None:
+    """Module-level convenience: emit when a bus is active, else no-op."""
+    if _bus is not None:
+        _bus.emit(etype, **fields)
+
+
+def configure(directory: Optional[os.PathLike] = None) -> EventBus:
+    """Activate the bus, flushing any previous one first.
+
+    ``directory=None`` gives an in-memory bus (listeners only) for
+    ``--progress`` without a durable artifact.
+    """
+    global _bus
+    if _bus is not None:
+        _bus.flush()
+    _bus = EventBus(directory)
+    _wire_chaos()
+    return _bus
+
+
+def disable() -> None:
+    global _bus
+    if _bus is not None:
+        _bus.flush()
+    _bus = None
+
+
+def flush() -> None:
+    if _bus is not None:
+        _bus.flush()
+
+
+def _configure_from_env() -> None:
+    directory = os.environ.get(EVENTS_DIR_ENV)
+    if directory:
+        configure(directory)
+
+
+def _reset_after_fork() -> None:
+    # A forked worker inherits the parent's bus -- buffered events and
+    # file token included. The buffered events are the parent's to
+    # write; the child gets a fresh stream keyed by its own pid (or no
+    # bus at all when the parent's was in-memory only: a worker has no
+    # terminal to render progress on).
+    global _bus
+    if _bus is None:
+        return
+    directory = _bus.directory
+    _bus = None
+    if directory is not None:
+        _bus = EventBus(directory)
+        _wire_chaos()
+
+
+def _on_chaos_fire(site: str, key: str, attempt: int) -> None:
+    """Chaos-harness callback: record every injected fault's firing."""
+    if _bus is not None:
+        _bus.emit("chaos", site=site, key=str(key)[:48], attempt=attempt)
+
+
+def _wire_chaos() -> None:
+    """Register the chaos callback on the fault taxonomy when the
+    harness is loaded. Via ``sys.modules`` rather than an import:
+    :mod:`repro.harness.faults` is a leaf the obs layer must not drag
+    in (or cycle with) at import time. The supervisor re-wires on
+    activation for the case where chaos loads after the bus.
+    """
+    faults_mod = sys.modules.get("repro.harness.faults")
+    if faults_mod is not None and hasattr(faults_mod, "on_chaos_fire"):
+        faults_mod.on_chaos_fire = _on_chaos_fire
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reset_after_fork)
+
+
+# ----------------------------------------------------------------------
+# Reading streams back
+# ----------------------------------------------------------------------
+
+
+def read_stream(path: os.PathLike) -> EventStream:
+    """Parse one event stream, recovering a torn tail.
+
+    The recovery posture matches :func:`repro.obs.report.load_obs_dir`:
+    an unterminated, undecodable final line is the artifact of a killed
+    writer -- counted and skipped, never raised; an undecodable
+    *committed* line (newline-terminated, or not the tail) is a parse
+    error. A missing or version-skewed ``meta`` line is a warning.
+    """
+    target = Path(path)
+    stream = EventStream(path=str(target), meta=StreamMeta())
+    try:
+        text = target.read_text()
+    except OSError as exc:
+        stream.warnings.append("%s: unreadable event stream (%s)" % (target.name, exc))
+        return stream
+    lines = text.splitlines()
+    if not lines:
+        stream.warnings.append("%s: empty event stream" % target.name)
+        return stream
+    truncated_tail = not text.endswith("\n")
+    for line_no, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            if truncated_tail and line_no == len(lines):
+                stream.recovered += 1
+                stream.warnings.append(
+                    "%s: truncated final line recovered [corrupt_record] "
+                    "(killed worker?)" % target.name
+                )
+            else:
+                stream.parse_errors.append("%s:%d: %s" % (target.name, line_no, exc))
+            continue
+        if record.get("type") == "meta":
+            stream.meta = StreamMeta(
+                writer=str(record.get("writer", "?")),
+                version=record.get("v"),
+                pid=record.get("pid", 0),
+                started_unix=record.get("started_unix", 0.0),
+            )
+            if record.get("v") != EVENT_SCHEMA_VERSION:
+                stream.warnings.append(
+                    "%s: event schema version %r != supported %d -- "
+                    "fields may be misread" % (target.name, record.get("v"), EVENT_SCHEMA_VERSION)
+                )
+            continue
+        stream.events.append(record)
+    if stream.meta.version is None and stream.events:
+        stream.warnings.append("%s: event stream has no meta line" % target.name)
+    return stream
+
+
+def stream_paths(path_or_dir: os.PathLike) -> List[Path]:
+    """The event stream files under ``path_or_dir`` (a single stream
+    file, a merged file, or a directory of ``events-*.jsonl``)."""
+    root = Path(path_or_dir)
+    if root.is_dir():
+        return sorted(root.glob(STREAM_GLOB))
+    if root.exists():
+        return [root]
+    return []
+
+
+def load_streams(path_or_dir: os.PathLike) -> List[EventStream]:
+    return [read_stream(path) for path in stream_paths(path_or_dir)]
+
+
+# ----------------------------------------------------------------------
+# Merging worker streams
+# ----------------------------------------------------------------------
+
+
+def _monotonic_events(stream: EventStream) -> List[dict]:
+    """One stream's events, annotated with the writer identity and with
+    timestamps reconciled to be monotonic *within the writer*.
+
+    A stepped clock can make a writer's own wall times run backwards;
+    its sequence numbers are the ground truth for its internal order,
+    so timestamps are clamped forward (``t = max(t, prev t)``) rather
+    than letting a skewed clock reorder a single worker's history.
+    """
+    out: List[dict] = []
+    previous = float("-inf")
+    for event in sorted(stream.events, key=lambda e: e.get("seq", 0)):
+        record = dict(event)
+        record["w"] = stream.meta.writer
+        stamp = float(record.get("t", 0.0))
+        if stamp < previous:
+            stamp = previous
+            record["t"] = stamp
+        previous = stamp
+        out.append(record)
+    return out
+
+
+def merge_events(streams: Sequence[EventStream]) -> List[dict]:
+    """Combine worker streams into one coherent, deterministic timeline.
+
+    Total order: (reconciled timestamp, writer id, per-writer seq).
+    The key is unique and independent of input order, so merging the
+    same streams in any order yields an identical timeline -- the
+    property the merge-determinism test pins byte-for-byte.
+    """
+    merged: List[dict] = []
+    for stream in streams:
+        merged.extend(_monotonic_events(stream))
+    merged.sort(key=lambda e: (float(e.get("t", 0.0)), str(e.get("w", "")), e.get("seq", 0)))
+    return merged
+
+
+def write_merged(streams: Sequence[EventStream], out_path: os.PathLike) -> int:
+    """Write one merged stream; returns the number of events written.
+
+    The merged file opens with its own ``meta`` line naming the source
+    writers (sorted -- input order must not leak into the bytes) and is
+    readable by every stream consumer, :func:`read_stream` included.
+    """
+    merged = merge_events(streams)
+    meta = {
+        "type": "meta",
+        "v": EVENT_SCHEMA_VERSION,
+        "writer": "merged",
+        "merged_from": sorted(s.meta.writer for s in streams),
+    }
+    target = Path(out_path)
+    dumps = json.dumps
+    body = "".join(
+        dumps(record, separators=(",", ":"), sort_keys=True) + "\n"
+        for record in [meta] + merged
+    )
+    tmp = target.with_name(target.name + ".tmp.%d" % os.getpid())
+    tmp.write_text(body)
+    os.replace(tmp, target)
+    return len(merged)
+
+
+def counts_by_type(events: Iterable[dict]) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for event in events:
+        key = event.get("type", "?")
+        out[key] = out.get(key, 0) + 1
+    return out

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List
 
+from . import eventbus
 from .metrics import merge_snapshots
 from .telemetry import SKIP_REASONS
 from .tracing import chrome_trace_events
@@ -51,6 +52,8 @@ class ObsData:
     coverage: List[dict] = field(default_factory=list)
     #: Bug dossiers, as ``{"file": name, "dossier": payload}``.
     dossiers: List[dict] = field(default_factory=list)
+    #: Campaign event streams (``events-*.jsonl``, repro.obs.eventbus).
+    event_streams: List[Any] = field(default_factory=list)
 
 
 def load_obs_dir(directory: os.PathLike) -> ObsData:
@@ -122,6 +125,20 @@ def load_obs_dir(directory: os.PathLike) -> ObsData:
             continue
         data.dossiers.append({"file": path.name, "dossier": payload})
     data.metrics = merge_snapshots(snapshots)
+    # Campaign event streams ride in the same directory when the bus is
+    # active; their anomalies (empty stream, missing meta line, schema
+    # version skew, torn tails) surface through the same warning /
+    # parse-error channels as telemetry's.
+    data.event_streams = eventbus.load_streams(root)
+    for stream in data.event_streams:
+        data.warnings.extend(stream.warnings)
+        data.parse_errors.extend(stream.parse_errors)
+    if not data.event_streams and data.metrics.get("counters", {}).get("harness.cells", 0):
+        data.warnings.append(
+            "harness cells were recorded but no campaign event stream "
+            "(events-*.jsonl) is present -- run with --events-dir or a "
+            "current --obs-dir to capture one"
+        )
     return data
 
 
@@ -343,6 +360,21 @@ def render_report(data: ObsData, max_runs: int = 20) -> str:
         else:
             lines.append("  coverage reconciles with engine counters ✓")
         lines.append("  full digest: repro obs coverage %s" % data.directory)
+
+    if data.event_streams:
+        events_total = sum(len(s.events) for s in data.event_streams)
+        recovered = sum(s.recovered for s in data.event_streams)
+        lines.append("campaign events (%d stream(s))" % len(data.event_streams))
+        lines.append(
+            "  %d event(s)%s   status: repro campaign status %s   "
+            "analytics: repro obs analytics %s"
+            % (
+                events_total,
+                "   (%d torn line(s) recovered)" % recovered if recovered else "",
+                data.directory,
+                data.directory,
+            )
+        )
 
     if data.dossiers:
         lines.append("bug dossiers (%d)" % len(data.dossiers))

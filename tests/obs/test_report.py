@@ -130,6 +130,48 @@ class TestRecovery:
         assert any("unreadable coverage" in w for w in data.warnings)
 
 
+class TestEventStreamSurface:
+    """Campaign event streams co-located with telemetry feed the digest."""
+
+    def test_stream_warnings_surface_through_load(self, obs_dir):
+        from repro.obs import eventbus
+
+        (obs_dir / "events-7-7.jsonl").write_text(
+            json.dumps({"type": "meta", "v": eventbus.EVENT_SCHEMA_VERSION + 9})
+            + "\n"
+            + json.dumps({"type": "cache", "seq": 1, "t": 1.0, "action": "hit"})
+            + "\n"
+        )
+        (obs_dir / "events-8-8.jsonl").write_text("")
+        data = load_obs_dir(obs_dir)
+        assert len(data.event_streams) == 2
+        assert any("schema version" in w for w in data.warnings)
+        assert any("empty event stream" in w for w in data.warnings)
+
+    def test_report_renders_a_campaign_events_section(self, obs_dir):
+        from repro.obs import eventbus
+
+        (obs_dir / "events-7-7.jsonl").write_text(
+            json.dumps({"type": "meta", "v": eventbus.EVENT_SCHEMA_VERSION})
+            + "\n"
+            + json.dumps({"type": "cache", "seq": 1, "t": 1.0, "action": "hit"})
+            + "\n"
+        )
+        text = render_report(load_obs_dir(obs_dir))
+        assert "campaign events (1 stream(s))" in text
+        assert "repro campaign status" in text
+
+    def test_missing_stream_warns_only_when_cells_ran(self, obs_dir):
+        # The fixture has no harness.cells counter: silence is correct
+        # (pre-event-bus artifacts must not suddenly warn).
+        assert load_obs_dir(obs_dir).warnings == []
+        payload = json.loads((obs_dir / "summary-100-1.json").read_text())
+        payload["record"]["metrics"]["counters"]["harness.cells"] = 3
+        (obs_dir / "summary-100-1.json").write_text(json.dumps(payload))
+        data = load_obs_dir(obs_dir)
+        assert any("no campaign event stream" in w for w in data.warnings)
+
+
 class TestCoverageAndDossierSections:
     @pytest.fixture
     def enriched_dir(self, obs_dir):
