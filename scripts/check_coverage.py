@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Enforce the coverage floors in ``coverage-baseline.json``.
+
+Consumes the JSON report ``coverage json`` writes (plain JSON: no
+dependency on the ``coverage`` package here, so the checker runs
+anywhere), rolls statement counts up per package, and fails if
+
+* repo-wide percent covered drops below ``repo_floor_pct``, or
+* any package listed in ``package_floors_pct`` drops below its floor
+  (paths are package prefixes relative to ``src/``, e.g. ``repro/gen``).
+
+``--update`` rewrites the baseline from the observed numbers minus
+``update_margin_pct`` (ratchet upward after a coverage-improving PR;
+floors are never auto-lowered).
+
+Usage::
+
+    coverage run --rcfile=.coveragerc -m pytest -q
+    coverage combine && coverage json
+    python scripts/check_coverage.py coverage.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "coverage-baseline.json"
+
+
+def _normalize(path: str) -> str:
+    """File path in the report -> package path relative to src/."""
+    norm = path.replace("\\", "/")
+    marker = "src/"
+    if marker in norm:
+        norm = norm.split(marker, 1)[1]
+    return norm
+
+
+def package_rollup(report: dict) -> dict:
+    """Package prefix -> {"covered": n, "statements": n, "pct": float}."""
+    packages: dict = {}
+    for path, entry in report.get("files", {}).items():
+        summary = entry.get("summary", {})
+        statements = int(summary.get("num_statements", 0))
+        covered = int(summary.get("covered_lines", 0))
+        parts = _normalize(path).split("/")[:-1]
+        for depth in range(1, len(parts) + 1):
+            prefix = "/".join(parts[:depth])
+            bucket = packages.setdefault(prefix, {"covered": 0, "statements": 0})
+            bucket["covered"] += covered
+            bucket["statements"] += statements
+    for bucket in packages.values():
+        bucket["pct"] = (
+            round(100.0 * bucket["covered"] / bucket["statements"], 1)
+            if bucket["statements"]
+            else 100.0
+        )
+    return packages
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="path to coverage.json")
+    parser.add_argument(
+        "--baseline", default=str(BASELINE_PATH), help="floors file (default: repo root)"
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="ratchet the baseline floors up from the observed numbers",
+    )
+    args = parser.parse_args()
+
+    report = json.loads(pathlib.Path(args.report).read_text())
+    baseline = json.loads(pathlib.Path(args.baseline).read_text())
+    total_pct = float(report.get("totals", {}).get("percent_covered", 0.0))
+    packages = package_rollup(report)
+
+    print("repo-wide: %.1f%% covered (floor %.1f%%)" % (total_pct, baseline["repo_floor_pct"]))
+    failures = []
+    if total_pct < baseline["repo_floor_pct"]:
+        failures.append(
+            "repo-wide coverage %.1f%% is below the %.1f%% floor"
+            % (total_pct, baseline["repo_floor_pct"])
+        )
+    for prefix, floor in sorted(baseline.get("package_floors_pct", {}).items()):
+        bucket = packages.get(prefix)
+        if bucket is None:
+            failures.append("package %r absent from the coverage report" % prefix)
+            continue
+        print(
+            "%-24s %.1f%% covered (%d/%d statements, floor %.1f%%)"
+            % (prefix, bucket["pct"], bucket["covered"], bucket["statements"], floor)
+        )
+        if bucket["pct"] < floor:
+            failures.append(
+                "package %s coverage %.1f%% is below its %.1f%% floor"
+                % (prefix, bucket["pct"], floor)
+            )
+
+    if args.update:
+        margin = float(baseline.get("update_margin_pct", 2.0))
+        baseline["repo_floor_pct"] = max(
+            baseline["repo_floor_pct"], round(total_pct - margin, 1)
+        )
+        for prefix in baseline.get("package_floors_pct", {}):
+            bucket = packages.get(prefix)
+            if bucket is not None:
+                baseline["package_floors_pct"][prefix] = max(
+                    baseline["package_floors_pct"][prefix],
+                    round(bucket["pct"] - margin, 1),
+                )
+        pathlib.Path(args.baseline).write_text(
+            json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+        )
+        print("baseline ratcheted: %s" % args.baseline)
+
+    for failure in failures:
+        print("FAIL: %s" % failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

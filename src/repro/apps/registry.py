@@ -53,6 +53,16 @@ def all_apps() -> Dict[str, Application]:
 def get_app(name: str) -> Application:
     apps = all_apps()
     if name not in apps:
+        if name.startswith("gen-"):
+            # Generated applications (repro.gen) are addressable by
+            # name but never enumerated: the paper tables stay pinned
+            # to the 11 real apps while `detect`/`trace`/`replay` reach
+            # the unbounded seeded family.
+            from ..gen import registry as gen_registry
+
+            app = gen_registry.resolve_app(name)
+            if app is not None:
+                return app
         raise KeyError(
             "unknown application %r (known: %s)" % (name, ", ".join(sorted(apps)))
         )

@@ -1,0 +1,48 @@
+"""Procedural workload generator with ground-truth bug oracles.
+
+The eleven hand-ported applications (:mod:`repro.apps`) give the
+reproduction its paper-faithful rows, but they cap scenario diversity
+at 18 fixed bugs. This package turns the same motif vocabulary
+(:mod:`repro.apps.patterns`) into an *unbounded, seed-reproducible*
+workload family:
+
+* :mod:`repro.gen.spec` -- a seeded sampler producing a declarative
+  :class:`~repro.gen.spec.WorkloadSpec`: concurrency topology (fan-out,
+  worker pool, pipeline, diamond join), shared-access density, and
+  planted bug specs with *analytically known* happens-before gaps;
+* :mod:`repro.gen.builder` -- compiles a spec into an
+  :class:`~repro.apps.base.AppTestCase` conforming to the apps
+  contract, with per-bug *defused* variants used by the oracle loop;
+* :mod:`repro.gen.oracle` -- the machine-checkable ground truth:
+  ``planted_bugs()`` site pairs plus expected detectability under the
+  config's near-miss window, evaluated by running the real
+  :class:`~repro.core.detector.Waffle` detector and checking recall
+  (every detectable planted bug found within budget) and soundness
+  (no detection outside the planted set);
+* :mod:`repro.gen.shrink` -- bisects a failing spec to a minimal
+  reproducer for the ``tests/gen/regressions/`` corpus;
+* :mod:`repro.gen.registry` -- name resolution (``gen-<seed>``) so
+  generated workloads flow through ``get_app``, ``detect``, ``trace``
+  and dossier ``replay`` exactly like the hand-ported apps.
+
+Engine/RNG separation (SNIPPETS.md Snippet 3): all sampling draws from
+one injected seeded RNG, so a spec is a pure function of its seed and
+the whole family is content-addressable by ``(seed, spec_hash)``.
+"""
+
+from .spec import WorkloadSpec, PlantedBugSpec, ComponentSpec, generate_spec, spec_hash
+from .builder import build_workload, workload_name, parse_workload_name
+from .oracle import OracleResult, evaluate_spec
+
+__all__ = [
+    "WorkloadSpec",
+    "PlantedBugSpec",
+    "ComponentSpec",
+    "generate_spec",
+    "spec_hash",
+    "build_workload",
+    "workload_name",
+    "parse_workload_name",
+    "OracleResult",
+    "evaluate_spec",
+]

@@ -1,0 +1,329 @@
+"""Compile a :class:`~repro.gen.spec.WorkloadSpec` into a runnable test.
+
+The builder reuses the validated motif vocabulary of
+:mod:`repro.apps.patterns` for both the benign topology skeleton and
+the *armed* planted bugs, and supplies properly-synchronized *defused*
+variants of each bug kind for the oracle's defuse-and-rerun loop:
+
+* ``use_before_init`` defused: initialize before forking the handler,
+  so the (init, use) pair becomes fork-ordered and is pruned;
+* ``use_after_dispose`` defused: join the user thread before the
+  disposal -- the (use, dispose) near-miss survives as a *false*
+  candidate (realistic noise) but no delay can expose it;
+* ``racy_publication`` defused: finish the payload initialization
+  before publishing through the channel, so the consumer can never
+  observe the uninitialized state.
+
+Every component is forked as its own thread subtree with its own refs
+and sites (prefix ``gen<seed>.c<index>``), so delays at one component's
+sites can never shift another component's threads -- the isolation that
+makes per-bug detectability compositional.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Generator, List
+
+from ..apps import patterns
+from ..apps.base import AppTestCase
+from ..sim.api import Simulation
+from .spec import WorkloadSpec, PlantedBugSpec, ComponentSpec
+
+#: Stagger between component starts (ms): spreads the components'
+#: delay-free phases apart for realism without touching any bug gap.
+COMPONENT_STAGGER_MS = 0.4
+
+_NAME_RE = re.compile(r"^gen-(-?\d+):workload(?:\+defused\[([^\]]*)\])?$")
+
+
+def workload_name(spec: WorkloadSpec, defused: FrozenSet[str] = frozenset()) -> str:
+    base = "gen-%d:workload" % spec.seed
+    if defused:
+        base += "+defused[%s]" % ",".join(sorted(defused))
+    return base
+
+
+def parse_workload_name(name: str):
+    """Inverse of :func:`workload_name`: ``(seed, defused)`` or None."""
+    match = _NAME_RE.match(name)
+    if match is None:
+        return None
+    seed = int(match.group(1))
+    defused = frozenset(x for x in (match.group(2) or "").split(",") if x)
+    return seed, defused
+
+
+def component_prefix(spec: WorkloadSpec, index: int) -> str:
+    return "gen%d.c%d" % (spec.seed, index)
+
+
+def bug_sites(spec: WorkloadSpec, bug: PlantedBugSpec) -> Dict[str, str]:
+    """The static sites of one planted bug (deterministic in the spec)."""
+    prefix = component_prefix(spec, bug.component)
+    return {
+        "init": "%s.Init:1" % prefix,
+        "use": "%s.Use:2" % prefix,
+        "dispose": "%s.Dispose:3" % prefix,
+    }
+
+
+def planted_oracle(spec: WorkloadSpec, near_miss_window_ms: float = 100.0) -> List[dict]:
+    """``planted_bugs()``: site pairs + expected detectability under SC.
+
+    The racing pair is (init, use) for the init races and (use, dispose)
+    for the disposal race; the manifestation always faults at the use
+    site. Detectability is a pure function of the engineered gap vs the
+    near-miss window (section 3.1): inside the window the pair becomes a
+    candidate and Waffle's ``alpha x gap`` delay covers the gap.
+    """
+    entries: List[dict] = []
+    for bug in spec.bugs:
+        sites = bug_sites(spec, bug)
+        if bug.kind == "use_after_dispose":
+            pair = (sites["use"], sites["dispose"])
+        else:
+            pair = (sites["init"], sites["use"])
+        entries.append(
+            {
+                "bug_id": bug.bug_id,
+                "kind": bug.kind,
+                "pair": pair,
+                "fault_site": sites["use"],
+                "gap_ms": bug.gap_ms,
+                "detectable": bug.detectable_under(near_miss_window_ms),
+            }
+        )
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Bug components: armed and defused variants
+# ----------------------------------------------------------------------
+
+
+def _armed_bug(sim: Simulation, spec: WorkloadSpec, bug: PlantedBugSpec) -> Generator:
+    prefix = component_prefix(spec, bug.component)
+    sites = bug_sites(spec, bug)
+    if bug.kind == "use_before_init":
+        return patterns.plain_ubi(
+            sim,
+            prefix,
+            "%s_ref" % prefix.replace(".", "_"),
+            init_site=sites["init"],
+            use_site=sites["use"],
+            init_at_ms=1.0,
+            first_use_at_ms=1.0 + bug.gap_ms,
+            use_count=3,
+            use_spacing_ms=1.0,
+        )
+    if bug.kind == "use_after_dispose":
+        return patterns.plain_uaf(
+            sim,
+            prefix,
+            "%s_ref" % prefix.replace(".", "_"),
+            use_site=sites["use"],
+            dispose_site=sites["dispose"],
+            init_site=sites["init"],
+            use_at_ms=3.0,
+            dispose_at_ms=3.0 + bug.gap_ms,
+        )
+    if bug.kind == "racy_publication":
+        return patterns.multi_instance_ubi(
+            sim,
+            prefix,
+            "%s_ref" % prefix.replace(".", "_"),
+            init_site=sites["init"],
+            use_site=sites["use"],
+            iterations=bug.iterations or 4,
+            gap_ms=bug.gap_ms,
+            iteration_spacing_ms=4.0,
+        )
+    raise ValueError("unknown bug kind %r" % bug.kind)
+
+
+def _defused_bug(sim: Simulation, spec: WorkloadSpec, bug: PlantedBugSpec) -> Generator:
+    """The properly-synchronized variant: same sites, same traffic
+    shape, no exposable race. This is what the oracle substitutes after
+    a bug is found, so later sessions hunt the *remaining* bugs."""
+    prefix = component_prefix(spec, bug.component)
+    sites = bug_sites(spec, bug)
+    ref_name = "%s_ref" % prefix.replace(".", "_")
+    if bug.kind == "use_before_init":
+
+        def ubi_root() -> Generator:
+            ref = sim.ref(ref_name)
+            obj = sim.new("%s.Handler" % prefix)
+            yield from sim.assign(ref, obj, loc=sites["init"])
+
+            def handler() -> Generator:
+                yield from sim.sleep(1.0 + bug.gap_ms)
+                for _ in range(3):
+                    yield from sim.use(ref, member="OnEvent", loc=sites["use"])
+                    yield from sim.sleep(1.0)
+
+            # Initialization precedes the fork: the (init, use) pair is
+            # parent-ordered and pruned by the happens-before analysis.
+            pump = sim.fork(handler(), name="%s-pump" % prefix)
+            yield from sim.join(pump)
+
+        return ubi_root()
+    if bug.kind == "use_after_dispose":
+
+        def uaf_root() -> Generator:
+            ref = sim.ref(ref_name)
+            obj = sim.new("%s.Session" % prefix)
+            yield from sim.assign(ref, obj, loc=sites["init"])
+
+            def user() -> Generator:
+                yield from sim.sleep(3.0)
+                yield from sim.use(ref, member="Send", loc=sites["use"])
+
+            worker = sim.fork(user(), name="%s-user" % prefix)
+            # Join before disposing: the (use, dispose) near-miss is
+            # still observed (a realistic false candidate) but the join
+            # the tools cannot see protects it.
+            yield from sim.join(worker)
+            yield from sim.dispose(ref, loc=sites["dispose"])
+
+        return uaf_root()
+    if bug.kind == "racy_publication":
+
+        def racy_root() -> Generator:
+            requests = sim.channel("%s.requests" % prefix)
+
+            def consumer() -> Generator:
+                while True:
+                    payload_ref = yield from requests.get()
+                    if payload_ref is None:
+                        return
+                    yield from sim.sleep(bug.gap_ms)
+                    yield from sim.use(payload_ref, member="Route", loc=sites["use"])
+
+            worker = sim.fork(consumer(), name="%s-consumer" % prefix)
+            for i in range(bug.iterations or 4):
+                yield from sim.sleep(4.0)
+                payload_ref = sim.ref("%s_payload_%d" % (ref_name, i))
+                obj = sim.new("%s.Payload" % prefix, seq=i)
+                # Initialize *before* publishing: a delayed init delays
+                # the publication with it, so the consumer can never
+                # observe the uninitialized payload.
+                yield from sim.assign(payload_ref, obj, loc=sites["init"])
+                requests.put(payload_ref)
+            requests.close()
+            yield from sim.join(worker)
+
+        return racy_root()
+    raise ValueError("unknown bug kind %r" % bug.kind)
+
+
+# ----------------------------------------------------------------------
+# Benign components
+# ----------------------------------------------------------------------
+
+
+def _benign_component(sim: Simulation, spec: WorkloadSpec, comp: ComponentSpec) -> Generator:
+    prefix = component_prefix(spec, comp.index)
+    if comp.motif == "fork_ordered_preamble":
+
+        def preamble() -> Generator:
+            gen, threads = patterns.fork_ordered_preamble(
+                sim, prefix, count=int(comp.param("count", 2))
+            )
+            yield from gen
+            yield from sim.join_all(threads)
+
+        return preamble()
+    if comp.motif == "task_fanout":
+        return patterns.task_fanout(
+            sim,
+            prefix,
+            workers=int(comp.param("workers", 2)),
+            tasks=int(comp.param("tasks", 4)),
+        )
+    if comp.motif == "locked_counter_workers":
+        return patterns.locked_counter_workers(
+            sim,
+            prefix,
+            workers=int(comp.param("workers", 2)),
+            increments=int(comp.param("increments", 3)),
+        )
+    if comp.motif == "unsafe_collection_traffic":
+        return patterns.unsafe_collection_traffic(
+            sim,
+            prefix,
+            workers=int(comp.param("workers", 2)),
+            ops_per_worker=int(comp.param("ops", 3)),
+        )
+    if comp.motif == "synchronized_pipeline":
+        return patterns.synchronized_pipeline(sim, prefix, items=int(comp.param("items", 5)))
+    raise ValueError("unknown benign motif %r" % comp.motif)
+
+
+def _component_generator(
+    sim: Simulation, spec: WorkloadSpec, comp: ComponentSpec, defused: FrozenSet[str]
+) -> Generator:
+    bug = next((b for b in spec.bugs if b.component == comp.index), None)
+    if bug is not None:
+        inner = _defused_bug(sim, spec, bug) if bug.bug_id in defused else _armed_bug(sim, spec, bug)
+    else:
+        inner = _benign_component(sim, spec, comp)
+
+    def staggered() -> Generator:
+        offset = comp.index * COMPONENT_STAGGER_MS
+        if offset:
+            yield from sim.sleep(offset)
+        yield from inner
+
+    return staggered()
+
+
+def _root(sim: Simulation, spec: WorkloadSpec, defused: FrozenSet[str]) -> Generator:
+    bug_indices = {b.component for b in spec.bugs}
+    benign = [c for c in spec.components if c.index not in bug_indices]
+    bug_comps = [c for c in spec.components if c.index in bug_indices]
+
+    # Bug components always run concurrently with everything else.
+    threads = [
+        sim.fork(_component_generator(sim, spec, comp, defused), name="gen-bug-%d" % comp.index)
+        for comp in bug_comps
+    ]
+    if spec.topology == "diamond" and len(benign) >= 3:
+        # Diamond join: both pipeline branches complete before the
+        # fan-out stage starts.
+        branches = [
+            sim.fork(_component_generator(sim, spec, comp, defused), name="gen-branch-%d" % comp.index)
+            for comp in benign[:-1]
+        ]
+        yield from sim.join_all(branches)
+        yield from _component_generator(sim, spec, benign[-1], defused)
+    else:
+        threads.extend(
+            sim.fork(_component_generator(sim, spec, comp, defused), name="gen-comp-%d" % comp.index)
+            for comp in benign
+        )
+    yield from sim.join_all(threads)
+
+
+def build_workload(spec: WorkloadSpec, defused: FrozenSet[str] = frozenset()) -> AppTestCase:
+    """Compile a spec (plus a defused-bug set) into an AppTestCase."""
+    unknown = defused - {b.bug_id for b in spec.bugs}
+    if unknown:
+        raise ValueError("defused ids not planted in spec: %s" % ", ".join(sorted(unknown)))
+
+    def build(sim: Simulation) -> Generator:
+        return _root(sim, spec, defused)
+
+    test = AppTestCase(
+        workload_name(spec, defused),
+        build,
+        multithreaded=True,
+        tags=("generated", spec.topology),
+    )
+    # The machine-checkable ground truth rides on the test object so
+    # harness code can consume it without re-deriving the spec.
+    test.spec = spec
+    test.planted_bugs = lambda near_miss_window_ms=100.0: planted_oracle(
+        spec, near_miss_window_ms
+    )
+    return test

@@ -1,0 +1,174 @@
+"""Spec shrinking: bisect a failing workload to a minimal reproducer.
+
+When the fuzz verifier finds an invariant violation for some seed, the
+raw spec can carry several components and bugs that have nothing to do
+with the failure. :func:`shrink_spec` greedily applies structural
+reductions -- drop a benign component, drop a planted bug, halve a
+size parameter -- keeping a candidate only if the caller-supplied
+predicate still classifies it as failing, and repeats until no
+reduction survives. Greedy delta debugging over a hand-ordered
+transformation list; deterministic because the candidate order is.
+
+The surviving spec is persisted under ``tests/gen/regressions/`` (see
+:func:`save_regression` / :func:`load_regression`) where CI replays it
+forever, so a once-found detector or generator defect can never
+silently return.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Iterator, List, Optional
+
+from .spec import ComponentSpec, WorkloadSpec, spec_hash, shrunk_copy
+
+#: Upper bound on predicate evaluations per shrink, so a pathological
+#: predicate cannot spin the fuzz CLI forever.
+MAX_SHRINK_EVALS = 200
+
+#: Size parameters eligible for halving, per motif family.
+_HALVABLE = ("items", "tasks", "ops", "increments", "count", "workers")
+
+
+def _drop_component(spec: WorkloadSpec, index: int) -> Optional[WorkloadSpec]:
+    """Remove one benign component (bug hosts are dropped with their bug)."""
+    comp = spec.components[index]
+    if any(b.component == comp.index for b in spec.bugs):
+        return None
+    remaining = tuple(c for i, c in enumerate(spec.components) if i != index)
+    if not remaining:
+        return None
+    return shrunk_copy(spec, components=remaining)
+
+
+def _drop_bug(spec: WorkloadSpec, bug_index: int) -> Optional[WorkloadSpec]:
+    bug = spec.bugs[bug_index]
+    bugs = tuple(b for i, b in enumerate(spec.bugs) if i != bug_index)
+    components = tuple(c for c in spec.components if c.index != bug.component)
+    if not components:
+        return None
+    return shrunk_copy(spec, bugs=bugs, components=components)
+
+
+def _halve_param(spec: WorkloadSpec, index: int, name: str) -> Optional[WorkloadSpec]:
+    comp = spec.components[index]
+    value = comp.param(name)
+    if value < 2:
+        return None
+    halved = tuple(
+        (k, float(max(1, int(v // 2))) if k == name else v) for k, v in comp.params
+    )
+    if halved == comp.params:
+        return None
+    components = list(spec.components)
+    components[index] = ComponentSpec(comp.index, comp.motif, halved)
+    return shrunk_copy(spec, components=tuple(components))
+
+
+def _reduce_iterations(spec: WorkloadSpec, bug_index: int) -> Optional[WorkloadSpec]:
+    bug = spec.bugs[bug_index]
+    if bug.iterations <= 2:
+        return None
+    bugs = list(spec.bugs)
+    bugs[bug_index] = shrunk_copy(bug, iterations=max(2, bug.iterations // 2))
+    return shrunk_copy(spec, bugs=tuple(bugs))
+
+
+def _candidates(spec: WorkloadSpec) -> Iterator[WorkloadSpec]:
+    """All one-step reductions, most aggressive first."""
+    for bug_index in range(len(spec.bugs)):
+        reduced = _drop_bug(spec, bug_index)
+        if reduced is not None:
+            yield reduced
+    for index in range(len(spec.components)):
+        reduced = _drop_component(spec, index)
+        if reduced is not None:
+            yield reduced
+    for index in range(len(spec.components)):
+        for name in _HALVABLE:
+            reduced = _halve_param(spec, index, name)
+            if reduced is not None:
+                yield reduced
+    for bug_index in range(len(spec.bugs)):
+        reduced = _reduce_iterations(spec, bug_index)
+        if reduced is not None:
+            yield reduced
+
+
+def shrink_spec(
+    spec: WorkloadSpec,
+    still_fails: Callable[[WorkloadSpec], bool],
+    max_evals: int = MAX_SHRINK_EVALS,
+) -> WorkloadSpec:
+    """Greedily minimize ``spec`` while ``still_fails`` holds.
+
+    ``still_fails`` must be deterministic (re-run the oracle and compare
+    the violation class); the returned spec is 1-minimal with respect to
+    the candidate moves, or the best reduction reached within
+    ``max_evals`` predicate calls.
+    """
+    current = spec
+    evals = 0
+    progress = True
+    while progress and evals < max_evals:
+        progress = False
+        for candidate in _candidates(current):
+            evals += 1
+            if still_fails(candidate):
+                current = candidate
+                progress = True
+                break
+            if evals >= max_evals:
+                break
+    return current
+
+
+# ----------------------------------------------------------------------
+# Regression fixtures
+# ----------------------------------------------------------------------
+
+
+def save_regression(
+    spec: WorkloadSpec,
+    directory,
+    reason: str,
+    invariant: str,
+    source_seed: int,
+) -> Path:
+    """Persist a shrunken failing spec as a replayable fixture."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    digest = spec_hash(spec)[:12]
+    path = directory / ("regression-%s.json" % digest)
+    payload = {
+        "spec": spec.to_dict(),
+        "spec_hash": spec_hash(spec),
+        "reason": reason,
+        "invariant": invariant,  # "recall" | "soundness" | "identity" | "replay"
+        "source_seed": source_seed,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_regression(path) -> dict:
+    """Load one fixture; raises if its spec hash no longer matches."""
+    payload = json.loads(Path(path).read_text())
+    spec = WorkloadSpec.from_dict(payload["spec"])
+    recorded = payload.get("spec_hash")
+    actual = spec_hash(spec)
+    if recorded and recorded != actual:
+        raise ValueError(
+            "%s: spec hash drift (recorded %s, rebuilt %s) -- the spec "
+            "schema changed under a committed fixture" % (path, recorded, actual)
+        )
+    payload["spec_obj"] = spec
+    return payload
+
+
+def load_regression_dir(directory) -> List[dict]:
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [load_regression(p) for p in sorted(directory.glob("regression-*.json"))]

@@ -1,0 +1,318 @@
+"""Seeded workload-spec sampler: the declarative half of the generator.
+
+A :class:`WorkloadSpec` describes one synthetic concurrent application:
+a topology of benign components drawn from the motif vocabulary of
+:mod:`repro.apps.patterns`, plus zero or more :class:`PlantedBugSpec`
+entries whose happens-before gaps are chosen *analytically*:
+
+* detectable bugs get gaps in ``DETECTABLE_GAP_MS`` -- far inside the
+  default 100 ms near-miss window, and wide enough that Waffle's
+  ``alpha x gap`` delay covers the gap with margin against the
+  simulator's per-op cost jitter;
+* undetectable bugs get gaps in ``UNDETECTABLE_GAP_MS`` -- beyond the
+  near-miss window, so under the default (SC) configuration the racing
+  pair is never even identified as a candidate.
+
+Every bug lives in its own component with its own threads and sites, so
+delays injected for one component can never shift another component's
+threads -- which is what makes the per-bug detectability claim
+compositional and machine-checkable (:mod:`repro.gen.oracle`).
+
+Determinism contract: :func:`generate_spec` samples through one seeded
+``random.Random`` and touches no other state, so ``spec == f(seed)``
+and :func:`spec_hash` content-addresses the whole family.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+#: Bump when spec semantics change; persisted specs carry it so stale
+#: regression fixtures fail loudly instead of rebuilding a different
+#: workload under an old hash.
+SPEC_SCHEMA_VERSION = 1
+
+TOPOLOGIES = ("fanout", "pool", "pipeline", "diamond")
+
+BUG_KINDS = ("use_before_init", "use_after_dispose", "racy_publication")
+
+#: Gap range (ms) for detectable planted bugs. The lower bound keeps
+#: ``(alpha - 1) x gap`` margin comfortably above the simulator's
+#: per-op cost jitter; the upper bound stays far inside the default
+#: 100 ms near-miss window.
+DETECTABLE_GAP_MS = (4.0, 40.0)
+
+#: Gap range (ms) for undetectable planted bugs: beyond the near-miss
+#: window, so the racing pair is never identified under SC defaults.
+UNDETECTABLE_GAP_MS = (140.0, 240.0)
+
+
+@dataclass(frozen=True)
+class PlantedBugSpec:
+    """One planted MemOrder bug with an analytically known gap."""
+
+    bug_id: str  # "B1", "B2", ... (unique within the workload)
+    kind: str  # one of BUG_KINDS
+    component: int  # index of the (dedicated) component hosting it
+    gap_ms: float  # the engineered happens-before gap
+    detectable: bool  # sampler intent; cross-checked by the oracle
+    #: racy_publication repeats the race on a fresh object each
+    #: iteration (the multi-instance shape); 0 for the other kinds.
+    iterations: int = 0
+
+    def detectable_under(self, near_miss_window_ms: float) -> bool:
+        """Ground truth from the gap alone: a planted pair becomes a
+        delay candidate iff its delay-free gap sits inside the window."""
+        return self.gap_ms < near_miss_window_ms
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One component of the workload: a benign motif or a bug host.
+
+    ``params`` is a sorted tuple of (name, value) pairs so the spec
+    stays hashable and canonically serializable.
+    """
+
+    index: int
+    motif: str  # patterns motif name or a BUG_KINDS entry
+    params: Tuple[Tuple[str, float], ...] = ()
+
+    def param(self, name: str, default: float = 0.0) -> float:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A complete declarative description of one generated workload."""
+
+    seed: int
+    topology: str
+    density: float  # scales benign op counts (shared-access density)
+    components: Tuple[ComponentSpec, ...]
+    bugs: Tuple[PlantedBugSpec, ...]
+    version: int = SPEC_SCHEMA_VERSION
+
+    @property
+    def detectable_bugs(self) -> Tuple[PlantedBugSpec, ...]:
+        return tuple(b for b in self.bugs if b.detectable)
+
+    @property
+    def thread_estimate(self) -> int:
+        """Rough thread count (component roots + per-motif workers);
+        analytics labeling only, never a correctness input."""
+        total = 1  # the root
+        for comp in self.components:
+            total += 1  # the component's own root thread
+            total += int(
+                comp.param("workers", 0)
+                or comp.param("count", 0)
+                or (1 if comp.motif in BUG_KINDS else 1)
+            )
+        return total
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "seed": self.seed,
+            "topology": self.topology,
+            "density": self.density,
+            "components": [
+                {"index": c.index, "motif": c.motif, "params": dict(c.params)}
+                for c in self.components
+            ],
+            "bugs": [
+                {
+                    "bug_id": b.bug_id,
+                    "kind": b.kind,
+                    "component": b.component,
+                    "gap_ms": b.gap_ms,
+                    "detectable": b.detectable,
+                    "iterations": b.iterations,
+                }
+                for b in self.bugs
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WorkloadSpec":
+        version = int(payload.get("version", 0))
+        if version != SPEC_SCHEMA_VERSION:
+            raise ValueError(
+                "spec schema version %d != supported %d" % (version, SPEC_SCHEMA_VERSION)
+            )
+        components = tuple(
+            ComponentSpec(
+                index=int(c["index"]),
+                motif=str(c["motif"]),
+                params=tuple(sorted((str(k), float(v)) for k, v in c.get("params", {}).items())),
+            )
+            for c in payload.get("components", [])
+        )
+        bugs = tuple(
+            PlantedBugSpec(
+                bug_id=str(b["bug_id"]),
+                kind=str(b["kind"]),
+                component=int(b["component"]),
+                gap_ms=float(b["gap_ms"]),
+                detectable=bool(b["detectable"]),
+                iterations=int(b.get("iterations", 0)),
+            )
+            for b in payload.get("bugs", [])
+        )
+        return cls(
+            seed=int(payload["seed"]),
+            topology=str(payload["topology"]),
+            density=float(payload["density"]),
+            components=components,
+            bugs=bugs,
+            version=version,
+        )
+
+
+def spec_hash(spec: WorkloadSpec) -> str:
+    """Content address of one spec: sha256 over its canonical JSON."""
+    canonical = json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _round(value: float, digits: int = 3) -> float:
+    """Spec parameters are rounded so canonical JSON round-trips
+    bit-identically through to_dict/from_dict."""
+    return round(value, digits)
+
+
+def _benign_components(rng: random.Random, topology: str, density: float) -> List[ComponentSpec]:
+    """The topology's benign skeleton, op counts scaled by density."""
+
+    def scaled(low: int, high: int) -> float:
+        return float(max(1, int(rng.randint(low, high) * density)))
+
+    comps: List[ComponentSpec] = []
+    if topology == "fanout":
+        comps.append(
+            ComponentSpec(0, "fork_ordered_preamble", (("count", float(rng.randint(2, 4))),))
+        )
+        comps.append(
+            ComponentSpec(
+                1,
+                "task_fanout",
+                tuple(sorted({"workers": float(rng.randint(2, 3)), "tasks": scaled(4, 8)}.items())),
+            )
+        )
+    elif topology == "pool":
+        comps.append(
+            ComponentSpec(
+                0,
+                "locked_counter_workers",
+                tuple(
+                    sorted(
+                        {"workers": float(rng.randint(2, 4)), "increments": scaled(3, 6)}.items()
+                    )
+                ),
+            )
+        )
+        comps.append(
+            ComponentSpec(
+                1,
+                "unsafe_collection_traffic",
+                tuple(
+                    sorted({"workers": float(rng.randint(2, 3)), "ops": scaled(3, 5)}.items())
+                ),
+            )
+        )
+    elif topology == "pipeline":
+        for index in range(rng.randint(1, 2)):
+            comps.append(
+                ComponentSpec(index, "synchronized_pipeline", (("items", scaled(5, 10)),))
+            )
+    else:  # diamond: two pipeline branches joined, then a fan-out stage
+        comps.append(ComponentSpec(0, "synchronized_pipeline", (("items", scaled(4, 7)),)))
+        comps.append(ComponentSpec(1, "synchronized_pipeline", (("items", scaled(4, 7)),)))
+        comps.append(
+            ComponentSpec(
+                2,
+                "task_fanout",
+                tuple(sorted({"workers": float(rng.randint(2, 3)), "tasks": scaled(3, 6)}.items())),
+            )
+        )
+    return comps
+
+
+def _sample_bug(
+    rng: random.Random, bug_index: int, component: int, detectable: bool
+) -> PlantedBugSpec:
+    kind = rng.choice(BUG_KINDS if detectable else BUG_KINDS[:2])
+    low, high = DETECTABLE_GAP_MS if detectable else UNDETECTABLE_GAP_MS
+    if kind == "racy_publication":
+        # The multi-instance race runs every iteration; its per-instance
+        # gap is kept small (the Table 4 "one run" shape) but still
+        # inside the detectable band's spirit.
+        gap = _round(rng.uniform(2.0, 8.0))
+        iterations = rng.randint(4, 7)
+    else:
+        gap = _round(rng.uniform(low, high))
+        iterations = 0
+    return PlantedBugSpec(
+        bug_id="B%d" % bug_index,
+        kind=kind,
+        component=component,
+        gap_ms=gap,
+        detectable=detectable,
+        iterations=iterations,
+    )
+
+
+def generate_spec(seed: int, rng: Optional[random.Random] = None) -> WorkloadSpec:
+    """Sample one workload spec as a pure function of ``seed``.
+
+    All randomness flows through the injected ``rng`` (engine/RNG
+    separation), defaulting to a Random derived from the seed alone.
+    """
+    if rng is None:
+        rng = random.Random(seed * 1_000_003 + 17)
+    topology = TOPOLOGIES[seed % len(TOPOLOGIES)] if seed >= 0 else rng.choice(TOPOLOGIES)
+    density = _round(rng.uniform(0.6, 1.5), 2)
+    components = _benign_components(rng, topology, density)
+
+    # 0-2 detectable bugs (about one in seven workloads plants none,
+    # exercising the no-false-positive side of the oracle) plus 0-1
+    # undetectable control bugs.
+    detectable_count = rng.choice((0, 1, 1, 1, 2, 2, 1))
+    undetectable_count = rng.choice((0, 0, 1))
+    bugs: List[PlantedBugSpec] = []
+    bug_index = 1
+    next_component = len(components)
+    for _ in range(detectable_count):
+        bug = _sample_bug(rng, bug_index, next_component, detectable=True)
+        bugs.append(bug)
+        components.append(ComponentSpec(next_component, bug.kind))
+        bug_index += 1
+        next_component += 1
+    for _ in range(undetectable_count):
+        bug = _sample_bug(rng, bug_index, next_component, detectable=False)
+        bugs.append(bug)
+        components.append(ComponentSpec(next_component, bug.kind))
+        bug_index += 1
+        next_component += 1
+    return WorkloadSpec(
+        seed=seed,
+        topology=topology,
+        density=density,
+        components=tuple(components),
+        bugs=tuple(bugs),
+    )
+
+
+def shrunk_copy(spec: WorkloadSpec, **changes) -> WorkloadSpec:
+    """dataclasses.replace that renumbers nothing: the shrinker edits
+    components/bugs wholesale and keeps indices stable so site names
+    (hence detections and dossiers) survive the reduction."""
+    return replace(spec, **changes)

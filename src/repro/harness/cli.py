@@ -161,6 +161,38 @@ def cmd_stress(args) -> None:
     _emit_rows("stress", rows, tables.render_stress(rows), args)
 
 
+def cmd_fuzz(args) -> int:
+    """Oracle-verify a range of generated workloads (property suite)."""
+    from . import fuzz as fuzz_mod
+
+    try:
+        start_text, stop_text = args.seed_range.split(":", 1)
+        start, stop = int(start_text), int(stop_text)
+    except ValueError:
+        raise SystemExit("--seed-range expects START:STOP, got %r" % args.seed_range)
+    if stop <= start:
+        raise SystemExit("--seed-range: empty range %r" % args.seed_range)
+    config = _apply_hb_engine(DEFAULT_CONFIG.with_seed(args.seed), args)
+    rows = fuzz_mod.fuzz_range(
+        start,
+        stop,
+        config=config,
+        budget=args.budget,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        check_replay=not args.no_replay,
+    )
+    digest = fuzz_mod.fuzz_digest(rows)
+    _emit_rows(
+        "fuzz", {"rows": rows, "digest": digest}, fuzz_mod.render_fuzz(rows, digest), args
+    )
+    failures = [r for r in rows if not r["ok"]]
+    if failures and args.shrink_dir:
+        for path in fuzz_mod.shrink_failures(failures, config, args.budget, args.shrink_dir):
+            print("regression fixture written: %s" % path)
+    return 1 if failures else 0
+
+
 def _apply_hb_engine(config, args):
     """Apply the shared --hb-engine switch to a config, when given."""
     engine = getattr(args, "hb_engine", None)
@@ -235,6 +267,13 @@ def _resolve_workload(name: str):
         for test in app.tests:
             if test.name == name:
                 return test
+    # Generated workloads (including the oracle's defused variants) are
+    # rebuilt from their name alone: gen-<seed>:workload[+defused[...]].
+    from ..gen import registry as gen_registry
+
+    test = gen_registry.resolve_test(name)
+    if test is not None:
+        return test
     raise SystemExit("workload %r not found in any registered application" % name)
 
 
@@ -621,6 +660,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the flight recorder and write bug dossiers + coverage here",
     )
     p.set_defaults(func=cmd_detect)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="generate seeded workloads and verify the detector against "
+        "their planted-bug oracles",
+        parents=[shared],
+    )
+    p.add_argument(
+        "--seed-range",
+        type=str,
+        default="0:20",
+        metavar="START:STOP",
+        help="generator seeds to evaluate, half-open (default 0:20); each "
+        "seed is one procedurally generated workload with an analytic "
+        "ground-truth oracle",
+    )
+    p.add_argument(
+        "--budget",
+        type=int,
+        default=8,
+        help="detection runs per oracle session (default 8)",
+    )
+    p.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="skip re-executing each detection's dossier (replay "
+        "verification is on by default)",
+    )
+    p.add_argument(
+        "--shrink-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="shrink failing workloads to minimal specs and persist them "
+        "here as regression-*.json fixtures",
+    )
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(
         "replay",

@@ -78,6 +78,7 @@ class CampaignView:
     preps: Dict[Tuple, dict] = field(default_factory=dict)
     detect_runs: Dict[Tuple, dict] = field(default_factory=dict)
     detections: Dict[Tuple, dict] = field(default_factory=dict)
+    fuzz: Dict[Tuple, dict] = field(default_factory=dict)
     first_t: float = 0.0
     last_t: float = 0.0
     warnings: List[str] = field(default_factory=list)
@@ -246,6 +247,8 @@ def apply_event(view: CampaignView, event: dict) -> None:
         view.detect_runs[_identity(event)] = event
     elif etype == "detection":
         view.detections[detection_key(event)] = event
+    elif etype == "fuzz_workload":
+        view.fuzz[_identity(event)] = event
     elif etype not in eventbus.EVENT_TYPES:
         view.warnings.append("unknown event type %r" % etype)
 
@@ -546,6 +549,41 @@ def detection_analytics(view: CampaignView) -> Dict[str, Any]:
     }
 
 
+def fuzz_analytics(view: CampaignView) -> Dict[str, Any]:
+    """Detection-rate-vs-topology rollup of the generated-workload
+    (``fuzz_workload``) events. Every folded field is deterministic, and
+    the whole-event dedup already collapsed retried/resumed/cache-hit
+    re-emissions, so one logical workload counts exactly once."""
+    buckets: Dict[str, dict] = {}
+    for event in view.fuzz.values():
+        name = str(event.get("topology", "?"))
+        bucket = buckets.setdefault(
+            name,
+            {"topology": name, "workloads": 0, "planted": 0,
+             "detectable": 0, "found": 0, "runs": 0, "failed": 0},
+        )
+        bucket["workloads"] += 1
+        bucket["planted"] += int(event.get("planted", 0))
+        bucket["detectable"] += int(event.get("detectable", 0))
+        bucket["found"] += int(event.get("found", 0))
+        bucket["runs"] += int(event.get("runs", 0))
+        if not event.get("ok", True):
+            bucket["failed"] += 1
+    rows = []
+    for name in sorted(buckets):
+        bucket = buckets[name]
+        bucket["detection_rate"] = (
+            round(bucket["found"] / bucket["detectable"], 4)
+            if bucket["detectable"] else 1.0
+        )
+        rows.append(bucket)
+    return {
+        "rows": rows,
+        "workloads": sum(b["workloads"] for b in rows),
+        "failed": sum(b["failed"] for b in rows),
+    }
+
+
 #: BENCH_*.json timing keys end in ``_s``; a newer snapshot slower than
 #: its predecessor by more than this fraction is flagged.
 PERF_REGRESSION_THRESHOLD = 0.25
@@ -663,6 +701,22 @@ def render_analytics(view: CampaignView,
                         "    %-14s n=%d  min %.1f  p50 %.1f  p90 %.1f  max %.1f"
                         % (name, stats["n"], stats["min"], stats["p50"],
                            stats["p90"], stats["max"]))
+    if view.fuzz:
+        generated = fuzz_analytics(view)
+        lines.append("")
+        lines.append("generated workloads (deduplicated, deterministic)")
+        lines.append(
+            "  %d workload(s) oracle-verified   %d failing"
+            % (generated["workloads"], generated["failed"]))
+        lines.append("  %-10s %9s %8s %11s %6s %6s %9s" %
+                     ("topology", "workloads", "planted", "detectable",
+                      "found", "runs", "rate"))
+        for bucket in generated["rows"]:
+            lines.append(
+                "  %-10s %9d %8d %11d %6d %6d %8.1f%%"
+                % (bucket["topology"], bucket["workloads"], bucket["planted"],
+                   bucket["detectable"], bucket["found"], bucket["runs"],
+                   100.0 * bucket["detection_rate"]))
     lines.append("")
     lines.append("injection-skip taxonomy")
     if obs_data is not None and (obs_data.metrics or {}).get("counters"):

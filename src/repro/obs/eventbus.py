@@ -82,6 +82,7 @@ EVENT_TYPES = (
     "prep",              # a preparation run was analyzed (test, pairs, sites)
     "detect_run",        # one detection run finished (test, injected, crashed)
     "detection",         # one detection attempt concluded (bug, tool, matched, runs)
+    "fuzz_workload",     # one generated workload oracle-verified (seed, topology, ok)
 )
 
 

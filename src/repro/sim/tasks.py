@@ -171,6 +171,13 @@ class TaskPool:
             handle = task.handle
             try:
                 handle.result = yield from task.gen
+            except GeneratorExit:
+                # The worker generator itself is being closed (a crashed
+                # run abandoned the pool and the interpreter is
+                # collecting it); swallowing this into handle.exception
+                # would loop back into queue.get() outside any simulated
+                # thread. Let the close proceed.
+                raise
             except BaseException as exc:  # noqa: BLE001 - crash capture
                 handle.exception = exc
             finally:

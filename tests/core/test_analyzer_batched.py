@@ -8,9 +8,13 @@ four engine/mode combinations on
 
 * seeded synthetic traces (:mod:`repro.core.synthtrace`), where both
   engines annotate one shared event list; and
-* real preparation runs of every bundled application, re-recorded per
+* the full differential matrix -- every bundled application plus a band
+  of procedurally generated workloads, times all four engine/mode
+  combinations, each cell asserted bit-identical to its workload's
+  vector/per-event reference plan. Real traces are re-recorded per
   engine with the process-global object-id/event-id counters reset so
-  the traces line up event-for-event.
+  the traces line up event-for-event; the serialized plan includes the
+  full stats census, so table-facing numbers are pinned too.
 """
 
 from __future__ import annotations
@@ -88,15 +92,68 @@ class TestSyntheticTraces:
         ]
 
 
-class TestRealApplications:
-    @pytest.mark.parametrize("app_name", sorted(all_apps()))
-    def test_batched_and_tree_match_baseline(self, app_name):
-        app = get_app(app_name)
-        tests = app.multithreaded_tests or app.tests
-        test = tests[0]
-        vector_trace = record_trace(test, "vector")
-        reference = plan_bits(vector_trace, "vector", batched=False)
-        assert plan_bits(vector_trace, "vector", batched=True) == reference
-        tree_trace = record_trace(test, "tree")
-        assert plan_bits(tree_trace, "tree", batched=False) == reference
-        assert plan_bits(tree_trace, "tree", batched=True) == reference
+#: Generated-workload seeds joining the matrix (one per topology).
+GENERATED_SEEDS = (0, 1, 2, 3)
+
+#: Matrix rows: every bundled application plus the generated band.
+WORKLOADS = tuple("app:%s" % name for name in sorted(all_apps())) + tuple(
+    "gen:%d" % seed for seed in GENERATED_SEEDS
+)
+
+
+def _matrix_test(workload: str):
+    kind, _, name = workload.partition(":")
+    if kind == "gen":
+        from repro.gen.builder import build_workload
+        from repro.gen.spec import generate_spec
+
+        return build_workload(generate_spec(int(name)))
+    app = get_app(name)
+    tests = app.multithreaded_tests or app.tests
+    return tests[0]
+
+
+#: (workload, engine) -> recorded trace; each engine's trace is
+#: recorded once and analyzed in both modes, like the experiment
+#: drivers do.
+_TRACES = {}
+
+#: workload -> the vector/per-event reference plan bits.
+_REFERENCE = {}
+
+
+def _trace_for(workload: str, engine: str):
+    key = (workload, engine)
+    if key not in _TRACES:
+        _TRACES[key] = record_trace(_matrix_test(workload), engine)
+    return _TRACES[key]
+
+
+def _reference_bits(workload: str) -> str:
+    if workload not in _REFERENCE:
+        _REFERENCE[workload] = plan_bits(_trace_for(workload, "vector"), "vector", False)
+    return _REFERENCE[workload]
+
+
+class TestDifferentialMatrix:
+    """One parametrized suite over workloads x engine/mode combos."""
+
+    @pytest.mark.parametrize("engine,batched", COMBOS,
+                             ids=["%s-%s" % (e, "batched" if b else "per_event")
+                                  for e, b in COMBOS])
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_cell_matches_reference_plan(self, workload, engine, batched):
+        bits = plan_bits(_trace_for(workload, engine), engine, batched)
+        assert bits == _reference_bits(workload), (
+            "plan diverged from the vector/per-event reference for %s under %s/%s"
+            % (workload, engine, "batched" if batched else "per_event")
+        )
+
+    def test_matrix_covers_all_bundled_apps(self):
+        assert sum(1 for w in WORKLOADS if w.startswith("app:")) == len(all_apps())
+
+    def test_generated_rows_cover_every_topology(self):
+        from repro.gen.spec import TOPOLOGIES, generate_spec
+
+        seen = {generate_spec(seed).topology for seed in GENERATED_SEEDS}
+        assert seen == set(TOPOLOGIES)

@@ -1,0 +1,115 @@
+"""The builder layer: names, oracles, and runnable workload contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gen.builder import (
+    build_workload,
+    bug_sites,
+    parse_workload_name,
+    planted_oracle,
+    workload_name,
+)
+from repro.gen.spec import generate_spec
+from repro.harness.runner import run_baseline
+
+
+def _spec_with_bugs(max_seed: int = 40, want_detectable: bool = True):
+    for seed in range(max_seed):
+        spec = generate_spec(seed)
+        if want_detectable and spec.detectable_bugs:
+            return spec
+        if not want_detectable and spec.bugs and not spec.detectable_bugs:
+            return spec
+    raise AssertionError("no suitable seed below %d" % max_seed)
+
+
+class TestNames:
+    def test_round_trip_plain(self):
+        spec = generate_spec(12)
+        assert parse_workload_name(workload_name(spec)) == (12, frozenset())
+
+    def test_round_trip_defused(self):
+        spec = _spec_with_bugs()
+        defused = frozenset(b.bug_id for b in spec.detectable_bugs)
+        name = workload_name(spec, defused)
+        assert parse_workload_name(name) == (spec.seed, defused)
+
+    def test_defused_set_is_sorted_in_name(self):
+        spec = generate_spec(1)
+        ids = {b.bug_id for b in spec.bugs}
+        if len(ids) < 2:
+            pytest.skip("seed 1 plants fewer than 2 bugs")
+        name = workload_name(spec, frozenset(ids))
+        inside = name.split("defused[", 1)[1].rstrip("]")
+        assert inside == ",".join(sorted(ids))
+
+    def test_non_generated_names_rejected(self):
+        assert parse_workload_name("netmq:pubsub") is None
+        assert parse_workload_name("gen-3:other") is None
+
+
+class TestOracle:
+    def test_pair_orientation_by_kind(self):
+        for seed in range(40):
+            spec = generate_spec(seed)
+            for entry, bug in zip(planted_oracle(spec), spec.bugs):
+                sites = bug_sites(spec, bug)
+                assert entry["fault_site"] == sites["use"]
+                if bug.kind == "use_after_dispose":
+                    assert entry["pair"] == (sites["use"], sites["dispose"])
+                else:
+                    assert entry["pair"] == (sites["init"], sites["use"])
+
+    def test_detectability_tracks_window(self):
+        spec = _spec_with_bugs()
+        bug = spec.detectable_bugs[0]
+        wide = {e["bug_id"]: e["detectable"] for e in planted_oracle(spec, 100.0)}
+        narrow = {e["bug_id"]: e["detectable"] for e in planted_oracle(spec, bug.gap_ms)}
+        assert wide[bug.bug_id] is True
+        assert narrow[bug.bug_id] is False  # gap no longer < window
+
+    def test_sites_disjoint_across_bugs(self):
+        for seed in range(40):
+            spec = generate_spec(seed)
+            seen = set()
+            for bug in spec.bugs:
+                sites = frozenset(bug_sites(spec, bug).values())
+                assert not (sites & seen)
+                seen |= sites
+
+
+class TestBuildWorkload:
+    def test_contract_and_ground_truth_rides_along(self):
+        spec = generate_spec(4)
+        test = build_workload(spec)
+        assert test.name == workload_name(spec)
+        assert test.multithreaded
+        assert "generated" in test.tags and spec.topology in test.tags
+        assert test.spec == spec
+        assert test.planted_bugs() == planted_oracle(spec)
+
+    def test_unknown_defused_id_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload(generate_spec(4), frozenset({"B99"}))
+
+    def test_armed_workload_runs_clean_without_delays(self):
+        # The planted gaps hold under the delay-free schedule: nothing
+        # crashes until Waffle actively injects.
+        spec = _spec_with_bugs()
+        record = run_baseline(build_workload(spec), seed=3)
+        assert not record.crashed
+
+    def test_defused_workload_runs_clean(self):
+        spec = _spec_with_bugs()
+        defused = frozenset(b.bug_id for b in spec.bugs)
+        record = run_baseline(build_workload(spec, defused), seed=3)
+        assert not record.crashed
+
+    def test_run_is_deterministic(self):
+        spec = generate_spec(9)
+        a = run_baseline(build_workload(spec), seed=5)
+        b = run_baseline(build_workload(spec), seed=5)
+        assert a.virtual_time_ms == b.virtual_time_ms
+        assert a.crashed == b.crashed

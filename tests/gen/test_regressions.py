@@ -1,0 +1,46 @@
+"""Replay every committed regression fixture, forever.
+
+Each ``regressions/regression-*.json`` is a shrunken workload spec that
+once exposed (or guards the shape of) a detector/generator defect. CI
+re-runs the full oracle on each: the fixture's invariant class must
+hold with zero violations. Promoting a new fixture = committing the
+file the fuzz CLI's ``--shrink-dir`` wrote (see docs/TESTING.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import WaffleConfig
+from repro.gen.oracle import evaluate_spec
+from repro.gen.shrink import load_regression_dir
+
+REGRESSION_DIR = Path(__file__).parent / "regressions"
+
+FIXTURES = load_regression_dir(REGRESSION_DIR)
+
+
+def test_corpus_is_present():
+    # The corpus must never silently vanish (e.g. a bad glob after a
+    # directory move would turn the whole suite into a no-op).
+    assert len(FIXTURES) >= 2
+
+
+@pytest.mark.parametrize(
+    "fixture", FIXTURES, ids=[Path(f["spec_hash"][:12]).name for f in FIXTURES]
+)
+def test_regression_fixture_holds(fixture):
+    spec = fixture["spec_obj"]
+    result = evaluate_spec(spec, WaffleConfig(seed=spec.seed), check_replay=True)
+    assert result.ok, "fixture %s (%s) regressed: %s" % (
+        fixture["spec_hash"][:12],
+        fixture["reason"],
+        result.violations,
+    )
+    for bug_id, reproduced in result.replays.items():
+        assert reproduced, "fixture %s: %s dossier did not replay" % (
+            fixture["spec_hash"][:12],
+            bug_id,
+        )

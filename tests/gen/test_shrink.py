@@ -1,0 +1,103 @@
+"""The shrinker: greedy reduction, minimality, fixture persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.gen.shrink import (
+    MAX_SHRINK_EVALS,
+    load_regression,
+    load_regression_dir,
+    save_regression,
+    shrink_spec,
+)
+from repro.gen.spec import generate_spec, spec_hash
+
+
+def _seed_with(predicate, max_seed=60):
+    for seed in range(max_seed):
+        spec = generate_spec(seed)
+        if predicate(spec):
+            return spec
+    raise AssertionError("no suitable seed below %d" % max_seed)
+
+
+class TestShrinkSpec:
+    def test_predicate_always_holds_on_result(self):
+        spec = _seed_with(lambda s: len(s.bugs) >= 2 and len(s.components) >= 3)
+        target = spec.bugs[0].bug_id
+
+        def still_fails(candidate):
+            return any(b.bug_id == target for b in candidate.bugs)
+
+        minimal = shrink_spec(spec, still_fails)
+        assert still_fails(minimal)
+
+    def test_reduces_to_single_bug_component(self):
+        spec = _seed_with(lambda s: len(s.bugs) >= 2 and len(s.components) >= 4)
+        target = spec.bugs[0].bug_id
+
+        def still_fails(candidate):
+            return any(b.bug_id == target for b in candidate.bugs)
+
+        minimal = shrink_spec(spec, still_fails)
+        # 1-minimal under the move set: only the target bug and its
+        # dedicated component survive.
+        assert [b.bug_id for b in minimal.bugs] == [target]
+        assert len(minimal.components) == 1
+
+    def test_never_returns_empty_workload(self):
+        spec = _seed_with(lambda s: s.bugs)
+        minimal = shrink_spec(spec, lambda candidate: True)
+        assert minimal.components  # the move set refuses the empty spec
+
+    def test_eval_budget_is_respected(self):
+        spec = _seed_with(lambda s: len(s.components) >= 3)
+        calls = []
+
+        def counting(candidate):
+            calls.append(1)
+            return False  # nothing reduces; every candidate is tried once
+
+        shrink_spec(spec, counting, max_evals=5)
+        assert len(calls) <= 5
+
+    def test_unshrinkable_spec_returned_unchanged(self):
+        spec = generate_spec(0)
+        assert shrink_spec(spec, lambda candidate: False) == spec
+
+
+class TestRegressionFixtures:
+    def test_save_load_round_trip(self, tmp_path):
+        spec = generate_spec(3)
+        path = save_regression(
+            spec, tmp_path, reason="unit test", invariant="recall", source_seed=3
+        )
+        payload = load_regression(path)
+        assert payload["spec_obj"] == spec
+        assert payload["invariant"] == "recall"
+        assert payload["source_seed"] == 3
+        assert payload["spec_hash"] == spec_hash(spec)
+
+    def test_hash_drift_detected(self, tmp_path):
+        spec = generate_spec(3)
+        path = save_regression(
+            spec, tmp_path, reason="unit test", invariant="recall", source_seed=3
+        )
+        payload = json.loads(path.read_text())
+        payload["spec"]["density"] = 99.0  # silently edited fixture
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="drift"):
+            load_regression(path)
+
+    def test_directory_loads_sorted_and_complete(self, tmp_path):
+        for seed in (5, 9):
+            save_regression(
+                generate_spec(seed), tmp_path, reason="r", invariant="soundness",
+                source_seed=seed,
+            )
+        fixtures = load_regression_dir(tmp_path)
+        assert len(fixtures) == 2
+        assert load_regression_dir(tmp_path / "missing") == []

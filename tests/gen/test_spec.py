@@ -1,0 +1,79 @@
+"""The spec layer: determinism, round-tripping, hashing, distributions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gen.spec import (
+    BUG_KINDS,
+    DETECTABLE_GAP_MS,
+    TOPOLOGIES,
+    UNDETECTABLE_GAP_MS,
+    WorkloadSpec,
+    generate_spec,
+    shrunk_copy,
+    spec_hash,
+)
+
+
+class TestGenerateSpec:
+    def test_same_seed_same_spec(self):
+        assert generate_spec(7) == generate_spec(7)
+        assert spec_hash(generate_spec(7)) == spec_hash(generate_spec(7))
+
+    def test_different_seeds_differ(self):
+        hashes = {spec_hash(generate_spec(seed)) for seed in range(50)}
+        assert len(hashes) == 50
+
+    def test_topology_cycles_through_all(self):
+        seen = {generate_spec(seed).topology for seed in range(8)}
+        assert seen == set(TOPOLOGIES)
+
+    def test_every_bug_owns_a_component(self):
+        for seed in range(30):
+            spec = generate_spec(seed)
+            indices = {c.index for c in spec.components}
+            for bug in spec.bugs:
+                assert bug.component in indices
+                assert bug.kind in BUG_KINDS
+
+    def test_gap_bands_are_disjoint(self):
+        lo_d, hi_d = DETECTABLE_GAP_MS
+        lo_u, hi_u = UNDETECTABLE_GAP_MS
+        assert hi_d < lo_u  # the analytic detectability margin
+        for seed in range(60):
+            for bug in generate_spec(seed).bugs:
+                if bug.detectable:
+                    assert bug.gap_ms < 100.0  # inside the near-miss window
+                else:
+                    assert lo_u <= bug.gap_ms <= hi_u
+
+    def test_detectable_flag_matches_window_predicate(self):
+        for seed in range(60):
+            for bug in generate_spec(seed).bugs:
+                assert bug.detectable == bug.detectable_under(100.0)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_identity(self):
+        for seed in (0, 3, 11, 42):
+            spec = generate_spec(seed)
+            assert WorkloadSpec.from_dict(spec.to_dict()) == spec
+
+    def test_hash_survives_round_trip(self):
+        spec = generate_spec(5)
+        assert spec_hash(WorkloadSpec.from_dict(spec.to_dict())) == spec_hash(spec)
+
+    def test_version_mismatch_rejected(self):
+        payload = generate_spec(1).to_dict()
+        payload["version"] = 999
+        with pytest.raises(ValueError):
+            WorkloadSpec.from_dict(payload)
+
+
+class TestShrunkCopy:
+    def test_replacing_components_changes_hash(self):
+        spec = generate_spec(2)
+        reduced = shrunk_copy(spec, components=spec.components[:1])
+        assert spec_hash(reduced) != spec_hash(spec)
+        assert reduced.seed == spec.seed

@@ -168,6 +168,7 @@ class TestWatchdog:
         sup._wall_times = [1.0, 2.0, 3.0]
         assert sup.watchdog_s() == pytest.approx(2.0 * 30.0)  # TIMEOUT_FACTOR
 
+    @pytest.mark.tier2
     def test_serial_watchdog_kills_a_wedged_cell(self):
         sup = Supervisor(
             policy=RetryPolicy(max_attempts=1), cell_timeout_s=0.2, sleep=no_sleep
@@ -177,6 +178,7 @@ class TestWatchdog:
         assert time.monotonic() - started < 5.0
         assert sup.stats.fault_counts == {"hang": 1}
 
+    @pytest.mark.tier2
     def test_parallel_watchdog_kills_a_wedged_worker(self):
         sup = Supervisor(
             policy=RetryPolicy(max_attempts=1), cell_timeout_s=0.5, sleep=no_sleep
@@ -268,6 +270,7 @@ class TestCheckpointResume:
         assert resumed.stats.resumed == 0
         assert resumed.stats.ok == 1
 
+    @pytest.mark.tier2
     def test_resume_after_sigkill_is_bit_identical(self, tmp_path):
         """Kill a real campaign process mid-run; resuming completes the
         remainder and the merged results match an uninterrupted run."""
