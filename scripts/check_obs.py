@@ -146,6 +146,50 @@ def check(obs_dir: Path) -> list:
     problems.extend(data.parse_errors)
     problems.extend(reconcile(data))
     problems.extend(check_events(obs_dir, data))
+    problems.extend(check_dashboard_artifacts(obs_dir))
+    return problems
+
+
+def check_dashboard_artifacts(obs_dir: Path) -> list:
+    """Validate co-located dashboard artifacts, when present.
+
+    ``fuzz --dashboard`` / ``obs dashboard`` leave three artifacts next
+    to the telemetry; each has a machine-checkable contract: the time
+    series is schema-versioned JSONL (every row passes
+    ``validate_row``), the OpenMetrics export parses under
+    ``validate_openmetrics``, and the HTML is self-contained (no
+    external stylesheet/script/image references). Absent artifacts are
+    fine -- not every campaign renders a dashboard.
+    """
+    from repro.obs import openmetrics as openmetrics_mod
+    from repro.obs import timeseries as timeseries_mod
+
+    problems = []
+    series_path = obs_dir / timeseries_mod.TIMESERIES_NAME
+    if series_path.exists():
+        rows, warnings = timeseries_mod.load_series(series_path)
+        problems.extend("timeseries: %s" % w for w in warnings)
+        if not rows:
+            problems.append("timeseries: %s has no valid data rows" % series_path.name)
+    prom_path = obs_dir / "metrics.prom"
+    if prom_path.exists():
+        problems.extend(
+            "metrics.prom: %s" % issue
+            for issue in openmetrics_mod.validate_openmetrics(prom_path.read_text())
+        )
+    html_path = obs_dir / "dashboard.html"
+    if html_path.exists():
+        text = html_path.read_text()
+        for marker in ('<link rel="stylesheet"', "<script src=", "http://", "https://"):
+            if marker in text:
+                problems.append(
+                    "dashboard.html: external reference %r breaks the "
+                    "self-contained contract" % marker
+                )
+        for heading in ("Detection funnel", "Sensitivity curves",
+                        "Delay-budget attribution"):
+            if heading not in text:
+                problems.append("dashboard.html: missing section %r" % heading)
     return problems
 
 

@@ -151,6 +151,7 @@ class NearMissTracker:
                 self.pairs_new += 1
             if self._obs is not None:
                 self._obs.c_pairs_observed.inc()
+                self._obs.h_gap_ms.observe(observation.gap_ms)
                 if is_new:
                     self._obs.c_pairs_new.inc()
             if self._fr is not None:
@@ -309,6 +310,7 @@ class NearMissTracker:
                     self.pairs_new += 1
                 if ses is not None:
                     ses.c_pairs_observed.inc()
+                    ses.h_gap_ms.observe(observation.gap_ms)
                     if is_new:
                         ses.c_pairs_new.inc()
                 if fr is not None:
@@ -388,6 +390,7 @@ class TsvNearMissTracker:
                     self.pairs_new += 1
                 if self._obs is not None:
                     self._obs.c_pairs_observed.inc()
+                    self._obs.h_gap_ms.observe(observation.gap_ms)
                     if is_new:
                         self._obs.c_pairs_new.inc()
                 if self._fr is not None:
@@ -503,6 +506,7 @@ class TsvNearMissTracker:
                         self.pairs_new += 1
                     if ses is not None:
                         ses.c_pairs_observed.inc()
+                        ses.h_gap_ms.observe(observation.gap_ms)
                         if is_new:
                             ses.c_pairs_new.inc()
                     if fr is not None:

@@ -286,6 +286,18 @@ def _fmt_eta(seconds: Optional[float]) -> str:
     return "%.1fs" % seconds
 
 
+def eta_text(view: CampaignView) -> str:
+    """The ETA cell of the status line. A campaign with cells in flight
+    but none completed has no throughput basis yet -- render an explicit
+    "warming up" instead of a degenerate estimate (or a bare "--" that
+    reads like the field is broken)."""
+    if view.finished:
+        return _fmt_eta(0.0)
+    if view.cells_total and not view.cells_done:
+        return "warming up"
+    return _fmt_eta(view.eta_s())
+
+
 def _bar(done: int, total: int, width: int = 24) -> str:
     total = max(total, 1)
     filled = int(width * min(done, total) / total)
@@ -316,7 +328,7 @@ def render_status(view: CampaignView, source: str = "", max_cells: int = 8) -> s
             pct,
             state,
             _fmt_eta(view.elapsed_s) if view.elapsed_s else "--",
-            _fmt_eta(0.0 if view.finished else view.eta_s()),
+            eta_text(view),
         )
     )
     lines.append("")
@@ -435,7 +447,7 @@ class ProgressRenderer:
             line = "%s  cell %s %s (attempt %s, %.2fs)   eta %s" % (
                 prefix, str(event.get("cell", "?"))[:12], event.get("status", "?"),
                 event.get("attempt", 1), float(event.get("wall_s", 0.0)),
-                _fmt_eta(view.eta_s()))
+                eta_text(view))
         elif etype == "cell_retry":
             line = "%s  retry %s attempt %s after %s (backoff %.2fs)" % (
                 prefix, str(event.get("cell", "?"))[:12], event.get("attempt", "?"),

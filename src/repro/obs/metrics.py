@@ -92,6 +92,70 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Linear interpolation within the bucket holding the target rank;
+        the observed min/max clamp the first and overflow buckets, so
+        the estimate can never leave the observed value range. Error is
+        bounded by the width of one bucket.
+        """
+        return bucket_percentile(
+            self.buckets, self.bucket_counts, self.count, self.min, self.max, q
+        )
+
+
+def bucket_percentile(
+    buckets: Sequence[float],
+    bucket_counts: Sequence[int],
+    count: int,
+    minimum: Optional[float],
+    maximum: Optional[float],
+    q: float,
+) -> float:
+    """Quantile estimate over cumulative-bucket data (shared by live
+    :class:`Histogram` instances and the merged snapshot dicts that
+    ``repro obs report`` / the dashboard aggregate across processes)."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile fraction must be in [0, 1], got %r" % q)
+    if not count:
+        return 0.0
+    lo_clamp = minimum if minimum is not None else 0.0
+    hi_clamp = maximum if maximum is not None else (buckets[-1] if buckets else 0.0)
+    rank = q * count
+    cumulative = 0
+    lower = lo_clamp
+    bounds = list(buckets) + [hi_clamp]
+    for index, bound in enumerate(bounds):
+        in_bucket = bucket_counts[index]
+        if in_bucket:
+            upper = min(bound, hi_clamp)
+            base = max(lower, lo_clamp)
+            if upper < base:
+                upper = base
+            if cumulative + in_bucket >= rank:
+                fraction = (rank - cumulative) / in_bucket
+                fraction = max(0.0, min(1.0, fraction))
+                return base + (upper - base) * fraction
+            cumulative += in_bucket
+        lower = bound
+    return hi_clamp
+
+
+def snapshot_percentile(histogram: dict, q: float) -> float:
+    """:func:`bucket_percentile` over one merged-snapshot histogram dict
+    (the ``{"count", "sum", "min", "max", "buckets", "bucket_counts"}``
+    shape :meth:`MetricsRegistry.snapshot` / :func:`merge_snapshots`
+    produce)."""
+    return bucket_percentile(
+        histogram.get("buckets", ()),
+        histogram.get("bucket_counts", ()),
+        int(histogram.get("count", 0)),
+        histogram.get("min"),
+        histogram.get("max"),
+        q,
+    )
+
 
 class _NullCounter:
     __slots__ = ()
@@ -125,6 +189,9 @@ class _NullHistogram:
 
     def observe(self, value: float) -> None:
         pass
+
+    def percentile(self, q: float) -> float:
+        return 0.0
 
 
 #: Shared no-op instruments: safe to hand out from a disabled registry

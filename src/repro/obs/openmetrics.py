@@ -1,0 +1,289 @@
+"""OpenMetrics text export for scrape-based dashboards.
+
+Renders one ``metrics.prom`` from (a) the merged telemetry-registry
+snapshot and (b) gauges folded out of the deduplicated campaign view
+and the quality joins. The export is built for *determinism*, not
+liveness:
+
+* registry **gauges are never exported** -- they are process-local
+  instants ("latest wins" on merge) and would differ run to run;
+* any metric whose name mentions wall time is dropped -- virtual time
+  is the deterministic clock here;
+* with ``deterministic_only=True`` the operational families (faults,
+  cache, retries, watchdog, chaos, checkpoints) and the raw registry
+  families are dropped too, leaving only data derived from
+  deduplicated work products -- a chaos-retried, resumed, or cached
+  campaign then exports byte-identically to a clean one.
+
+The grammar subset emitted (``# TYPE``/``# HELP``, ``_total`` counter
+samples, cumulative ``_bucket{le=...}`` histograms, terminal ``# EOF``)
+is checked by :func:`validate_openmetrics`, which the obs checker runs
+in CI.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?\s+(?P<value>[^\s]+)$"
+)
+
+#: Substring filter: anything timed against the wall clock is dropped
+#: from the export (virtual time is the deterministic clock).
+NONDETERMINISTIC_MARKERS = ("wall",)
+
+
+def sanitize_name(name: str) -> str:
+    """Registry name -> OpenMetrics name (dots and dashes become ``_``)."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not _NAME_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt(value) -> str:
+    number = float(value)
+    if number.is_integer():
+        return "%d" % int(number)
+    return repr(number)
+
+
+def _labels(pairs: Sequence[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join('%s="%s"' % (k, _escape_label(str(v))) for k, v in pairs)
+    return "{%s}" % inner
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self._declared: Dict[str, str] = {}
+
+    def family(self, name: str, kind: str, help_text: str) -> None:
+        if name in self._declared:
+            return
+        self._declared[name] = kind
+        self.lines.append("# TYPE %s %s" % (name, kind))
+        self.lines.append("# HELP %s %s" % (name, help_text))
+
+    def sample(self, name: str, value, labels: Sequence[Tuple[str, str]] = ()) -> None:
+        self.lines.append("%s%s %s" % (name, _labels(labels), _fmt(value)))
+
+    def counter(self, name: str, value, help_text: str,
+                labels: Sequence[Tuple[str, str]] = ()) -> None:
+        self.family(name, "counter", help_text)
+        self.sample(name + "_total", value, labels)
+
+    def gauge(self, name: str, value, help_text: str,
+              labels: Sequence[Tuple[str, str]] = ()) -> None:
+        self.family(name, "gauge", help_text)
+        self.sample(name, value, labels)
+
+    def histogram(self, name: str, hist: dict, help_text: str) -> None:
+        self.family(name, "histogram", help_text)
+        cumulative = 0
+        bounds = list(hist.get("buckets", ()))
+        counts = list(hist.get("bucket_counts", ()))
+        for index, bound in enumerate(bounds):
+            cumulative += counts[index] if index < len(counts) else 0
+            self.sample(name + "_bucket", cumulative, (("le", _fmt(bound)),))
+        self.sample(name + "_bucket", int(hist.get("count", 0)), (("le", "+Inf"),))
+        # Per-process partial sums merge in worker order; rounding washes
+        # out float associativity so --jobs N exports byte-identically.
+        self.sample(name + "_sum", round(float(hist.get("sum", 0)), 6))
+        self.sample(name + "_count", int(hist.get("count", 0)))
+
+    def text(self) -> str:
+        return "\n".join(self.lines + ["# EOF"]) + "\n"
+
+
+def _nondeterministic(name: str) -> bool:
+    lowered = name.lower()
+    return any(marker in lowered for marker in NONDETERMINISTIC_MARKERS)
+
+
+def render_openmetrics(
+    snapshot: Optional[dict] = None,
+    view=None,
+    quality: Optional[dict] = None,
+    deterministic_only: bool = False,
+) -> str:
+    """Build the ``metrics.prom`` text. All inputs are optional; the
+    export is stable under permutation of its sources (names sorted,
+    label sets in fixed order)."""
+    writer = _Writer()
+
+    # -- registry families (raw telemetry; dropped in deterministic mode,
+    #    where chaos retries would double-count per-process sums) -------
+    if snapshot and not deterministic_only:
+        for name in sorted(snapshot.get("counters", ())):
+            if _nondeterministic(name):
+                continue
+            writer.counter(
+                "waffle_" + sanitize_name(name),
+                snapshot["counters"][name],
+                "telemetry counter %s" % name,
+            )
+        for name in sorted(snapshot.get("histograms", ())):
+            if _nondeterministic(name):
+                continue
+            writer.histogram(
+                "waffle_" + sanitize_name(name),
+                snapshot["histograms"][name],
+                "telemetry histogram %s" % name,
+            )
+        # registry gauges are intentionally never exported: per-process
+        # instants with last-wins merge semantics are not reproducible.
+
+    # -- campaign fold: funnel (deduplicated -> deterministic) ----------
+    if view is not None:
+        writer.gauge("waffle_funnel_pairs_candidates", view.pairs_candidates,
+                     "candidate pairs discovered by preparation analysis")
+        writer.gauge("waffle_funnel_delays_injected", view.delays_injected,
+                     "delays injected across detection runs")
+        writer.gauge("waffle_funnel_pairs_observed", view.pairs_observed,
+                     "near-miss pairs observed during detection")
+        writer.gauge("waffle_funnel_detections", len(view.detected),
+                     "detections matching their expectation")
+        writer.gauge("waffle_campaign_cells", view.cells_total,
+                     "campaign cells (expected or seen)")
+        writer.gauge("waffle_campaign_cells_done", view.cells_done,
+                     "campaign cells completed")
+        if not deterministic_only:
+            writer.gauge("waffle_ops_retries", view.retries,
+                         "cell retries (chaos / crash recovery)")
+            writer.gauge("waffle_ops_resumed", view.resumed,
+                         "cells resumed from checkpoint")
+            writer.gauge("waffle_ops_watchdog_kills", view.watchdog_kills,
+                         "workers killed by the watchdog")
+            writer.gauge("waffle_ops_chaos_fires", view.chaos_fires,
+                         "chaos faults fired")
+            writer.gauge("waffle_ops_checkpoints", view.checkpoints,
+                         "checkpoints written")
+            writer.gauge("waffle_ops_cache_hits", view.cache_hits,
+                         "result-cache hits")
+            writer.gauge("waffle_ops_cache_misses", view.cache_misses,
+                         "result-cache misses")
+            for kind in sorted(view.faults):
+                writer.gauge("waffle_ops_faults", view.faults[kind],
+                             "injected faults by kind", (("kind", kind),))
+
+    # -- quality joins (ground-truth reconciled -> deterministic) -------
+    if quality:
+        curve = quality.get("curve") or {}
+        bands = curve.get("bands", {})
+        for band in ("detectable", "undetectable"):
+            stats = bands.get(band)
+            if not stats:
+                continue
+            labels = (("band", band),)
+            writer.gauge("waffle_quality_planted", stats["planted"],
+                         "planted bugs by ground-truth band", labels)
+            writer.gauge("waffle_quality_found", stats["found"],
+                         "found bugs by ground-truth band", labels)
+            if stats["rate"] is not None:
+                writer.gauge("waffle_quality_detection_rate", stats["rate"],
+                             "detection rate by ground-truth band", labels)
+        for topology in sorted(curve.get("by_topology", ())):
+            bins = curve["by_topology"][topology]
+            planted = sum(b["planted"] for b in bins)
+            found = sum(b["found"] for b in bins)
+            writer.gauge(
+                "waffle_quality_topology_detection_rate",
+                round(found / planted, 4) if planted else 0.0,
+                "detection rate by workload topology",
+                (("topology", topology),),
+            )
+        rollup = quality.get("rollup")
+        if rollup and not deterministic_only:
+            writer.gauge("waffle_budget_injected", rollup["injected"],
+                         "injection decisions that placed a delay")
+            writer.gauge("waffle_budget_delay_ms", rollup["delay_ms"],
+                         "total injected delay (virtual ms)")
+            for reason in ("decay", "interference", "budget"):
+                writer.gauge("waffle_budget_skips", rollup[reason],
+                             "skipped injections by reason",
+                             (("reason", reason),))
+            writer.gauge("waffle_budget_counterfactual_sites",
+                         rollup["counterfactual_sites"],
+                         "sites with skips that sit on a bug's racing pair")
+
+    return writer.text()
+
+
+def validate_openmetrics(text: str) -> List[str]:
+    """Syntax/consistency problems in an OpenMetrics export (empty list
+    when clean). Checks the subset this module emits: declarations
+    before samples, ``_total`` counter naming, cumulative histogram
+    buckets, and the terminal ``# EOF``."""
+    problems: List[str] = []
+    if not text.endswith("# EOF\n"):
+        problems.append("missing terminal '# EOF' line")
+    declared: Dict[str, str] = {}
+    bucket_state: Dict[str, int] = {}
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line or line == "# EOF":
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                problems.append("line %d: malformed TYPE line" % line_no)
+                continue
+            if parts[2] in declared:
+                problems.append("line %d: duplicate TYPE for %s" % (line_no, parts[2]))
+            declared[parts[2]] = parts[3]
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("#"):
+            problems.append("line %d: unknown comment form" % line_no)
+            continue
+        match = _SAMPLE.match(line)
+        if not match:
+            problems.append("line %d: unparseable sample" % line_no)
+            continue
+        name = match.group("name")
+        family = _family_of(name, declared)
+        if family is None:
+            problems.append("line %d: sample %s has no TYPE declaration" % (line_no, name))
+            continue
+        kind = declared[family]
+        if kind == "counter" and not name.endswith("_total"):
+            problems.append("line %d: counter sample %s must end in _total" % (line_no, name))
+        try:
+            float(match.group("value"))
+        except ValueError:
+            problems.append("line %d: non-numeric value" % line_no)
+        if kind == "histogram" and name.endswith("_bucket"):
+            labels = match.group("labels") or ""
+            if 'le="' not in labels:
+                problems.append("line %d: histogram bucket without le label" % line_no)
+            else:
+                count = int(float(match.group("value")))
+                if count < bucket_state.get(family, 0):
+                    problems.append(
+                        "line %d: histogram %s buckets are not cumulative"
+                        % (line_no, family)
+                    )
+                bucket_state[family] = count
+    return problems
+
+
+def _family_of(sample_name: str, declared: Dict[str, str]) -> Optional[str]:
+    if sample_name in declared:
+        return sample_name
+    for suffix in ("_total", "_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in declared:
+                return base
+    return None

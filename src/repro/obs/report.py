@@ -210,6 +210,56 @@ def _fmt_count(value: float) -> str:
     return "%d" % value
 
 
+def _fuzz_section(event_streams: List[Any]) -> List[str]:
+    """Generated-workload digest from ``fuzz_workload`` events.
+
+    Folds through the campaign view so retried/resumed/cache-hit
+    re-emissions collapse, then checks each workload's oracle is still
+    *resolvable*: ``generate_spec(seed)`` must hash to the spec prefix
+    the event recorded, else the ground truth regenerated today is not
+    the one the campaign ran against (generator drift) and sensitivity
+    joins against it would be fiction.
+    """
+    from . import campaign as campaign_mod
+
+    view = campaign_mod.fold_events(eventbus.merge_events(event_streams))
+    if not view.fuzz:
+        return []
+    from .quality import resolvable_fuzz_events
+
+    resolvable, mismatched = resolvable_fuzz_events(view.fuzz.values())
+    generated = campaign_mod.fuzz_analytics(view)
+    lines: List[str] = ["generated workloads (fuzz)"]
+    lines.append(
+        "  %d workload(s) oracle-verified   %d with invariant violations"
+        % (generated["workloads"], generated["failed"])
+    )
+    lines.append(
+        "  %-10s %9s %11s %6s %9s"
+        % ("topology", "workloads", "detectable", "found", "rate")
+    )
+    for bucket in generated["rows"]:
+        lines.append(
+            "  %-10s %9d %11d %6d %8.1f%%"
+            % (bucket["topology"], bucket["workloads"], bucket["detectable"],
+               bucket["found"], 100.0 * bucket["detection_rate"])
+        )
+    if not resolvable:
+        lines.append(
+            "  WARNING: %d fuzz event(s) but no oracle rows are resolvable -- "
+            "generate_spec(seed) no longer hashes to the recorded spec; "
+            "re-run the fuzz campaign against the current generator"
+            % len(view.fuzz)
+        )
+    elif mismatched:
+        lines.append(
+            "  warning: %d of %d workload(s) have unresolvable oracles "
+            "(spec hash mismatch)" % (mismatched, len(view.fuzz))
+        )
+    lines.append("  sensitivity curves: repro obs dashboard <dir>")
+    return lines
+
+
 def render_report(data: ObsData, max_runs: int = 20) -> str:
     """The human-readable digest behind ``repro obs report``."""
     counters = data.metrics.get("counters", {})
@@ -362,6 +412,7 @@ def render_report(data: ObsData, max_runs: int = 20) -> str:
         lines.append("  full digest: repro obs coverage %s" % data.directory)
 
     if data.event_streams:
+        lines.extend(_fuzz_section(data.event_streams))
         events_total = sum(len(s.events) for s in data.event_streams)
         recovered = sum(s.recovered for s in data.event_streams)
         lines.append("campaign events (%d stream(s))" % len(data.event_streams))

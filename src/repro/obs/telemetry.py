@@ -48,6 +48,13 @@ SKIP_REASONS = ("decay", "interference", "budget")
 #: in tests/harness/test_faults.py keeps the copies identical).
 FAULT_KINDS = ("worker_crash", "hang", "transient_io", "corrupt_record", "deterministic")
 
+#: Bucket bounds for the observed near-miss gap distribution (virtual
+#: ms). The default near-miss window is 100 ms, so in-window gaps land
+#: below the last bound; a widened window spills into the overflow
+#: bucket. Gaps are virtual-time differences, so the histogram sums are
+#: deterministic across --jobs values and happens-before engines.
+GAP_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0)
+
 
 @dataclass
 class RunTelemetry:
@@ -176,6 +183,7 @@ class TelemetrySession:
         }
         self.c_pairs_observed = registry.counter("nearmiss.pairs_observed")
         self.c_pairs_new = registry.counter("nearmiss.pairs_new")
+        self.h_gap_ms = registry.histogram("nearmiss.gap_ms", GAP_BUCKETS)
         self.c_cand_added = registry.counter("candidates.added")
         self.c_cand_removed = registry.counter("candidates.removed")
         self.c_pruned_parent_child = registry.counter("candidates.pruned_parent_child")

@@ -1,0 +1,259 @@
+"""Append-only detection-quality time series (``timeseries.jsonl``).
+
+One row per campaign, appended by ``fuzz --dashboard`` / ``obs
+dashboard`` and charted by ``obs trend``: the detection funnel, the
+ground-truth quality bands, the skip taxonomy, and the benchmark
+timings the 25%-drift tracker watches. Rows are schema-versioned like
+the event bus (``v`` on every row, a leading ``meta`` line naming the
+writer) so a reader from a future schema can refuse cleanly instead of
+misparsing, and loading tolerates a torn tail the same way: a final
+partial line -- the one crash/ENOSPC artifact an append-only file can
+have -- is dropped with a recovery note, never a crash.
+
+Unlike the dashboard and the OpenMetrics export (deterministic by
+construction), the time series is *history*: rows carry a wall-clock
+timestamp, because "when did quality drift" is the question it exists
+to answer.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, List, Optional, Sequence, Tuple
+
+TIMESERIES_SCHEMA_VERSION = 1
+
+TIMESERIES_NAME = "timeseries.jsonl"
+
+#: Fields every data row must carry (validate_row / check_obs).
+REQUIRED_FIELDS = ("v", "type", "t", "label")
+
+
+def build_row(
+    view: Any = None,
+    quality: Optional[dict] = None,
+    bench_paths: Sequence[Any] = (),
+    label: str = "campaign",
+    t: Optional[float] = None,
+) -> dict:
+    """One quality/perf row. ``t`` is injectable for tests; everything
+    else is folded from the same deduplicated sources the dashboard
+    uses, so a row re-built from the same campaign is identical up to
+    its timestamp."""
+    from . import campaign as campaign_mod
+
+    row: dict = {
+        "v": TIMESERIES_SCHEMA_VERSION,
+        "type": "quality",
+        "t": round(time.time(), 3) if t is None else round(float(t), 3),
+        "label": label,
+    }
+    if view is not None:
+        row["funnel"] = {
+            "candidates": view.pairs_candidates,
+            "injected": view.delays_injected,
+            "observed": view.pairs_observed,
+            "detected": len(view.detected),
+        }
+        row["cells"] = {"total": view.cells_total, "done": view.cells_done}
+        row["ops"] = {
+            "retries": view.retries,
+            "chaos_fires": view.chaos_fires,
+            "cache_hits": view.cache_hits,
+            "cache_misses": view.cache_misses,
+        }
+    if quality:
+        curve = quality.get("curve") or {}
+        if curve:
+            row["bands"] = curve.get("bands", {})
+            row["bugs"] = {"planted": curve.get("records", 0),
+                           "found": curve.get("found", 0)}
+        rollup = quality.get("rollup")
+        if rollup:
+            row["budget"] = {
+                "injected": rollup["injected"],
+                "delay_ms": rollup["delay_ms"],
+                "skipped": rollup["skipped"],
+                "counterfactual_sites": rollup["counterfactual_sites"],
+            }
+    if bench_paths:
+        tracker = campaign_mod.perf_tracker(list(bench_paths))
+        timings = {}
+        for path in bench_paths:
+            try:
+                payload = json.loads(Path(path).read_text())
+            except (OSError, ValueError):
+                continue
+            name = str(payload.get("benchmark", Path(path).stem))
+            for key, value in sorted(payload.items()):
+                if key.endswith("_s") and isinstance(value, (int, float)):
+                    timings["%s.%s" % (name, key)] = round(float(value), 6)
+        row["bench"] = {
+            "snapshots": tracker["snapshots"],
+            "regressions": len(tracker["regressions"]),
+            "budget_problems": len(tracker["budget_problems"]),
+            "timings": timings,
+        }
+    return row
+
+
+def append_row(path: Any, row: dict) -> Path:
+    """Append one row, writing the schema-versioned meta line first on
+    a fresh file. Single ``write`` of complete lines -- same append
+    discipline as the event bus, so concurrent writers interleave at
+    line granularity at worst."""
+    target = Path(path)
+    if target.is_dir():
+        target = target / TIMESERIES_NAME
+    chunks: List[str] = []
+    if not target.exists() or target.stat().st_size == 0:
+        chunks.append(json.dumps({
+            "v": TIMESERIES_SCHEMA_VERSION,
+            "type": "meta",
+            "writer": "repro.obs.timeseries",
+        }, sort_keys=True))
+    chunks.append(json.dumps(row, sort_keys=True))
+    with open(target, "a") as handle:
+        handle.write("\n".join(chunks) + "\n")
+    return target
+
+
+def load_series(path: Any) -> Tuple[List[dict], List[str]]:
+    """``(rows, warnings)``: data rows in file order, with torn-tail
+    recovery and future-schema refusal per row."""
+    target = Path(path)
+    if target.is_dir():
+        target = target / TIMESERIES_NAME
+    rows: List[dict] = []
+    warnings: List[str] = []
+    if not target.exists():
+        return rows, warnings
+    text = target.read_text()
+    lines = text.splitlines()
+    truncated_tail = bool(lines) and not text.endswith("\n")
+    for line_no, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            if truncated_tail and line_no == len(lines):
+                warnings.append("%s: recovered from torn tail line" % target.name)
+            else:
+                warnings.append("%s:%d: unparseable line" % (target.name, line_no))
+            continue
+        if int(record.get("v", 0)) > TIMESERIES_SCHEMA_VERSION:
+            warnings.append(
+                "%s:%d: schema v%s is newer than supported v%d; skipped"
+                % (target.name, line_no, record.get("v"), TIMESERIES_SCHEMA_VERSION)
+            )
+            continue
+        if record.get("type") == "meta":
+            continue
+        problems = validate_row(record)
+        if problems:
+            warnings.append("%s:%d: %s" % (target.name, line_no, "; ".join(problems)))
+            continue
+        rows.append(record)
+    return rows, warnings
+
+
+def validate_row(row: dict) -> List[str]:
+    """Schema problems in one data row (empty when clean)."""
+    problems: List[str] = []
+    for field in REQUIRED_FIELDS:
+        if field not in row:
+            problems.append("missing field %r" % field)
+    if row.get("type") not in ("quality",):
+        problems.append("unknown row type %r" % row.get("type"))
+    if "t" in row and not isinstance(row["t"], (int, float)):
+        problems.append("non-numeric timestamp")
+    for section in ("funnel", "cells", "ops", "bands", "budget", "bench"):
+        if section in row and not isinstance(row[section], dict):
+            problems.append("section %r is not an object" % section)
+    return problems
+
+
+# ----------------------------------------------------------------------
+# `obs trend` rendering
+# ----------------------------------------------------------------------
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _spark(values: Sequence[Optional[float]]) -> str:
+    present = [v for v in values if v is not None]
+    if not present:
+        return "(no data)"
+    lo, hi = min(present), max(present)
+    span = (hi - lo) or 1.0
+    out = []
+    for value in values:
+        if value is None:
+            out.append("·")
+            continue
+        index = int((value - lo) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[max(1, index)] if hi > lo or value else _BLOCKS[1])
+    return "".join(out)
+
+
+def _band_rate(row: dict, band: str) -> Optional[float]:
+    stats = (row.get("bands") or {}).get(band)
+    if not stats:
+        return None
+    return stats.get("rate")
+
+
+def render_trend(rows: Sequence[dict], limit: int = 40) -> str:
+    """ASCII trend over the most recent ``limit`` rows: detection rates
+    per ground-truth band, funnel detections, and benchmark timings."""
+    lines = ["detection-quality trend"]
+    if not rows:
+        lines.append("  (no rows; run `repro fuzz --dashboard` to record one)")
+        return "\n".join(lines)
+    window = list(rows[-limit:])
+    lines.append("  rows: %d (showing last %d)" % (len(rows), len(window)))
+
+    detectable = [_band_rate(r, "detectable") for r in window]
+    undetectable = [_band_rate(r, "undetectable") for r in window]
+    detected = [float((r.get("funnel") or {}).get("detected", 0)) for r in window]
+    lines.append("  detectable-band rate    %s  latest=%s"
+                 % (_spark(detectable), _fmt_latest(detectable)))
+    lines.append("  undetectable-band rate  %s  latest=%s"
+                 % (_spark(undetectable), _fmt_latest(undetectable)))
+    lines.append("  detections              %s  latest=%s"
+                 % (_spark(detected), _fmt_latest(detected)))
+
+    timing_keys: List[str] = []
+    for row in window:
+        for key in (row.get("bench") or {}).get("timings", {}):
+            if key not in timing_keys:
+                timing_keys.append(key)
+    for key in sorted(timing_keys):
+        series = [
+            (r.get("bench") or {}).get("timings", {}).get(key) for r in window
+        ]
+        lines.append("  %-22s  %s  latest=%s"
+                     % (key[:22], _spark(series), _fmt_latest(series)))
+    regressions = sum(int((r.get("bench") or {}).get("regressions", 0)) for r in window)
+    if regressions:
+        lines.append("  WARNING: %d benchmark regression(s) beyond the drift "
+                     "threshold in this window" % regressions)
+    problems = sum(
+        int((r.get("bench") or {}).get("budget_problems", 0)) for r in window
+    )
+    if problems:
+        lines.append("  WARNING: %d benchmark budget problem(s) in this window"
+                     % problems)
+    return "\n".join(lines)
+
+
+def _fmt_latest(series: Sequence[Optional[float]]) -> str:
+    for value in reversed(series):
+        if value is not None:
+            if float(value).is_integer():
+                return "%d" % int(value)
+            return "%.4g" % value
+    return "-"

@@ -319,3 +319,38 @@ class TestCliIntegration:
         assert "Campaign analytics" in out
         assert "time to first detection" in out
         assert "Bug-1" in out
+
+
+class TestEtaText:
+    def test_warming_up_while_cells_exist_but_none_completed(self):
+        view = campaign.fold_events([
+            _ev("fanout", t=100.0, unit="u", cells=4, jobs=1),
+            _ev("cell_begin", t=100.0, cell="c1", unit="u"),
+        ])
+        assert campaign.eta_text(view) == "warming up"
+
+    def test_numeric_eta_once_a_cell_completes(self):
+        view = campaign.fold_events([
+            _ev("fanout", t=100.0, unit="u", cells=4, jobs=1),
+            _ev("cell_begin", t=100.0, cell="c1", unit="u"),
+            _ev("cell_end", t=110.0, cell="c1", status="ok", attempt=1, wall_s=10.0),
+        ])
+        assert campaign.eta_text(view) != "warming up"
+
+    def test_finished_campaign_shows_zero_not_warming_up(self):
+        view = campaign.fold_events([
+            _ev("campaign_begin", t=1.0, command="t", seed=0, jobs=1),
+            _ev("fanout", t=1.0, unit="u", cells=1, jobs=1),
+            _ev("campaign_end", t=2.0, ok=True, wall_s=1.0),
+        ])
+        assert view.finished
+        assert campaign.eta_text(view) != "warming up"
+
+    def test_render_status_says_warming_up(self):
+        view = campaign.fold_events([
+            _ev("campaign_begin", t=1.0, command="t", seed=0, jobs=1),
+            _ev("fanout", t=1.0, unit="u", cells=4, jobs=1),
+            _ev("cell_begin", t=1.0, cell="c1", unit="u"),
+        ])
+        text = campaign.render_status(view, source="dir")
+        assert "warming up" in text

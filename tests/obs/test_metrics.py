@@ -9,6 +9,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     merge_snapshots,
+    snapshot_percentile,
 )
 
 
@@ -87,3 +88,84 @@ class TestMergeSnapshots:
 
     def test_merge_empty(self):
         assert merge_snapshots([]) == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestHistogramPercentile:
+    """Linear interpolation within the covering bucket, clamped to the
+    observed min/max -- checked against exact quantiles of the raw data."""
+
+    @staticmethod
+    def exact_quantile(values, q):
+        """Exact linear-interpolation quantile (numpy's 'linear' method)."""
+        ordered = sorted(values)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = q * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        return ordered[lo] + (rank - lo) * (ordered[hi] - ordered[lo])
+
+    def test_empty_histogram_is_zero(self):
+        hist = Histogram("h", buckets=(1.0, 10.0))
+        assert hist.percentile(0.5) == 0.0
+
+    def test_out_of_range_q_raises(self):
+        hist = Histogram("h", buckets=(1.0,))
+        hist.observe(0.5)
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+        with pytest.raises(ValueError):
+            hist.percentile(-0.1)
+
+    def test_extremes_clamp_to_observed_min_and_max(self):
+        hist = Histogram("h", buckets=(10.0, 100.0))
+        for value in (3.0, 42.0, 77.0):
+            hist.observe(value)
+        assert hist.percentile(0.0) == pytest.approx(3.0)
+        assert hist.percentile(1.0) == pytest.approx(77.0)
+
+    def test_uniform_data_tracks_exact_quantiles_within_a_bucket(self):
+        # Uniform values over [0, 100) with 10ms buckets: the estimate
+        # can only err by interpolation *inside* one bucket.
+        values = [float(v) for v in range(100)]
+        buckets = tuple(float(b) for b in range(10, 101, 10))
+        hist = Histogram("h", buckets=buckets)
+        for value in values:
+            hist.observe(value)
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            assert hist.percentile(q) == pytest.approx(
+                self.exact_quantile(values, q), abs=10.0
+            )
+
+    def test_skewed_data_stays_within_one_bucket_width(self):
+        values = [0.5] * 90 + [45.0] * 9 + [99.0]
+        hist = Histogram("h", buckets=(1.0, 10.0, 50.0))
+        for value in values:
+            hist.observe(value)
+        assert hist.percentile(0.5) <= 1.0            # median bucket is [0, 1]
+        assert 10.0 < hist.percentile(0.95) <= 50.0   # p95 bucket is (10, 50]
+        assert hist.percentile(0.999) == pytest.approx(99.0, abs=50.0)
+
+    def test_overflow_bucket_interpolates_toward_observed_max(self):
+        hist = Histogram("h", buckets=(1.0,))
+        for value in (0.5, 5.0, 9.0):
+            hist.observe(value)
+        # q deep in the overflow bucket: bounded by (bucket edge, max].
+        assert 1.0 < hist.percentile(0.9) <= 9.0
+
+    def test_snapshot_percentile_matches_live_instrument(self):
+        hist = Histogram("h", buckets=(2.0, 8.0, 32.0))
+        for value in (1.0, 3.0, 5.0, 9.0, 31.0):
+            hist.observe(value)
+        snap = MetricsRegistry().snapshot()  # shape reference only
+        payload = {
+            "count": hist.count, "sum": hist.sum, "min": hist.min,
+            "max": hist.max, "buckets": list(hist.buckets),
+            "bucket_counts": list(hist.bucket_counts),
+        }
+        assert isinstance(snap, dict)
+        for q in (0.1, 0.5, 0.9):
+            assert snapshot_percentile(payload, q) == hist.percentile(q)
+
+    def test_null_histogram_percentile_is_zero(self):
+        assert NULL_HISTOGRAM.percentile(0.9) == 0.0

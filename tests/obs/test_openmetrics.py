@@ -1,0 +1,105 @@
+"""OpenMetrics export: grammar, determinism filters, validator."""
+
+from repro.obs import campaign as campaign_mod
+from repro.obs.openmetrics import (
+    render_openmetrics,
+    sanitize_name,
+    validate_openmetrics,
+)
+
+SNAPSHOT = {
+    "counters": {"inject.injected": 7, "sched.runs": 3, "campaign.wall_s": 9},
+    "gauges": {"vt.threads": 4},
+    "histograms": {
+        "nearmiss.gap_ms": {
+            "count": 3, "sum": 10.5, "min": 1.0, "max": 6.0,
+            "buckets": [2.0, 5.0], "bucket_counts": [1, 1, 1],
+        }
+    },
+}
+
+
+def fuzz_view():
+    return campaign_mod.fold_events([
+        {"type": "detect_run", "seq": 1, "t": 0.0, "w": "a", "run": 0,
+         "injected": 5, "pairs_observed": 2, "crashed": True},
+        {"type": "fault", "seq": 2, "t": 0.0, "w": "a", "kind": "hang"},
+        {"type": "cache", "seq": 3, "t": 0.0, "w": "a", "action": "hit"},
+    ])
+
+
+class TestRender:
+    def test_counters_histograms_and_terminal_eof(self):
+        text = render_openmetrics(snapshot=SNAPSHOT)
+        assert text.endswith("# EOF\n")
+        assert "# TYPE waffle_inject_injected counter" in text
+        assert "waffle_inject_injected_total 7" in text
+        assert 'waffle_nearmiss_gap_ms_bucket{le="2"} 1' in text
+        assert 'waffle_nearmiss_gap_ms_bucket{le="+Inf"} 3' in text
+        assert "waffle_nearmiss_gap_ms_sum 10.5" in text
+        assert "waffle_nearmiss_gap_ms_count 3" in text
+
+    def test_gauges_and_wall_metrics_never_exported(self):
+        text = render_openmetrics(snapshot=SNAPSHOT)
+        assert "vt_threads" not in text
+        assert "wall" not in text
+
+    def test_view_gauges(self):
+        text = render_openmetrics(view=fuzz_view())
+        assert "waffle_funnel_delays_injected 5" in text
+        assert "waffle_funnel_pairs_observed 2" in text
+        assert 'waffle_ops_faults{kind="hang"} 1' in text
+        assert "waffle_ops_cache_hits 1" in text
+
+    def test_quality_band_gauges(self):
+        quality = {"curve": {"bands": {
+            "detectable": {"planted": 10, "found": 10, "rate": 1.0},
+            "undetectable": {"planted": 4, "found": 0, "rate": 0.0},
+        }, "by_topology": {"pool": [{"planted": 3, "found": 3}]}}}
+        text = render_openmetrics(quality=quality)
+        assert 'waffle_quality_detection_rate{band="detectable"} 1' in text
+        assert 'waffle_quality_detection_rate{band="undetectable"} 0' in text
+        assert 'waffle_quality_topology_detection_rate{topology="pool"} 1' in text
+
+    def test_deterministic_only_drops_registry_and_ops_families(self):
+        text = render_openmetrics(
+            snapshot=SNAPSHOT, view=fuzz_view(), deterministic_only=True
+        )
+        assert "waffle_inject_injected" not in text  # raw registry out
+        assert "waffle_ops_" not in text             # fault/cache census out
+        assert "waffle_funnel_delays_injected 5" in text  # dedup funnel stays
+
+    def test_every_render_validates_clean(self):
+        for text in (
+            render_openmetrics(),
+            render_openmetrics(snapshot=SNAPSHOT, view=fuzz_view()),
+            render_openmetrics(snapshot=SNAPSHOT, deterministic_only=True),
+        ):
+            assert validate_openmetrics(text) == []
+
+    def test_sanitize_name(self):
+        assert sanitize_name("nearmiss.gap_ms") == "nearmiss_gap_ms"
+        assert sanitize_name("a-b c.d") == "a_b_c_d"
+
+
+class TestValidator:
+    def test_missing_eof(self):
+        assert any("EOF" in p for p in validate_openmetrics("x_total 1\n"))
+
+    def test_sample_without_declaration(self):
+        text = "orphan_total 1\n# EOF\n"
+        assert any("no TYPE" in p for p in validate_openmetrics(text))
+
+    def test_counter_must_end_in_total(self):
+        text = "# TYPE c counter\n# HELP c h\nc 1\n# EOF\n"
+        assert any("_total" in p for p in validate_openmetrics(text))
+
+    def test_histogram_buckets_must_be_cumulative(self):
+        text = ("# TYPE h histogram\n# HELP h h\n"
+                'h_bucket{le="1"} 5\nh_bucket{le="2"} 3\n'
+                "h_sum 1\nh_count 5\n# EOF\n")
+        assert any("cumulative" in p for p in validate_openmetrics(text))
+
+    def test_non_numeric_value(self):
+        text = "# TYPE g gauge\n# HELP g h\ng pancake\n# EOF\n"
+        assert any("non-numeric" in p for p in validate_openmetrics(text))

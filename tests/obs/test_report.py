@@ -409,3 +409,44 @@ class TestSessionRoundTrip:
         assert len(data.spans) == 1
         assert reconcile(data) == []
         assert "hit rate 75.0%" in render_report(data)
+
+
+class TestFuzzSection:
+    """The generated-workload digest inside `obs report`."""
+
+    def write_fuzz_stream(self, obs_dir, spec_prefix=None, ok=True):
+        from repro.gen.spec import generate_spec, spec_hash
+        from repro.obs import eventbus
+
+        seed = 3
+        prefix = spec_hash(generate_spec(seed))[:12] if spec_prefix is None else spec_prefix
+        spec = generate_spec(seed)
+        (obs_dir / "events-9-9.jsonl").write_text(
+            json.dumps({"type": "meta", "v": eventbus.EVENT_SCHEMA_VERSION})
+            + "\n"
+            + json.dumps({
+                "type": "fuzz_workload", "seq": 1, "t": 1.0, "seed": seed,
+                "spec": prefix, "topology": spec.topology, "planted": 2,
+                "detectable": 1, "found": 1 if ok else 0, "sessions": 2,
+                "runs": 9, "ok": ok,
+            })
+            + "\n"
+        )
+
+    def test_fuzz_section_renders_topology_rates(self, obs_dir):
+        self.write_fuzz_stream(obs_dir)
+        text = render_report(load_obs_dir(obs_dir))
+        assert "generated workloads (fuzz)" in text
+        assert "1 workload(s) oracle-verified" in text
+        assert "sensitivity curves: repro obs dashboard" in text
+        assert "WARNING" not in text
+
+    def test_no_fuzz_events_means_no_section(self, obs_dir):
+        assert "generated workloads (fuzz)" not in render_report(load_obs_dir(obs_dir))
+
+    def test_unresolvable_oracles_warn_loudly(self, obs_dir):
+        # A stale spec prefix: ground truth regenerated today is not what
+        # the campaign ran against, so the section must say so.
+        self.write_fuzz_stream(obs_dir, spec_prefix="deadbeef0000")
+        text = render_report(load_obs_dir(obs_dir))
+        assert "WARNING: 1 fuzz event(s) but no oracle rows are resolvable" in text

@@ -1,0 +1,102 @@
+"""Quality time series: schema versioning, torn tails, trend render."""
+
+import json
+
+from repro.obs import timeseries
+from repro.obs.timeseries import (
+    TIMESERIES_SCHEMA_VERSION,
+    append_row,
+    build_row,
+    load_series,
+    render_trend,
+    validate_row,
+)
+
+
+def quality_fixture(rate=1.0):
+    return {
+        "curve": {
+            "records": 10, "found": 8,
+            "bands": {
+                "detectable": {"planted": 8, "found": 8, "rate": rate},
+                "undetectable": {"planted": 2, "found": 0, "rate": 0.0},
+            },
+        },
+        "rollup": {"injected": 5, "delay_ms": 20.0, "skipped": 3,
+                   "counterfactual_sites": 1, "decay": 1, "interference": 1,
+                   "budget": 1},
+    }
+
+
+class TestRoundTrip:
+    def test_meta_line_written_once_rows_append(self, tmp_path):
+        row = build_row(quality=quality_fixture(), label="one", t=100.0)
+        target = append_row(tmp_path, row)
+        append_row(tmp_path, build_row(quality=quality_fixture(), label="two", t=200.0))
+        lines = [json.loads(l) for l in target.read_text().splitlines()]
+        assert lines[0]["type"] == "meta"
+        assert lines[0]["v"] == TIMESERIES_SCHEMA_VERSION
+        assert [l["label"] for l in lines[1:]] == ["one", "two"]
+        rows, warnings = load_series(tmp_path)
+        assert not warnings
+        assert [r["t"] for r in rows] == [100.0, 200.0]
+
+    def test_torn_tail_recovered(self, tmp_path):
+        target = append_row(tmp_path, build_row(label="ok", t=1.0))
+        with open(target, "a") as fp:
+            fp.write('{"v": 1, "type": "qual')
+        rows, warnings = load_series(tmp_path)
+        assert len(rows) == 1
+        assert any("torn tail" in w for w in warnings)
+
+    def test_future_schema_rows_are_skipped_not_misparsed(self, tmp_path):
+        target = append_row(tmp_path, build_row(label="ok", t=1.0))
+        with open(target, "a") as fp:
+            fp.write(json.dumps({"v": TIMESERIES_SCHEMA_VERSION + 1,
+                                 "type": "quality", "t": 2.0, "label": "new"}) + "\n")
+        rows, warnings = load_series(tmp_path)
+        assert [r["label"] for r in rows] == ["ok"]
+        assert any("newer than supported" in w for w in warnings)
+
+    def test_validate_row_requires_fields(self):
+        assert validate_row({"v": 1, "type": "quality", "t": 1.0, "label": "x"}) == []
+        assert any("missing field" in p for p in validate_row({"type": "quality"}))
+        assert any("unknown row type" in p
+                   for p in validate_row({"v": 1, "type": "mystery", "t": 1, "label": "x"}))
+
+
+class TestBuildRow:
+    def test_bands_and_budget_fold_in(self):
+        row = build_row(quality=quality_fixture(), t=5.0)
+        assert row["bands"]["detectable"]["rate"] == 1.0
+        assert row["budget"]["counterfactual_sites"] == 1
+        assert row["bugs"] == {"planted": 10, "found": 8}
+
+    def test_bench_timings_via_drift_tracker(self, tmp_path):
+        bench = tmp_path / "BENCH_x.json"
+        bench.write_text(json.dumps({"benchmark": "x", "run_s": 1.5,
+                                     "within_budget": True}))
+        row = build_row(bench_paths=[bench], t=5.0)
+        assert row["bench"]["timings"] == {"x.run_s": 1.5}
+        assert row["bench"]["snapshots"] == 1
+        assert row["bench"]["regressions"] == 0
+
+
+class TestTrend:
+    def test_empty_series(self):
+        assert "no rows" in render_trend([])
+
+    def test_sparklines_and_latest_values(self):
+        rows = [build_row(quality=quality_fixture(rate=r), t=float(i), label="c%d" % i)
+                for i, r in enumerate((0.5, 0.75, 1.0))]
+        text = render_trend(rows)
+        assert "detection-quality trend" in text
+        assert "detectable-band rate" in text
+        assert "latest=1" in text
+
+    def test_bench_regressions_warn(self):
+        rows = [{"v": 1, "type": "quality", "t": 1.0, "label": "x",
+                 "bench": {"regressions": 2, "budget_problems": 1, "timings": {}}}]
+        text = render_trend(rows)
+        assert "2 benchmark regression(s)" in text
+        assert "1 benchmark budget problem(s)" in text
