@@ -31,9 +31,17 @@ benchmark recorded: the disabled path within ``max_overhead_pct`` and
 the enabled path within ``max_enabled_overhead_pct`` of the in-process
 baseline.
 
+Fleet campaigns add the lease-ledger conservation law: every lease
+creation (``lease_acquire`` or ``lease_steal``) is matched by exactly
+one termination (``lease_release`` or ``lease_expire``), modulo
+recovered torn lines. ``--events-only`` validates a directory that has
+event streams but no telemetry (a fleet dir): stream parse/schema
+checks and the lease ledger, without the counter reconciliation.
+
 Usage::
 
     PYTHONPATH=src python scripts/check_obs.py <obs-dir> [bench-obs-json]
+    PYTHONPATH=src python scripts/check_obs.py --events-only <fleet-dir>
 """
 
 from __future__ import annotations
@@ -219,10 +227,14 @@ def check_events(obs_dir: Path, data) -> list:
         name = Path(stream.path).name
         problems.extend(stream.parse_errors)
         recovered += stream.recovered
-        if stream.meta.version is not None and stream.meta.version != eventbus.EVENT_SCHEMA_VERSION:
+        if (
+            stream.meta.version is not None
+            and stream.meta.version not in eventbus.SUPPORTED_EVENT_VERSIONS
+        ):
             problems.append(
-                "%s: event schema version %r != supported %d"
-                % (name, stream.meta.version, eventbus.EVENT_SCHEMA_VERSION)
+                "%s: event schema version %r not in supported %s"
+                % (name, stream.meta.version,
+                   list(eventbus.SUPPORTED_EVENT_VERSIONS))
             )
         for event in stream.events:
             if event.get("type") not in eventbus.EVENT_TYPES:
@@ -232,6 +244,21 @@ def check_events(obs_dir: Path, data) -> list:
                 )
     merged = eventbus.merge_events(streams)
     view = campaign_mod.fold_events(merged)
+    # Lease ledger conservation (fleet campaigns; trivially 0 == 0
+    # elsewhere): every lease creation is an acquire or a steal, every
+    # termination a release or an expire, and lease events are hard-
+    # flushed at emission -- so the two sides balance exactly, modulo
+    # recovered torn tail lines (in either direction: a killed worker's
+    # torn line can be a creation or a termination).
+    creations = view.lease_acquired + view.lease_stolen
+    terminations = view.lease_released + view.lease_expired
+    if abs(creations - terminations) > recovered:
+        problems.append(
+            "events: lease ledger unbalanced: %d acquire + %d steal != "
+            "%d release + %d expire (|diff| %d > %d recovered torn line(s))"
+            % (view.lease_acquired, view.lease_stolen, view.lease_released,
+               view.lease_expired, abs(creations - terminations), recovered)
+        )
     counters = (data.metrics or {}).get("counters", {})
     if not counters:
         return problems
@@ -298,10 +325,38 @@ def check_overhead_budget(bench_path: Path) -> list:
 
 
 def main(argv) -> int:
+    argv = list(argv)
+    # Events-only mode: validate campaign event streams (schema, parse,
+    # lease-ledger conservation) in a directory that never had
+    # telemetry -- a fleet dir, a bare --events-dir. The counter
+    # reconciliation is skipped naturally (there are no counters).
+    events_only = "--events-only" in argv
+    if events_only:
+        argv.remove("--events-only")
     if len(argv) not in (2, 3):
         print(__doc__, file=sys.stderr)
         return 2
     obs_dir = Path(argv[1])
+    if events_only:
+        data = load_obs_dir(obs_dir)
+        problems = check_events(obs_dir, data)
+        if not eventbus.load_streams(obs_dir):
+            problems.append("no events-*.jsonl streams in %s" % obs_dir)
+        if problems:
+            print("obs check FAILED (%d problem(s)):" % len(problems))
+            for problem in problems:
+                print("  " + str(problem))
+            return 1
+        streams = eventbus.load_streams(obs_dir)
+        view = campaign_mod.fold_events(eventbus.merge_events(streams))
+        print(
+            "obs check OK (events only): %d event(s) in %d stream(s); "
+            "lease ledger %d acquired + %d stolen == %d released + %d expired"
+            % (sum(len(s.events) for s in streams), len(streams),
+               view.lease_acquired, view.lease_stolen,
+               view.lease_released, view.lease_expired)
+        )
+        return 0
     problems = check(obs_dir)
     if len(argv) == 3:
         problems.extend(check_overhead_budget(Path(argv[2])))

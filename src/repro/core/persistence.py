@@ -76,18 +76,56 @@ def load_report(path: PathLike) -> BugReport:
     return BugReport.from_dict(load_record(path)["report"])
 
 
-def save_record(payload: dict, path: PathLike) -> None:
+def save_record(payload: dict, path: PathLike, fsync: bool = False) -> None:
     """Persist an arbitrary JSON-safe record with the format version.
 
     Backs the harness trace/plan cache: entries are written atomically
-    (temp file + rename) so concurrent workers racing on the same cache
-    key never observe a torn file.
+    via a temp file in the *same directory* as the target (so the
+    ``os.replace`` is a same-filesystem rename -- a cross-device rename
+    would raise EXDEV and, on network filesystems, forfeit atomicity)
+    followed by a rename, so concurrent workers racing on the same
+    cache key never observe a torn file.
+
+    ``fsync=True`` additionally flushes the file contents (and, best
+    effort, the directory entry) to stable storage before the rename is
+    allowed to make the record visible -- the durability a *shared*
+    store needs so a reader on another host never sees a named-but-
+    empty record after a crash. It costs ~0.5ms per record, so the
+    single-host cache leaves it off.
     """
     target = Path(path)
     body = json.dumps({"version": FORMAT_VERSION, "record": payload}, sort_keys=True)
     tmp = target.with_name(target.name + ".tmp.%d" % os.getpid())
-    tmp.write_text(body)
+    if fsync:
+        with open(tmp, "w") as fp:
+            fp.write(body)
+            fp.flush()
+            os.fsync(fp.fileno())
+    else:
+        tmp.write_text(body)
     os.replace(tmp, target)
+    if fsync:
+        fsync_dir(target.parent)
+
+
+def fsync_dir(directory: PathLike) -> None:
+    """Flush a directory entry to stable storage, best effort.
+
+    Needed after an ``os.replace`` that must be durable: the rename
+    itself lives in the directory inode. Platforms that cannot open a
+    directory for fsync (e.g. Windows) are silently tolerated -- the
+    data fsync already happened and this is the weaker half.
+    """
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def load_record(path: PathLike) -> dict:

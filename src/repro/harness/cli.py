@@ -577,20 +577,59 @@ def cmd_campaign(args) -> int:
         print("no event streams under %s" % source)
         return 1
     if args.action == "merge":
-        if not args.merged_out:
+        merged_out = getattr(args, "merged_out", None)
+        if not merged_out:
             raise SystemExit("campaign merge requires --merged-out PATH")
-        count = eventbus.write_merged(streams, args.merged_out)
+        count = eventbus.write_merged(streams, merged_out)
         print(
             "merged %d event(s) from %d stream(s) into %s"
-            % (count, len(streams), args.merged_out)
+            % (count, len(streams), merged_out)
         )
         return 0
     view = campaign_mod.fold_events(eventbus.merge_events(streams))
     for stream in streams:
         view.warnings.extend(stream.warnings)
         view.warnings.extend(stream.parse_errors)
-    _emit(campaign_mod.render_status(view, source=source, max_cells=args.max_cells), args.out)
+    _emit(
+        campaign_mod.render_status(
+            view, source=source, max_cells=getattr(args, "max_cells", 8)
+        ),
+        args.out,
+    )
     return 0
+
+
+def cmd_campaign_run(args) -> int:
+    """Coordinate a fleet campaign (see :mod:`repro.harness.fleet`)."""
+    from . import fleet as fleet_mod
+
+    inner = list(args.inner)
+    if inner and inner[0] == "--":
+        inner = inner[1:]
+    if not inner:
+        raise SystemExit(
+            "campaign run requires an inner command after --, "
+            "e.g.: campaign run --fleet-dir DIR -- fuzz --seed-range 0:40"
+        )
+    return fleet_mod.run_campaign(
+        args.fleet_dir,
+        inner,
+        workers=args.workers,
+        lease_ttl_s=args.lease_ttl,
+        poll_s=args.poll,
+        retries=args.retries,
+        min_workers=args.min_workers,
+        drain_timeout_s=args.drain_timeout,
+    )
+
+
+def cmd_campaign_worker(args) -> int:
+    """Join a fleet campaign as one worker process."""
+    from . import fleet as fleet_mod
+
+    return fleet_mod.run_worker(
+        args.fleet_dir, wait_s=args.wait, worker_id=args.worker_id
+    )
 
 
 def cmd_all(args) -> None:
@@ -873,29 +912,114 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "campaign",
-        help="inspect or merge campaign event streams (events-*.jsonl)",
+        help="run fleet campaigns; inspect or merge campaign event streams",
         parents=[shared],
     )
-    p.add_argument(
-        "action",
-        choices=["status", "merge"],
-        help="status: render progress/health/funnel; merge: combine worker "
-        "streams into one deterministic timeline",
+    campaign_sub = p.add_subparsers(dest="action", required=True)
+
+    cp = campaign_sub.add_parser(
+        "run",
+        parents=[shared],
+        help="coordinate a fleet campaign: N worker processes pull leased "
+        "cells from a shared directory; output is byte-identical to a "
+        "serial run",
     )
-    p.add_argument(
-        "paths", nargs="+", help="event stream files or directories of events-*.jsonl"
-    )
-    p.add_argument(
-        "--merged-out",
+    cp.add_argument(
+        "--fleet-dir",
         type=str,
-        default=None,
-        metavar="PATH",
-        help="merge: where to write the combined stream",
+        required=True,
+        metavar="DIR",
+        help="the shared coordination directory (manifest, leases, artifact "
+        "store, per-worker journals and event streams)",
     )
-    p.add_argument(
-        "--max-cells", type=int, default=8, help="status: in-flight cells listed"
+    cp.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="local worker processes to spawn (default 0: the coordinator "
+        "executes alone; remote workers join via 'campaign worker')",
     )
-    p.set_defaults(func=cmd_campaign)
+    cp.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="heartbeat deadline on cell leases; a worker silent this long "
+        "is presumed dead and its cell is stolen (default 30)",
+    )
+    cp.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="wait-loop poll interval for other workers' results (default 0.2)",
+    )
+    cp.add_argument(
+        "--min-workers",
+        type=int,
+        default=0,
+        help="wait for this many workers to register before starting "
+        "(default 0: start immediately)",
+    )
+    cp.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="give up waiting for unresolved cells / straggling workers "
+        "after this long (default 600)",
+    )
+    cp.add_argument(
+        "inner",
+        nargs=argparse.REMAINDER,
+        metavar="-- COMMAND ...",
+        help="the campaign to run, e.g. -- fuzz --seed-range 0:40",
+    )
+    cp.set_defaults(func=cmd_campaign_run)
+
+    cp = campaign_sub.add_parser(
+        "worker",
+        parents=[shared],
+        help="join a fleet campaign as one worker (the inner command comes "
+        "from the fleet directory's manifest)",
+    )
+    cp.add_argument("--fleet-dir", type=str, required=True, metavar="DIR")
+    cp.add_argument(
+        "--wait",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="how long to wait for the coordinator's manifest (default 60)",
+    )
+    cp.add_argument(
+        "--worker-id", type=str, default=None, help="stable identity override"
+    )
+    cp.set_defaults(func=cmd_campaign_worker)
+
+    for action, help_text in (
+        ("status", "render progress/health/funnel from event streams"),
+        ("merge", "combine worker streams into one deterministic timeline"),
+    ):
+        cp = campaign_sub.add_parser(action, parents=[shared], help=help_text)
+        cp.add_argument(
+            "paths",
+            nargs="+",
+            help="event stream files or directories of events-*.jsonl "
+            "(a fleet dir works directly)",
+        )
+        if action == "merge":
+            cp.add_argument(
+                "--merged-out",
+                type=str,
+                default=None,
+                metavar="PATH",
+                help="where to write the combined stream",
+            )
+        else:
+            cp.add_argument(
+                "--max-cells", type=int, default=8, help="in-flight cells listed"
+            )
+        cp.set_defaults(func=cmd_campaign)
     return parser
 
 
@@ -924,9 +1048,15 @@ def _cache_summary_line(
     return line
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def normalize_args(args) -> None:
+    """Fill the shared options' defaults in place.
+
+    The shared flags parse with ``SUPPRESS`` (so a value given before
+    the subcommand survives), which means unset options are *absent*
+    rather than None. Both :func:`main` and the fleet's inner-command
+    dispatch (:func:`repro.harness.fleet._dispatch_inner`) normalize
+    through here so the two entry paths cannot drift.
+    """
     if not hasattr(args, "seed"):
         args.seed = 0
     if not hasattr(args, "out"):
@@ -949,6 +1079,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.retries = None
     if not hasattr(args, "cell_timeout"):
         args.cell_timeout = None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    normalize_args(args)
     if args.command in ("detect", "trace") and not args.bug and not (args.app and args.test):
         parser.error("%s requires --bug or both --app and --test" % args.command)
     if args.events_dir:
@@ -990,8 +1126,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     # The supervisor activates when any resilience flag is given, or
     # when chaos injection is on (a chaos campaign without the fault
     # boundary would just crash, which is not what chaos is for).
+    # ... except under fleet commands: the fleet owns parallelism,
+    # retries and lease-level crash recovery itself.
     sup = None
-    if args.resume or args.retries or args.cell_timeout or faults.active():
+    if args.command != "campaign" and (
+        args.resume or args.retries or args.cell_timeout or faults.active()
+    ):
         journal = supervisor.CampaignJournal(args.resume) if args.resume else None
         sup = supervisor.Supervisor(
             policy=supervisor.RetryPolicy(max_attempts=args.retries or 3, seed=args.seed),

@@ -99,8 +99,16 @@ def map_units(
     (or a single unit) bypasses the pool entirely so the serial path is
     byte-for-byte the pre-parallel code path.
     """
+    from . import fleet
     from . import supervisor
 
+    fleet_worker = fleet.current()
+    if fleet_worker is not None:
+        # Fleet campaign: this process is one executor of a multi-
+        # process campaign; the fan-out becomes a claim scan over the
+        # shared lease/store directory (see repro.harness.fleet). Takes
+        # precedence over the supervisor -- the fleet owns retries.
+        return fleet_worker.map_cells(fn, arg_tuples)
     active = supervisor.current()
     if active is not None:
         # Supervised campaign: watchdogs, retry/backoff, checkpoint-

@@ -125,11 +125,17 @@ class RetryPolicy:
     backoff_base_s: float = 0.05
     backoff_factor: float = 2.0
     backoff_max_s: float = 2.0
+    #: Cap on the *sum* of a cell's backoff delays, not just each delay.
+    #: A generous --retries with an unlucky jitter draw must not turn
+    #: one flaky cell into minutes of accumulated sleeping (a draining
+    #: fleet worker would sit on its lease the whole time). None
+    #: disables the cap.
+    backoff_total_max_s: Optional[float] = 20.0
     jitter: float = 0.25
     seed: int = 0
 
-    def backoff_s(self, key: str, attempt: int) -> float:
-        """Delay before retrying ``key`` after failed attempt ``attempt``."""
+    def _raw_backoff_s(self, key: str, attempt: int) -> float:
+        """The per-attempt schedule before the cumulative cap."""
         base = min(
             self.backoff_max_s,
             self.backoff_base_s * (self.backoff_factor ** max(0, attempt - 1)),
@@ -141,6 +147,24 @@ class RetryPolicy:
         draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
         # Spread over [base*(1-jitter), base*(1+jitter)].
         return base * (1.0 - self.jitter + 2.0 * self.jitter * draw)
+
+    def backoff_s(self, key: str, attempt: int) -> float:
+        """Delay before retrying ``key`` after failed attempt ``attempt``.
+
+        Deterministic like the raw schedule (a pure function of the
+        policy fields, key and attempt), but clamped so the cumulative
+        delay across a cell's whole retry tail never exceeds
+        :attr:`backoff_total_max_s`: each attempt draws from whatever
+        budget the earlier attempts left.
+        """
+        if self.backoff_total_max_s is None:
+            return self._raw_backoff_s(key, attempt)
+        budget = self.backoff_total_max_s
+        draw = 0.0
+        for index in range(1, attempt + 1):
+            draw = min(self._raw_backoff_s(key, index), max(0.0, budget))
+            budget -= draw
+        return draw
 
     def backoff_schedule(self, key: str) -> List[float]:
         """The full retry schedule for ``key`` (one entry per retry)."""
@@ -331,16 +355,31 @@ class Supervisor:
         journal: Optional[CampaignJournal] = None,
         cell_timeout_s: Optional[float] = None,
         dossier_dir: Optional[os.PathLike] = None,
-        sleep: Callable[[float], None] = time.sleep,
+        sleep: Optional[Callable[[float], None]] = None,
     ):
         self.policy = policy or RetryPolicy()
         self.journal = journal
         self.cell_timeout_s = cell_timeout_s
         self.stats = CampaignStats()
-        self.sleep = sleep
+        #: Set (from a signal handler or another thread) to drain: the
+        #: interruptible backoff sleep returns immediately, the current
+        #: retry tail is finalized as failed, and no new cell starts --
+        #: so a fleet worker can release its lease promptly instead of
+        #: sleeping through a backoff with the lease held.
+        self.shutdown = threading.Event()
+        self.sleep = sleep if sleep is not None else self._interruptible_sleep
         self._dossier_dir = Path(dossier_dir) if dossier_dir is not None else None
         self._wall_times: List[float] = []
         self._dossiers_written = 0
+
+    def request_shutdown(self) -> None:
+        """Ask the supervisor to drain at the next fault boundary."""
+        self.shutdown.set()
+
+    def _interruptible_sleep(self, seconds: float) -> None:
+        """The default backoff sleep: wakes early on :attr:`shutdown`."""
+        if seconds > 0.0:
+            self.shutdown.wait(seconds)
 
     # -- Watchdog ------------------------------------------------------
 
@@ -529,6 +568,12 @@ class Supervisor:
                 eventbus.emit("cell_retry", cell=key[:16], attempt=attempt + 1,
                               backoff_s=round(backoff, 4), kind=kind)
                 self.sleep(backoff)
+                if self.shutdown.is_set():
+                    # Draining: finalize the tail as failed rather than
+                    # holding resources (a fleet lease, a terminal)
+                    # through the remaining attempts.
+                    self._finalize_degraded(key, "failed", attempt, fault_list)
+                    return None
         return None  # unreachable
 
     # -- Parallel execution --------------------------------------------
@@ -605,6 +650,24 @@ class Supervisor:
                 queue.append((index, attempt + 1, ready_at, cell["faults"]))
 
         while queue or inflight:
+            if self.shutdown.is_set():
+                # Draining: kill in-flight workers and finalize every
+                # cell still owed a result as failed, promptly.
+                for conn, cell in list(inflight.items()):
+                    proc = cell["proc"]
+                    proc.terminate()
+                    proc.join(timeout=2.0)
+                    if proc.is_alive():
+                        proc.kill()
+                    conn.close()
+                    self._finalize_degraded(
+                        keys[cell["index"]], "failed", cell["attempt"], cell["faults"]
+                    )
+                inflight.clear()
+                for index, attempt, _, fault_list in queue:
+                    self._finalize_degraded(keys[index], "failed", attempt, fault_list)
+                queue.clear()
+                break
             now = time.monotonic()
             # Launch every ready cell a worker slot exists for.
             queue.sort(key=lambda item: item[2])

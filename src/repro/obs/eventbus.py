@@ -46,14 +46,23 @@ from __future__ import annotations
 import json
 import os
 import sys
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Bump when an event's field semantics change; readers warn on
-#: mismatch instead of misinterpreting old streams.
-EVENT_SCHEMA_VERSION = 1
+#: mismatch instead of misinterpreting old streams. Version 2 added
+#: the fleet vocabulary (worker lifecycle, lease protocol, artifact
+#: store); every v1 event kept its exact shape, so v1 streams stay
+#: readable (see :data:`SUPPORTED_EVENT_VERSIONS`).
+EVENT_SCHEMA_VERSION = 2
+
+#: Schema versions readers accept without warning. v1 is a strict
+#: subset of v2 (no field changed meaning), so old streams fold, merge
+#: and render exactly as they did when written.
+SUPPORTED_EVENT_VERSIONS = (1, 2)
 
 #: Environment variable enabling the bus standalone (without telemetry)
 #: and propagating it to ``--jobs`` pool workers.
@@ -83,6 +92,15 @@ EVENT_TYPES = (
     "detect_run",        # one detection run finished (test, injected, crashed)
     "detection",         # one detection attempt concluded (bug, tool, matched, runs)
     "fuzz_workload",     # one generated workload oracle-verified (seed, topology, ok)
+    # -- v2: fleet vocabulary (lease-based work stealing, shared store) --
+    "worker_begin",      # a fleet executor joined the campaign (worker, role, pid)
+    "worker_end",        # ... and left (executed, fetched, stolen, wall_s)
+    "heartbeat",         # a lease owner refreshed its deadline (cell, worker, beat)
+    "lease_acquire",     # a worker claimed a cell exclusively (cell, worker, attempt)
+    "lease_release",     # ... and released it after finalizing (cell, worker)
+    "lease_expire",      # a lease outlived its heartbeat deadline (cell, worker)
+    "lease_steal",       # an expired lease was reclaimed by another worker
+    "store",             # shared artifact store traffic (action publish|hit|corrupt)
 )
 
 
@@ -134,6 +152,11 @@ class EventBus:
             self.path = self.directory / ("events-%s.jsonl" % self.writer)
         self._seq = 0
         self._listeners: List[Callable[[dict], None]] = []
+        # Fleet heartbeat threads emit concurrently with the worker's
+        # main thread; a lock keeps seq assignment and the buffer-swap
+        # in flush() coherent. Uncontended acquisition is ~100ns --
+        # noise against the bus's per-event JSON encode.
+        self._lock = threading.Lock()
         self._pending: List[dict] = [
             {
                 "type": "meta",
@@ -149,10 +172,11 @@ class EventBus:
     def emit(self, etype: str, **fields: Any) -> dict:
         """Append one event (timestamped, sequence-numbered) and notify
         listeners. Returns the record (tests inspect it)."""
-        self._seq += 1
-        record: Dict[str, Any] = {"type": etype, "seq": self._seq, "t": round(time.time(), 6)}
-        record.update(fields)
-        self._pending.append(record)
+        with self._lock:
+            self._seq += 1
+            record: Dict[str, Any] = {"type": etype, "seq": self._seq, "t": round(time.time(), 6)}
+            record.update(fields)
+            self._pending.append(record)
         for listener in self._listeners:
             try:
                 listener(record)
@@ -173,11 +197,12 @@ class EventBus:
         """Append buffered events as whole JSONL lines (one buffer, one
         write -- the same torn-tail discipline as telemetry: a kill can
         cut at most the final line)."""
-        if self.path is None or not self._pending:
-            self._pending = self._pending if self.path is None else []
-            return
-        records = self._pending
-        self._pending = []
+        with self._lock:
+            if self.path is None or not self._pending:
+                self._pending = self._pending if self.path is None else []
+                return
+            records = self._pending
+            self._pending = []
         dumps = json.dumps
         with open(self.path, "a") as fp:
             fp.write("".join(dumps(r, separators=(",", ":")) + "\n" for r in records))
@@ -323,10 +348,11 @@ def read_stream(path: os.PathLike) -> EventStream:
                 pid=record.get("pid", 0),
                 started_unix=record.get("started_unix", 0.0),
             )
-            if record.get("v") != EVENT_SCHEMA_VERSION:
+            if record.get("v") not in SUPPORTED_EVENT_VERSIONS:
                 stream.warnings.append(
-                    "%s: event schema version %r != supported %d -- "
-                    "fields may be misread" % (target.name, record.get("v"), EVENT_SCHEMA_VERSION)
+                    "%s: event schema version %r not in supported %s -- "
+                    "fields may be misread"
+                    % (target.name, record.get("v"), list(SUPPORTED_EVENT_VERSIONS))
                 )
             continue
         stream.events.append(record)

@@ -58,6 +58,45 @@ class TestConfigHash:
         assert config_hash(changed) != config_hash(DEFAULT_CONFIG)
 
 
+class TestSharedMode:
+    def test_shared_put_roundtrips_identically(self, tmp_path):
+        # Shared (fsync-before-rename) mode changes durability, not
+        # content: the record bytes and the read path are the same.
+        plain = PlanCache(tmp_path / "plain")
+        shared = PlanCache(tmp_path / "shared", shared=True)
+        payload = {"rows": [1, 2, 3], "nested": {"x": 0.5}}
+        plain.put("prep", {"k": 1}, payload)
+        shared.put("prep", {"k": 1}, payload)
+        assert shared.get("prep", {"k": 1}) == payload
+        name = plain._path("prep", plain._digest("prep", {"k": 1})).name
+        assert (tmp_path / "plain" / name).read_bytes() == (
+            tmp_path / "shared" / name
+        ).read_bytes()
+
+    def test_open_cache_shared_defaults_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("WAFFLE_CACHE_SHARED", "1")
+        assert open_cache(tmp_path).shared
+        monkeypatch.delenv("WAFFLE_CACHE_SHARED")
+        assert not open_cache(tmp_path).shared
+        # Explicit argument wins over the environment.
+        monkeypatch.setenv("WAFFLE_CACHE_SHARED", "1")
+        assert not open_cache(tmp_path, shared=False).shared
+
+    def test_unreadable_record_is_a_quarantined_miss(self, cache):
+        # An OSError on read (here: the record path is a directory, as a
+        # stand-in for shared-filesystem permission/stat hiccups) must
+        # degrade to a miss, never crash the campaign.
+        key = {"k": 1}
+        cache.put("prep", key, {"v": 1})
+        path = cache._path("prep", cache._digest("prep", key))
+        path.unlink()
+        path.mkdir()
+        fresh = PlanCache(cache.directory)
+        assert fresh.get("prep", key) is None
+        assert fresh.stats.corrupt == 1
+        assert fresh.stats.misses == 1
+
+
 class TestPlanCache:
     def test_miss_then_hit(self, cache):
         key = {"test": "a:b", "seed": 0}

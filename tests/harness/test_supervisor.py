@@ -11,6 +11,7 @@ import os
 import signal
 import subprocess
 import sys
+import threading
 import time
 
 import pytest
@@ -107,6 +108,53 @@ class TestRetryPolicy:
     def test_keys_get_distinct_jitter(self):
         policy = RetryPolicy(jitter=0.25, seed=0)
         assert policy.backoff_s("a", 1) != policy.backoff_s("b", 1)
+
+    def test_total_cap_bounds_the_cumulative_schedule(self):
+        policy = RetryPolicy(
+            max_attempts=10, backoff_base_s=1.0, backoff_factor=2.0,
+            backoff_max_s=60.0, backoff_total_max_s=5.0, jitter=0.0,
+        )
+        schedule = policy.backoff_schedule("k")
+        assert sum(schedule) <= 5.0 + 1e-9
+        # Once the budget is spent, every later attempt sleeps zero.
+        assert policy.backoff_s("k", 9) == 0.0
+
+    def test_total_cap_none_disables(self):
+        policy = RetryPolicy(
+            max_attempts=6, backoff_base_s=1.0, backoff_factor=2.0,
+            backoff_max_s=60.0, backoff_total_max_s=None, jitter=0.0,
+        )
+        assert policy.backoff_s("k", 5) == 16.0
+
+    def test_generous_budget_leaves_the_raw_schedule_untouched(self):
+        capped = RetryPolicy(backoff_total_max_s=100.0, jitter=0.25, seed=3)
+        raw = RetryPolicy(backoff_total_max_s=None, jitter=0.25, seed=3)
+        for attempt in (1, 2):
+            assert capped.backoff_s("k", attempt) == pytest.approx(
+                raw.backoff_s("k", attempt)
+            )
+
+
+class TestDrain:
+    def test_interruptible_sleep_wakes_on_shutdown(self):
+        sup = Supervisor(policy=RetryPolicy(max_attempts=2, seed=1))
+        timer = threading.Timer(0.05, sup.request_shutdown)
+        timer.start()
+        started = time.monotonic()
+        sup._interruptible_sleep(60.0)
+        timer.join()
+        assert time.monotonic() - started < 10.0
+
+    def test_drain_finalizes_the_retry_tail_as_failed(self):
+        # Default (interruptible) sleep: with shutdown already requested
+        # the backoff returns immediately and the cell is finalized
+        # failed after its first fault instead of burning the budget.
+        sup = Supervisor(policy=RetryPolicy(max_attempts=5, seed=1))
+        sup.request_shutdown()
+        assert sup.map(flaky, [(7, 99)]) == [None]
+        assert ATTEMPTS[7] == 1
+        assert sup.stats.failed == 1
+        assert sup.stats.retried == 0
 
 
 class TestRetryAndQuarantine:

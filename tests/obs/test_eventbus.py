@@ -222,3 +222,80 @@ class TestMerge:
         assert eventbus.stream_paths(tmp_path) == [path]
         assert eventbus.stream_paths(path) == [path]
         assert eventbus.stream_paths(tmp_path / "missing.jsonl") == []
+
+
+class TestV1Compatibility:
+    """Schema v2 added vocabulary without touching any v1 field, so the
+    checked-in v1 fixture must read, fold and merge exactly as it did
+    when written."""
+
+    FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures", "events-v1.jsonl")
+
+    def test_fixture_reads_without_warnings(self):
+        stream = eventbus.read_stream(self.FIXTURE)
+        assert stream.meta.version == 1
+        assert 1 in eventbus.SUPPORTED_EVENT_VERSIONS
+        assert stream.warnings == []
+        assert stream.parse_errors == []
+        assert stream.recovered == 0
+        assert len(stream.events) == 13
+        assert all(e["type"] in eventbus.EVENT_TYPES for e in stream.events)
+
+    def test_fixture_folds_into_a_campaign_view(self):
+        from repro.obs import campaign as campaign_mod
+
+        view, streams = campaign_mod.load_view(self.FIXTURE)
+        assert len(streams) == 1
+        assert view.warnings == []
+        assert view.cells_expected == 3
+        assert view.by_status("ok") == 2
+        assert view.by_status("quarantined") == 1
+        assert view.retries == 1
+        assert view.faults == {"transient_io": 1}
+        assert view.finished and view.finished[0]["ok"] is True
+        # No fleet traffic in a v1 stream, by definition.
+        assert view.workers == {}
+        assert view.lease_acquired == view.lease_stolen == 0
+
+    def test_fixture_merges_with_a_v2_stream(self, tmp_path):
+        bus = eventbus.configure(tmp_path)
+        bus.emit("lease_acquire", cell="0a1b2c3d4e5f6071", worker="w1", attempt=1)
+        bus.emit("lease_release", cell="0a1b2c3d4e5f6071", worker="w1")
+        bus.flush()
+        eventbus.disable()
+        old = eventbus.read_stream(self.FIXTURE)
+        new = eventbus.read_stream(bus.path)
+        out = tmp_path / "merged.jsonl"
+        count = eventbus.write_merged([old, new], out)
+        assert count == 15
+        merged = eventbus.read_stream(out)
+        assert merged.warnings == []
+        types = [e["type"] for e in merged.events]
+        assert "campaign_begin" in types and "lease_acquire" in types
+
+
+class TestThreadSafety:
+    def test_concurrent_emits_get_unique_seqs_and_all_land(self, tmp_path):
+        import threading
+
+        bus = eventbus.configure(tmp_path)
+        per_thread, threads = 200, 8
+
+        def hammer(worker):
+            for beat in range(per_thread):
+                bus.emit("heartbeat", cell="c", worker="w%d" % worker, beat=beat)
+                if beat % 50 == 0:
+                    bus.flush()
+
+        pool = [threading.Thread(target=hammer, args=(i,)) for i in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        bus.flush()
+        stream = eventbus.read_stream(bus.path)
+        beats = [e for e in stream.events if e["type"] == "heartbeat"]
+        assert len(beats) == per_thread * threads
+        seqs = [e["seq"] for e in beats]
+        assert len(set(seqs)) == len(seqs)  # no duplicated sequence numbers
+        assert stream.parse_errors == []  # no interleaved torn lines
